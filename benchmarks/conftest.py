@@ -1,0 +1,37 @@
+"""Shared bench-scale study run.
+
+All figure/table benchmarks reproduce their result from ONE full-pipeline
+run at "bench scale" (a few thousand page visits, tens of thousands of ad
+impressions) — the same structure as the paper's three-month crawl, scaled
+to laptop minutes.  The fixture is session-scoped so the crawl+classify
+cost is paid once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+BENCH_SEED = 2014
+
+BENCH_PARAMS = WorldParams(
+    n_top_sites=60,
+    n_bottom_sites=60,
+    n_other_sites=60,
+    n_feed_sites=15,
+)
+
+BENCH_CONFIG = StudyConfig(
+    seed=BENCH_SEED,
+    days=8,
+    refreshes_per_visit=5,
+    world_params=BENCH_PARAMS,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_results():
+    """The full measured study at bench scale."""
+    return run_study(BENCH_CONFIG)

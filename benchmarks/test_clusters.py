@@ -1,0 +1,27 @@
+"""Benchmark: §4.2 cluster shares.
+
+Paper: the top-10k cluster serves 82.3% of malvertisements / 76.6% of all
+ads; bottom-10k 6.2% / 11.6%; the rest 11.5% / 11.8%.  The conclusion —
+miscreants chase impressions, so the malicious split roughly tracks the
+volume split, with mild enrichment at the top.
+"""
+
+from repro.analysis.clusters import BOTTOM, OTHER, TOP, analyze_clusters
+
+
+def test_cluster_shares(bench_results, benchmark):
+    shares = benchmark(analyze_clusters, bench_results)
+    print("\n" + shares.render())
+
+    # Top cluster dominates both distributions (paper: 82.3% and 76.6%).
+    assert shares.malicious_share(TOP) > 0.55
+    assert shares.total_share(TOP) > 0.55
+    # Bottom and other clusters are minor in both.
+    assert shares.total_share(BOTTOM) < 0.30
+    assert shares.total_share(OTHER) < 0.30
+    # Malicious share roughly tracks volume share per cluster (the paper's
+    # central claim for this experiment).
+    for cluster in (TOP, BOTTOM, OTHER):
+        assert abs(shares.malicious_share(cluster) - shares.total_share(cluster)) < 0.20
+    # Mild enrichment at the top (82.3% malicious vs 76.6% volume).
+    assert shares.malicious_share(TOP) >= shares.total_share(TOP) - 0.05

@@ -1,0 +1,113 @@
+"""Benchmark: §5 countermeasure ablations.
+
+These what-if experiments quantify the paper's proposed defences on the
+same simulated ecosystem the baseline results were measured on:
+
+* a shared rejected-creative blacklist across ad networks (§5.1);
+* arbitration penalties for networks caught serving malvertisements (§5.1);
+* client-side ad blocking and its revenue cost (§5.2);
+* a topology-aware ad-path browser defence (§5.2, after Li et al.).
+"""
+
+import pytest
+
+from repro.analysis.networks import analyze_networks
+from repro.core.study import Study, StudyConfig, run_study
+from repro.countermeasures.adblock import simulate_adblock
+from repro.countermeasures.browser_defense import AdPathDefense
+from repro.countermeasures.penalties import PenaltyPolicy, apply_penalties
+from repro.countermeasures.shared_blacklist import apply_shared_blacklist
+from repro.datasets.world import WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+
+ABLATION_PARAMS = WorldParams(n_top_sites=25, n_bottom_sites=25,
+                              n_other_sites=25, n_feed_sites=8)
+ABLATION_CONFIG = StudyConfig(seed=77, days=4, refreshes_per_visit=4,
+                              world_params=ABLATION_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def ablation_baseline():
+    return run_study(ABLATION_CONFIG)
+
+
+def _rerun_with_shared_blacklist(participation):
+    world = build_world(ABLATION_CONFIG.seed, ABLATION_PARAMS)
+    apply_shared_blacklist(world.networks, world.campaigns,
+                           participation=participation)
+    return Study(ABLATION_CONFIG, world=world).run()
+
+
+def test_shared_blacklist_ablation(ablation_baseline, benchmark):
+    defended = benchmark.pedantic(_rerun_with_shared_blacklist, args=(1.0,),
+                                  iterations=1, rounds=1)
+    base = ablation_baseline.n_incidents
+    after = defended.n_incidents
+    print(f"\nshared blacklist: incidents {base} -> {after} "
+          f"({1 - after / base:.0%} reduction)" if base else "no baseline incidents")
+    assert base > 0
+    assert after < base  # sharing rejections must help
+    assert after <= base * 0.8
+
+
+def test_penalties_ablation(ablation_baseline, benchmark):
+    world = build_world(ABLATION_CONFIG.seed, ABLATION_PARAMS)
+    analysis = analyze_networks(ablation_baseline)
+
+    def run_penalized():
+        outcome = apply_penalties(world.networks, analysis,
+                                  PenaltyPolicy(max_malicious_ratio=0.10))
+        return outcome, Study(ABLATION_CONFIG, world=world).run()
+
+    outcome, defended = benchmark.pedantic(run_penalized, iterations=1, rounds=1)
+    base_imps = sum(1 for r in ablation_baseline.malicious_records()
+                    for _ in r.impressions)
+    after_imps = sum(1 for r in defended.malicious_records()
+                     for _ in r.impressions)
+    print(f"\npenalties: banned {len(outcome.banned_networks)} networks, "
+          f"malicious impressions {base_imps} -> {after_imps}")
+    assert outcome.banned_networks
+    # Cutting offenders out of arbitration starves deep-chain malvertising.
+    assert after_imps < base_imps
+
+
+def test_adblock_ablation(ablation_baseline, benchmark):
+    engine = FilterEngine.from_text(ablation_baseline.world.easylist_text)
+    outcome = benchmark(simulate_adblock, ablation_baseline, engine)
+    print("\n" + outcome.render())
+    assert outcome.malicious_exposure_reduction > 0.9
+    # ... but the domino effect: nearly all ad revenue suppressed too.
+    assert outcome.revenue_loss > 0.9
+
+
+def test_ad_path_defense_ablation(ablation_baseline, benchmark):
+    defense = AdPathDefense.train_from_results(ablation_baseline)
+    evaluation = benchmark(defense.evaluate, ablation_baseline)
+    print("\n" + evaluation.render())
+    assert evaluation.detection_rate > 0.6
+    assert evaluation.false_alarm_rate < 0.35
+
+
+def test_blacklist_threshold_ablation(ablation_baseline, benchmark):
+    """DESIGN.md ablation: the paper's >5-list threshold vs naive any-list.
+
+    Dropping the threshold to 'any list' floods the blacklist oracle with
+    false positives (benign domains sit on a couple of sloppy feeds).
+    """
+    from repro.oracles.blacklists import BlacklistTracker
+
+    world = ablation_baseline.world
+    strict = BlacklistTracker(world.blacklists, threshold=5)
+    naive = BlacklistTracker(world.blacklists, threshold=0)
+    benign_domains = [c.landing_domain for c in world.campaigns
+                      if not c.is_malicious]
+
+    def count_flagged(tracker):
+        return sum(1 for d in benign_domains if tracker.is_flagged(d))
+
+    naive_fps = benchmark(count_flagged, naive)
+    strict_fps = count_flagged(strict)
+    print(f"\nblacklist threshold ablation: benign domains flagged — "
+          f"any-list {naive_fps}, >5 lists {strict_fps}")
+    assert strict_fps == 0
+    assert naive_fps > 0

@@ -1,0 +1,39 @@
+"""Benchmark: the economics behind arbitration and the adblock trade-off.
+
+Not a paper figure, but the quantification of two of its claims: ad
+networks arbitrate "to increase their revenue" (§4.3) and universal ad
+blocking would trigger an economic "domino effect" (§5.2).
+"""
+
+from repro.adnet.economics import AdMarket, settle_run
+from repro.countermeasures.adblock import simulate_adblock
+from repro.filterlists.matcher import FilterEngine
+
+
+def test_arbitration_economics(bench_results, benchmark):
+    world = bench_results.world
+    bids = {c.campaign_id: c.bid for c in world.campaigns}
+    market = AdMarket(hop_margin=0.15)
+
+    ledger = benchmark(settle_run, world.ecosystem.served_log, bids, market)
+    print(f"\ngross spend ${ledger.gross_spend:,.2f}; publishers "
+          f"${ledger.total_publisher_revenue:,.2f}; networks "
+          f"${ledger.total_network_revenue:,.2f}")
+
+    # Money is conserved.
+    assert abs(ledger.total_publisher_revenue + ledger.total_network_revenue
+               - ledger.gross_spend) < 1e-6 * ledger.gross_spend
+    # Arbitration pays: the network side keeps a sizeable cut in aggregate.
+    assert 0.15 < ledger.total_network_revenue / ledger.gross_spend < 0.6
+    # Effective CPM collapses along deep chains (the remnant mechanism).
+    assert market.effective_cpm(2.0, 20) < 0.1 * market.effective_cpm(2.0, 1)
+
+
+def test_adblock_domino_effect(bench_results, benchmark):
+    engine = FilterEngine.from_text(bench_results.world.easylist_text)
+    outcome = benchmark(simulate_adblock, bench_results, engine)
+    print("\n" + outcome.render())
+    # Near-total protection...
+    assert outcome.malicious_exposure_reduction > 0.9
+    # ...at near-total publisher cost: the §5.2 domino effect.
+    assert outcome.revenue_loss > 0.9

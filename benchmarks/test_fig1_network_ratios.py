@@ -1,0 +1,28 @@
+"""Benchmark: Figure 1 — malvertising distribution from selected ad networks.
+
+Paper: networks sorted by the ratio of malicious to total ads served; some
+(small) networks are clearly preferred by cyber-criminals, with
+malvertising making up more than a third of their traffic; only networks
+with at least one malvertisement are shown.
+"""
+
+from repro.analysis.networks import analyze_networks
+
+
+def test_fig1_network_ratios(bench_results, benchmark):
+    analysis = benchmark(analyze_networks, bench_results)
+    print("\n" + analysis.render_figure1())
+
+    implicated = analysis.with_malvertising()
+    assert implicated, "some networks must serve malvertising"
+    # Sorted descending by ratio, as in the figure.
+    ratios = [s.malicious_ratio for s in implicated]
+    assert ratios == sorted(ratios, reverse=True)
+    # Some networks are heavily implicated ("more than a third").
+    assert ratios[0] > 1 / 3 * 0.8  # at least approaching a third
+    # The worst offenders are small/shady networks, not the majors.
+    worst = implicated[0]
+    assert worst.tier in ("shady", "mid")
+    # Majors filter well: their ratio is far below the worst offender's.
+    major_ratios = [s.malicious_ratio for s in analysis.stats if s.tier == "major"]
+    assert major_ratios and max(major_ratios) < ratios[0] / 3

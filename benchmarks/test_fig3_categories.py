@@ -1,0 +1,24 @@
+"""Benchmark: Figure 3 — categories of websites serving malvertisements.
+
+Paper: entertainment and news together make up roughly one third of the
+malvertising-serving sites; adult content ranks third (contradicting
+earlier work tying adult content to elevated maliciousness).
+"""
+
+from repro.analysis.categories import categorize_malvertising_sites
+
+
+def test_fig3_categories(bench_results, benchmark):
+    breakdown = benchmark(categorize_malvertising_sites, bench_results)
+    print("\n" + breakdown.render())
+
+    shares = breakdown.shares()
+    assert breakdown.total > 10, "enough malvertising sites for a category mix"
+    # Entertainment + news constitute a large block (paper: ~1/3).
+    ent_news = shares.get("entertainment", 0.0) + shares.get("news", 0.0)
+    assert ent_news > 0.18
+    # Adult is present but not dominant.
+    ranked = [category for category, _ in breakdown.ranked()]
+    if "adult" in ranked:
+        assert ranked.index("adult") <= 6
+        assert shares["adult"] < ent_news

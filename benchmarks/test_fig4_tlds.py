@@ -1,0 +1,21 @@
+"""Benchmark: Figure 4 — malvertisement distribution by top-level domain.
+
+Paper: .com domains constitute the majority of malvertising-serving sites,
+and generic TLDs (mainly .com and .net) make up more than 66% of the
+malvertising traffic.
+"""
+
+from repro.analysis.tlds import tld_distribution
+
+
+def test_fig4_tlds(bench_results, benchmark):
+    breakdown = benchmark(tld_distribution, bench_results)
+    print("\n" + breakdown.render())
+
+    assert breakdown.total > 10
+    ranked = breakdown.ranked()
+    # .com leads the distribution.
+    assert ranked[0][0] == "com"
+    assert breakdown.share("com") > 0.35
+    # Generic TLDs carry more than ~2/3 of the malvertising sites.
+    assert breakdown.generic_share > 0.60

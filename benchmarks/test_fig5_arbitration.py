@@ -1,0 +1,38 @@
+"""Benchmark: Figure 5 — ad networks involved in arbitration.
+
+Paper: both benign and malicious ads are sometimes served directly by the
+initial network; benign chains reach ~15 auctions with a decreasing trend;
+malicious chains reach ~30, still decreasing in absolute numbers but with a
+frequency bump in the middle; chains longer than 15 auctions are ≈2% of
+malvertisements; late auctions happen only among malvertising-implicated
+(shady) networks; the same networks re-buy the same slot repeatedly.
+"""
+
+from repro.analysis.arbitration import analyze_arbitration
+
+
+def test_fig5_arbitration(bench_results, benchmark):
+    analysis = benchmark(analyze_arbitration, bench_results)
+    print("\n" + analysis.render())
+
+    # Direct serving exists for both classes (chain length 1).
+    assert analysis.benign_lengths.get(1, 0) > 0
+    assert analysis.malicious_lengths.get(1, 0) > 0
+    # Benign chains top out far shorter than malicious ones.
+    assert analysis.max_benign_length <= 22
+    assert analysis.max_malicious_length > analysis.max_benign_length
+    assert analysis.max_malicious_length >= 18
+    # Long (>15) chains are a small share of malvertising (paper: ~2%),
+    # and essentially absent from benign traffic.
+    long_malicious = analysis.fraction_longer_than(15, malicious=True)
+    assert 0.002 < long_malicious < 0.15
+    assert analysis.fraction_longer_than(15, malicious=False) < 0.01
+    # Malicious chains are longer on average (the mid-chain bump).
+    assert analysis.mean_length(True) > analysis.mean_length(False) + 1.0
+    # Repeat participation: networks re-buy the same slot.
+    assert analysis.repeat_participation_impressions > 0
+    # Late auctions are dominated by shady networks.
+    late = analysis.late_hop_networks
+    assert late, "deep chains must exist"
+    assert late.get("shady", 0) > late.get("major", 0)
+    assert late.get("shady", 0) >= 0.8 * sum(late.values())

@@ -1,0 +1,19 @@
+"""Benchmark: §4.4 — the secure-environment (iframe sandbox) audit.
+
+Paper: "none of the websites that we crawled utilized this attribute to
+protect its users."
+"""
+
+from repro.analysis.sandbox import audit_sandbox_usage
+
+
+def test_sandbox_audit(bench_results, benchmark):
+    audit = benchmark(audit_sandbox_usage, bench_results)
+    print("\n" + audit.render())
+
+    assert audit.sites_serving_ads > 0
+    assert audit.total_ad_iframes > 0
+    # Zero adoption, exactly as the paper observed.
+    assert audit.sites_using_sandbox == 0
+    assert audit.sandboxed_ad_iframes == 0
+    assert audit.adoption_rate == 0.0

@@ -1,0 +1,16 @@
+"""Benchmark: every paper shape claim, machine-checked in one place.
+
+``repro.core.comparison`` codifies the EXPERIMENTS.md claims; this bench
+runs all of them against the shared bench-scale study.  A calibration
+regression fails here with the specific claim named.
+"""
+
+from repro.core.comparison import compare_to_paper
+
+
+def test_all_shape_claims(bench_results, benchmark):
+    report = benchmark(compare_to_paper, bench_results)
+    print("\n" + report.render())
+    failing = report.failing()
+    assert report.all_hold, \
+        f"claims failing: {[claim.claim_id for claim in failing]}"

@@ -1,0 +1,42 @@
+"""Benchmark: Table 1 — classification of malvertisements.
+
+Paper: Blacklists 4,794 / Suspicious redirections 1,396 / Heuristics 309 /
+Malicious executables 68 / Malicious Flash 31 / Model detection 3 —
+6,601 incidents over 673,596 unique ads (≈1%).
+
+The reproduction checks the *shape*: the same bucket ordering, blacklists
+as the dominant source, and a malicious fraction of the same order of
+magnitude (low single-digit percent at this reduced corpus size).
+"""
+
+from repro.analysis.tables import build_table1
+from repro.core.incidents import IncidentType
+
+
+def test_table1_classification(bench_results, benchmark):
+    table = benchmark(build_table1, bench_results)
+    print("\n" + table.render())
+
+    counts = table.counts
+    # Every row of the paper's table is populated.
+    assert table.total_incidents > 0
+    # Bucket ordering: blacklists dominate, redirections second, the
+    # file-level and model buckets are rare.
+    assert counts[IncidentType.BLACKLISTS] == max(counts.values())
+    assert counts[IncidentType.BLACKLISTS] > counts[IncidentType.SUSPICIOUS_REDIRECTIONS]
+    assert counts[IncidentType.SUSPICIOUS_REDIRECTIONS] >= counts[IncidentType.HEURISTICS]
+    assert counts[IncidentType.HEURISTICS] >= counts[IncidentType.MODEL_DETECTION]
+    assert counts[IncidentType.MODEL_DETECTION] <= 3
+    # "about 1% of all the collected advertisements show a malicious
+    # behavior" — same order of magnitude at reduced scale.
+    assert 0.003 < table.malicious_fraction < 0.05
+
+
+def test_corpus_scale(bench_results):
+    """The crawl must produce a corpus large enough for stable shares."""
+    corpus = bench_results.corpus
+    print(f"\ncorpus: {corpus.unique_ads} unique ads, "
+          f"{corpus.total_impressions} impressions "
+          f"(paper: 673,596 unique ads)")
+    assert corpus.unique_ads > 1500
+    assert corpus.total_impressions > corpus.unique_ads

@@ -1,0 +1,67 @@
+"""Click fraud: the scam that opens the paper's introduction.
+
+A criminal registers fraudster.biz as a publisher, points a botnet at its
+own ad slots, and collects per-click payouts.  This example generates a
+realistic click stream (four honest audiences + one botnet), runs the three
+classic detectors over it under each botnet attack profile, and prices the
+fraud with the economics layer.
+
+Run:  python examples/clickfraud_detection.py
+"""
+
+from repro.adnet.economics import AdMarket
+from repro.clickfraud.detectors import (
+    BloomDuplicateDetector,
+    CtrAnomalyDetector,
+    SlidingWindowDetector,
+)
+from repro.clickfraud.events import ATTACK_MODES, Botnet, ClickStreamBuilder, OrganicAudience
+from repro.clickfraud.evaluation import score_detector
+
+CAMPAIGNS = [f"cmp-{i}" for i in range(6)]
+STEPS = 40
+CPM_BID = 2.0
+
+
+def build_stream(mode: str):
+    builder = ClickStreamBuilder(seed=11)
+    for i in range(4):
+        builder.add_audience(OrganicAudience(
+            publisher_domain=f"honest{i}.com", ad_network="net-a",
+            campaigns=CAMPAIGNS, n_users=200, ctr=0.015))
+    builder.add_botnet(Botnet(
+        publisher_domain="fraudster.biz", ad_network="net-a",
+        campaigns=CAMPAIGNS, n_bots=40, mode=mode))
+    return builder.build(STEPS)
+
+
+def main() -> None:
+    market = AdMarket()
+    click_price = market.click_price(CPM_BID)
+    for mode in ATTACK_MODES:
+        stream = build_stream(mode)
+        fraud_clicks = sum(e.fraudulent for e in stream)
+        print(f"--- attack mode: {mode} ---")
+        print(f"{len(stream)} clicks total; {fraud_clicks} fraudulent; "
+              f"fraudster would earn ${fraud_clicks * click_price:,.2f} "
+              f"at ${click_price:.3f}/click")
+        detectors = [
+            ("sliding-window dedup ", SlidingWindowDetector(window=3)),
+            ("bloom-filter dedup   ", BloomDuplicateDetector(window=3,
+                                                             capacity=200_000)),
+            ("publisher CTR anomaly", CtrAnomalyDetector(factor=2.5)),
+        ]
+        for name, detector in detectors:
+            score = score_detector(stream, detector.flag_stream(stream))
+            blocked_revenue = score.true_positives * click_price
+            print(f"  {score.render(name)}  "
+                  f"-> ${blocked_revenue:,.2f} of fraud refused")
+        print()
+
+    print("takeaway: duplicate detection wins against duplicate-heavy bots;\n"
+          "distributed low-rate botnets require aggregate (CTR) anomaly\n"
+          "detection — the arms race the paper's related work describes.")
+
+
+if __name__ == "__main__":
+    main()

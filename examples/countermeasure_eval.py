@@ -1,0 +1,75 @@
+"""Evaluate the paper's §5 countermeasures side by side.
+
+Runs the baseline study, then re-runs it under each proposed defence:
+
+1. a shared rejected-creative blacklist across ad networks (§5.1);
+2. arbitration penalties for networks caught serving malvertising (§5.1);
+3. client-side ad blocking with EasyList (§5.2) — including its cost, the
+   publisher-revenue "domino effect" the paper warns about;
+4. a topology-aware ad-path alarm in the browser (§5.2, after Li et al.).
+
+Run:  python examples/countermeasure_eval.py
+"""
+
+from repro.analysis.networks import analyze_networks
+from repro.core.study import Study, StudyConfig, run_study
+from repro.countermeasures.adblock import simulate_adblock
+from repro.countermeasures.browser_defense import AdPathDefense
+from repro.countermeasures.penalties import PenaltyPolicy, apply_penalties
+from repro.countermeasures.shared_blacklist import apply_shared_blacklist
+from repro.datasets.world import WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+
+PARAMS = WorldParams(n_top_sites=25, n_bottom_sites=25, n_other_sites=25,
+                     n_feed_sites=8)
+CONFIG = StudyConfig(seed=99, days=4, refreshes_per_visit=4,
+                     world_params=PARAMS)
+
+
+def malicious_impressions(results) -> int:
+    return sum(r.n_impressions for r in results.malicious_records())
+
+
+def main() -> None:
+    print("running baseline study...")
+    baseline = run_study(CONFIG)
+    base_incidents = baseline.n_incidents
+    base_impressions = malicious_impressions(baseline)
+    print(f"baseline: {base_incidents} incidents, "
+          f"{base_impressions} malicious impressions\n")
+
+    # 1. Shared submission blacklist.
+    world = build_world(CONFIG.seed, PARAMS)
+    shared = apply_shared_blacklist(world.networks, world.campaigns,
+                                    participation=1.0)
+    defended = Study(CONFIG, world=world).run()
+    print(f"shared blacklist ({len(shared.rejected_campaigns)} campaigns listed):")
+    print(f"  incidents {base_incidents} -> {defended.n_incidents}, "
+          f"malicious impressions {base_impressions} -> "
+          f"{malicious_impressions(defended)}\n")
+
+    # 2. Arbitration penalties.
+    world = build_world(CONFIG.seed, PARAMS)
+    outcome = apply_penalties(world.networks, analyze_networks(baseline),
+                              PenaltyPolicy(max_malicious_ratio=0.10))
+    punished = Study(CONFIG, world=world).run()
+    print(f"arbitration penalties (banned: {', '.join(outcome.banned_networks)}):")
+    print(f"  incidents {base_incidents} -> {punished.n_incidents}, "
+          f"malicious impressions {base_impressions} -> "
+          f"{malicious_impressions(punished)}\n")
+
+    # 3. Client-side ad blocking.
+    engine = FilterEngine.from_text(baseline.world.easylist_text)
+    adblock = simulate_adblock(baseline, engine)
+    print("client-side adblock:")
+    print(f"  {adblock.render()}\n")
+
+    # 4. Ad-path browser defence.
+    defense = AdPathDefense.train_from_results(baseline)
+    evaluation = defense.evaluate(baseline)
+    print("ad-path browser defence (trained on observed incident paths):")
+    print(f"  {evaluation.render()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Forensic walkthrough of a single malvertisement.
+
+Runs a small study, picks one flagged advertisement per incident type, and
+prints what the oracle actually saw: the creative source, the behavioural
+events from the honeyclient, the arbitration chain it arrived through, the
+blacklist evidence, and the VirusTotal consensus on any downloads.
+
+Run:  python examples/inspect_malvertisement.py
+"""
+
+from repro.core.incidents import INCIDENT_LABELS
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+def describe(record, verdict) -> None:
+    report = verdict.wepawet
+    print("=" * 72)
+    print(f"{record.ad_id}  ->  {INCIDENT_LABELS[verdict.incident_type]}")
+    print("=" * 72)
+    print(f"first seen at : {record.first_seen_url}")
+    print(f"impressions   : {record.n_impressions} on "
+          f"{len(record.publisher_domains)} site(s)")
+    chain = record.impressions[0].chain_domains
+    print(f"arbitration   : {' -> '.join(chain)} ({len(chain)} auctions)")
+
+    print("\ncreative source (first 300 chars):")
+    print("  " + record.html[:300].replace("\n", "\n  "))
+
+    print("\nhoneyclient behaviour:")
+    features = report.features
+    for name, value in vars(features).items():
+        if value:
+            print(f"  {name:<28} {value:g}")
+    if report.redirection_reasons:
+        print(f"  redirect signals: {', '.join(report.redirection_reasons)}")
+    if report.heuristic_reasons:
+        print(f"  drive-by signals: {', '.join(report.heuristic_reasons)}")
+    if report.model_detection:
+        print(f"  anomaly model score: {report.model_score:.1f} "
+              f"(threshold {40.0:.0f})")
+
+    if verdict.blacklist_hits:
+        print("\nblacklist evidence:")
+        for hit in verdict.blacklist_hits:
+            print(f"  {hit.domain} on {hit.n_lists} lists "
+                  f"(e.g. {', '.join(hit.list_names[:3])}...)")
+
+    if verdict.vt_reports:
+        print("\nvirustotal results for downloads:")
+        for vt in verdict.vt_reports:
+            print(f"  sha256 {vt.sha256[:16]}...: {vt.positives}/{vt.n_engines} "
+                  f"engines flag it")
+            for detection in vt.detections[:4]:
+                print(f"    {detection}")
+    print()
+
+
+def main() -> None:
+    params = WorldParams(n_top_sites=20, n_bottom_sites=20, n_other_sites=20,
+                         n_feed_sites=8)
+    print("running study...")
+    results = run_study(StudyConfig(seed=7, days=3, refreshes_per_visit=4,
+                                    world_params=params))
+    print(f"{results.n_incidents} incidents in a corpus of "
+          f"{results.corpus.unique_ads} unique ads\n")
+
+    shown: set[str] = set()
+    for record in results.malicious_records():
+        verdict = results.verdicts[record.ad_id]
+        if verdict.incident_type in shown:
+            continue
+        shown.add(verdict.incident_type)
+        describe(record, verdict)
+
+
+if __name__ == "__main__":
+    main()

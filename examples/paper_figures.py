@@ -1,0 +1,64 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Produces the text renditions of Table 1 and Figures 1-5, the §4.2 cluster
+shares, and the §4.4 sandbox audit, each annotated with the paper's
+reported values for comparison.
+
+Run:  python examples/paper_figures.py [--big]
+
+``--big`` uses the benchmark-scale world (slower, tighter shapes).
+"""
+
+import sys
+
+from repro.analysis.arbitration import analyze_arbitration
+from repro.analysis.categories import categorize_malvertising_sites
+from repro.analysis.clusters import analyze_clusters
+from repro.analysis.networks import analyze_networks
+from repro.analysis.sandbox import audit_sandbox_usage
+from repro.analysis.tables import build_table1
+from repro.analysis.tlds import tld_distribution
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+def main() -> None:
+    big = "--big" in sys.argv
+    if big:
+        params = WorldParams(n_top_sites=60, n_bottom_sites=60,
+                             n_other_sites=60, n_feed_sites=15)
+        config = StudyConfig(seed=2014, days=8, refreshes_per_visit=5,
+                             world_params=params)
+    else:
+        params = WorldParams(n_top_sites=25, n_bottom_sites=25,
+                             n_other_sites=25, n_feed_sites=8)
+        config = StudyConfig(seed=2014, days=4, refreshes_per_visit=4,
+                             world_params=params)
+
+    print(f"running the full study ({'benchmark' if big else 'small'} scale)...")
+    results = run_study(config)
+    print(f"corpus: {results.corpus.unique_ads} unique ads / "
+          f"{results.corpus.total_impressions} impressions "
+          f"(paper: 673,596 unique ads)\n")
+
+    print(build_table1(results).render())
+    print()
+    networks = analyze_networks(results)
+    print(networks.render_figure1())
+    print()
+    print(networks.render_figure2())
+    print()
+    print("§4.2 cluster shares:")
+    print(analyze_clusters(results).render())
+    print()
+    print(categorize_malvertising_sites(results).render())
+    print()
+    print(tld_distribution(results).render())
+    print()
+    print(analyze_arbitration(results).render())
+    print()
+    print(audit_sandbox_usage(results).render())
+
+
+if __name__ == "__main__":
+    main()

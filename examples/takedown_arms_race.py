@@ -1,0 +1,59 @@
+"""The takedown arms race behind the NX-redirect heuristic.
+
+The paper's honeyclient treats redirects into non-existent domains as a
+cloaking/abuse signal.  Those dead ends are the residue of an arms race:
+registrars take down reported malvertising domains, miscreants rotate to
+fresh infrastructure, blacklists lag the rotation.  This example runs a
+longitudinal crawl with those dynamics live and prints the day-by-day
+timeline.
+
+Run:  python examples/takedown_arms_race.py
+"""
+
+from repro.analysis.temporal import summarize_run
+from repro.core.longitudinal import LongitudinalConfig, LongitudinalStudy
+from repro.datasets.world import WorldParams
+
+
+def main() -> None:
+    config = LongitudinalConfig(
+        seed=2014,
+        days=10,
+        refreshes_per_visit=3,
+        takedown_probability=0.7,   # registrar responsiveness
+        rotation_probability=0.8,   # miscreant persistence
+        listing_lag_days=2,         # blacklist catch-up time
+        world_params=WorldParams(n_top_sites=15, n_bottom_sites=15,
+                                 n_other_sites=15, n_feed_sites=6),
+    )
+    print("running 10-day longitudinal crawl with live takedowns...")
+    study = LongitudinalStudy(config).run()
+
+    summary = summarize_run(study.day_stats, study.authority)
+    print("\n" + summary.render())
+
+    print("\ntakedown log:")
+    for event in study.authority.takedowns[:12]:
+        rotation = f" -> rotated to {event.rotated_to}" if event.rotated_to else \
+            " (campaign gave up)"
+        print(f"  day {event.day}: {event.domain} "
+              f"({event.campaign_id}) taken down{rotation}")
+    if len(study.authority.takedowns) > 12:
+        print(f"  ... and {len(study.authority.takedowns) - 12} more")
+
+    print("\nblacklist catch-up log:")
+    for listing in study.authority.listings[:8]:
+        print(f"  day {listing.day}: {listing.domain} listed on "
+              f"{listing.n_lists} feeds")
+
+    lifetimes = study.authority.campaign_lifetimes()
+    if lifetimes:
+        mean_lifetime = sum(lifetimes.values()) / len(lifetimes)
+        print(f"\n{len(lifetimes)} campaigns hit by takedowns; mean "
+              f"re-takedown interval {mean_lifetime:.1f} days — fresh domains "
+              "survive until the lists catch up, exactly the lag the "
+              "paper's shared-blacklist countermeasure (§5.1) would close.")
+
+
+if __name__ == "__main__":
+    main()

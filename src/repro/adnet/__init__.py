@@ -1,0 +1,38 @@
+"""Ad-ecosystem simulator.
+
+This package models the entities and mechanisms of the 2014 web advertising
+ecosystem the paper measured: advertisers run *campaigns* (benign and six
+malicious archetypes), *ad networks* of varying size and filtering quality
+accept campaigns into their inventory, *publishers* dedicate iframe slots to
+a primary network, and ad requests flow through *arbitration* — networks
+reselling slots to partner networks — before a creative is finally served.
+
+Everything is exposed to the measurement pipeline only through real HTTP:
+the ad servers respond with redirects (arbitration hops) and HTML/script
+creatives, so the crawler and the oracles must rediscover the ecosystem's
+structure exactly as the paper's pipeline did.
+"""
+
+from repro.adnet.entities import (
+    AdNetwork,
+    Advertiser,
+    Campaign,
+    CampaignKind,
+    NetworkTier,
+    Publisher,
+)
+from repro.adnet.arbitration import ArbitrationPolicy
+from repro.adnet.filtering import screen_campaign
+from repro.adnet.ecosystem import Ecosystem
+
+__all__ = [
+    "AdNetwork",
+    "Advertiser",
+    "ArbitrationPolicy",
+    "Campaign",
+    "CampaignKind",
+    "Ecosystem",
+    "NetworkTier",
+    "Publisher",
+    "screen_campaign",
+]

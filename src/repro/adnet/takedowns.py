@@ -1,0 +1,156 @@
+"""Takedown dynamics: the arms race behind NX-domain redirects.
+
+The paper's honeyclient kept seeing advertisements redirect into
+non-existent domains.  That is what burned malvertising infrastructure
+looks like: registrars and hosters take down reported domains, miscreants
+rotate to fresh ones, and the blacklists lag the rotation.  This module
+implements that loop so longitudinal crawls observe it:
+
+* :class:`TakedownAuthority.process_day` takes down blacklist-flagged
+  campaign domains observed in that day's ad traffic (with a reporting
+  delay);
+* taken-down campaigns *rotate*: fresh domains are registered and wired
+  with the same infrastructure;
+* blacklists catch up to rotated domains after ``listing_lag_days``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adnet.entities import Campaign, CampaignKind
+from repro.datasets.world import BLACKLIST_THRESHOLD, Blacklist, World
+from repro.oracles.blacklists import BlacklistTracker
+from repro.util.rand import fork
+
+
+@dataclass
+class TakedownEvent:
+    """One domain removed from the DNS."""
+
+    day: int
+    domain: str
+    campaign_id: str
+    rotated_to: Optional[str] = None
+
+
+@dataclass
+class ListingEvent:
+    """A rotated domain catching up onto blacklists."""
+
+    day: int
+    domain: str
+    n_lists: int
+
+
+class TakedownAuthority:
+    """Processes abuse reports against the simulated DNS.
+
+    Parameters
+    ----------
+    world:
+        The simulated web (mutated in place: DNS, campaigns, blacklists).
+    takedown_probability:
+        Chance per day that a *flagged, observed* domain actually gets
+        taken down (registrar responsiveness).
+    rotation_probability:
+        Chance the campaign rotates to fresh infrastructure after a
+        takedown (vs giving up).
+    listing_lag_days:
+        How long until blacklists list a rotated domain.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        takedown_probability: float = 0.5,
+        rotation_probability: float = 0.7,
+        listing_lag_days: int = 2,
+    ) -> None:
+        self.world = world
+        self.takedown_probability = takedown_probability
+        self.rotation_probability = rotation_probability
+        self.listing_lag_days = listing_lag_days
+        self.takedowns: list[TakedownEvent] = []
+        self.listings: list[ListingEvent] = []
+        self._rand = fork(world.seed, "takedowns")
+        self._tracker = BlacklistTracker(world.blacklists, BLACKLIST_THRESHOLD)
+        self._pending_listings: list[tuple[int, str]] = []  # (due day, domain)
+        self._rotation_counter = 0
+
+    # -- per-day processing ------------------------------------------------------
+
+    def process_day(self, day: int, observed_domains: Iterable[str]) -> list[TakedownEvent]:
+        """React to one crawl day's observed ad-serving domains."""
+        self._apply_due_listings(day)
+        events: list[TakedownEvent] = []
+        observed = {d.lower() for d in observed_domains}
+        for campaign in self.world.campaigns:
+            if not campaign.is_malicious:
+                continue
+            for domain in list(campaign.domains):
+                if domain not in observed:
+                    continue
+                if not self.world.resolver.exists(domain):
+                    continue
+                if not self._tracker.is_flagged(domain):
+                    continue
+                if self._rand.random() >= self.takedown_probability:
+                    continue
+                events.append(self._take_down(day, campaign, domain))
+        self.takedowns.extend(events)
+        return events
+
+    def _take_down(self, day: int, campaign: Campaign, domain: str) -> TakedownEvent:
+        self.world.resolver.deregister(domain)
+        event = TakedownEvent(day, domain, campaign.campaign_id)
+        if self._rand.random() < self.rotation_probability:
+            event.rotated_to = self._rotate(day, campaign, domain)
+        return event
+
+    def _rotate(self, day: int, campaign: Campaign, burned: str) -> str:
+        """Stand up replacement infrastructure for a burned domain."""
+        self._rotation_counter += 1
+        label, _, suffix = burned.partition(".")
+        fresh = f"{label}-r{self._rotation_counter}.{suffix or 'com'}"
+        self.world.resolver.register(fresh)
+        self.world.client.mount(
+            fresh, self.world.ecosystem._campaign_server_for_domain(fresh))
+        if campaign.serving_domain == burned:
+            campaign.serving_domain = fresh
+        if campaign.landing_domain == burned:
+            campaign.landing_domain = fresh
+        if campaign.payload_domain == burned:
+            campaign.payload_domain = fresh
+        # The lists will find the fresh domain, eventually.
+        self._pending_listings.append((day + self.listing_lag_days, fresh))
+        return fresh
+
+    def _apply_due_listings(self, day: int) -> None:
+        due = [(d, domain) for d, domain in self._pending_listings if d <= day]
+        self._pending_listings = [(d, domain) for d, domain in self._pending_listings
+                                  if d > day]
+        for _, domain in due:
+            n_lists = self._rand.randrange(BLACKLIST_THRESHOLD + 1, 20)
+            chosen = self._rand.sample(range(len(self.world.blacklists)), n_lists)
+            for index in chosen:
+                feed = self.world.blacklists[index]
+                self.world.blacklists[index] = Blacklist(
+                    feed.name, feed.kind, feed.domains | {domain})
+            self.listings.append(ListingEvent(day, domain, n_lists))
+        if due:
+            # The tracker reads feed objects; rebuild it over the new ones.
+            self._tracker = BlacklistTracker(self.world.blacklists,
+                                             BLACKLIST_THRESHOLD)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def campaign_lifetimes(self) -> dict[str, int]:
+        """Days from first to last takedown per campaign (0 if single event)."""
+        first: dict[str, int] = {}
+        last: dict[str, int] = {}
+        for event in self.takedowns:
+            first.setdefault(event.campaign_id, event.day)
+            last[event.campaign_id] = event.day
+        return {cid: last[cid] - first[cid] for cid in first}

@@ -1,0 +1,268 @@
+"""AdScript AST node definitions.
+
+Plain dataclasses, one per syntactic form.  The interpreter dispatches on
+node type; nothing here contains behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Node:
+    """Base class for AST nodes."""
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class NullLiteral(Node):
+    line: int = 0
+
+
+@dataclass
+class UndefinedLiteral(Node):
+    line: int = 0
+
+
+@dataclass
+class ThisExpression(Node):
+    line: int = 0
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: list[Node]
+    line: int = 0
+
+
+@dataclass
+class ObjectLiteral(Node):
+    entries: list[tuple[str, Node]]
+    line: int = 0
+
+
+@dataclass
+class FunctionExpression(Node):
+    name: Optional[str]
+    params: list[str]
+    body: list[Node]
+    line: int = 0
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str  # '-', '+', '!', '~', 'typeof', 'delete'
+    operand: Node
+    line: int = 0
+
+
+@dataclass
+class UpdateExpression(Node):
+    op: str  # '++' or '--'
+    target: Node
+    prefix: bool
+    line: int = 0
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class LogicalOp(Node):
+    op: str  # '&&' or '||'
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class Conditional(Node):
+    test: Node
+    consequent: Node
+    alternate: Node
+    line: int = 0
+
+
+@dataclass
+class Assignment(Node):
+    op: str  # '=', '+=', ...
+    target: Node  # Identifier or Member
+    value: Node
+    line: int = 0
+
+
+@dataclass
+class Member(Node):
+    obj: Node
+    prop: Node  # StringLiteral for dot access, arbitrary for [] access
+    computed: bool
+    line: int = 0
+
+
+@dataclass
+class Call(Node):
+    callee: Node
+    args: list[Node]
+    line: int = 0
+
+
+@dataclass
+class New(Node):
+    callee: Node
+    args: list[Node]
+    line: int = 0
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Program(Node):
+    body: list[Node]
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node
+    line: int = 0
+
+
+@dataclass
+class VarDeclaration(Node):
+    declarations: list[tuple[str, Optional[Node]]]
+    line: int = 0
+
+
+@dataclass
+class Block(Node):
+    body: list[Node]
+    line: int = 0
+
+
+@dataclass
+class IfStatement(Node):
+    test: Node
+    consequent: Node
+    alternate: Optional[Node]
+    line: int = 0
+
+
+@dataclass
+class WhileStatement(Node):
+    test: Node
+    body: Node
+    line: int = 0
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node]
+    test: Optional[Node]
+    update: Optional[Node]
+    body: Node
+    line: int = 0
+
+
+@dataclass
+class ForInStatement(Node):
+    var_name: str
+    obj: Node
+    body: Node
+    line: int = 0
+
+
+@dataclass
+class DoWhileStatement(Node):
+    body: Node
+    test: Node
+    line: int = 0
+
+
+@dataclass
+class SwitchCase(Node):
+    test: Optional[Node]  # None for 'default:'
+    body: list[Node] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SwitchStatement(Node):
+    discriminant: Node
+    cases: list[SwitchCase] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ReturnStatement(Node):
+    argument: Optional[Node]
+    line: int = 0
+
+
+@dataclass
+class BreakStatement(Node):
+    line: int = 0
+
+
+@dataclass
+class ContinueStatement(Node):
+    line: int = 0
+
+
+@dataclass
+class ThrowStatement(Node):
+    argument: Node
+    line: int = 0
+
+
+@dataclass
+class TryStatement(Node):
+    block: Block
+    catch_param: Optional[str]
+    catch_block: Optional[Block]
+    finally_block: Optional[Block]
+    line: int = 0
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    name: str
+    params: list[str]
+    body: list[Node]
+    line: int = 0
+
+
+@dataclass
+class EmptyStatement(Node):
+    line: int = 0

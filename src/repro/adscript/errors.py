@@ -1,0 +1,39 @@
+"""AdScript error types."""
+
+from __future__ import annotations
+
+
+class AdScriptError(Exception):
+    """Base class for all AdScript failures."""
+
+
+class LexError(AdScriptError):
+    """Invalid character stream."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class ParseError(AdScriptError):
+    """Token stream does not form a valid program."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class ScriptRuntimeError(AdScriptError):
+    """Raised when script evaluation fails (type errors, unknown names...)."""
+
+
+class BudgetExceededError(AdScriptError):
+    """The script exceeded its execution-step budget (likely an infinite loop)."""
+
+
+class ThrowSignal(Exception):
+    """Internal control-flow signal for ``throw`` — carries the thrown value."""
+
+    def __init__(self, value: object) -> None:
+        super().__init__(repr(value))
+        self.value = value

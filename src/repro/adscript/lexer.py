@@ -1,0 +1,170 @@
+"""AdScript lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adscript.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "var", "function", "if", "else", "while", "for", "return",
+        "break", "continue", "true", "false", "null", "undefined",
+        "typeof", "new", "throw", "try", "catch", "delete", "in", "this",
+        "do", "switch", "case", "default",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "===", "!==", ">>>", "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "?", ":",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".", "&", "|", "^", "~",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token."""
+
+    kind: str  # 'num' | 'str' | 'name' | 'keyword' | 'op' | 'eof'
+    value: str
+    line: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.value in ops
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.kind == "keyword" and self.value in keywords
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+            "v": "\v", "0": "\0", "\\": "\\", "'": "'", '"': '"', "/": "/"}
+
+_ASCII_DIGITS = "0123456789"
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII digits only: str.isdigit() accepts Unicode digits float() rejects."""
+    return ch in _ASCII_DIGITS
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize AdScript source into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if _is_digit(ch) or (ch == "." and pos + 1 < n and _is_digit(source[pos + 1])):
+            tok, pos = _read_number(source, pos, line)
+            tokens.append(tok)
+            continue
+        if ch in "\"'":
+            tok, pos, line = _read_string(source, pos, line)
+            tokens.append(tok)
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] in "_$"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _read_number(source: str, pos: int, line: int) -> tuple[Token, int]:
+    start = pos
+    n = len(source)
+    if source.startswith(("0x", "0X"), pos):
+        pos += 2
+        while pos < n and source[pos] in "0123456789abcdefABCDEF":
+            pos += 1
+        if pos == start + 2:
+            raise LexError("malformed hex literal", line)
+        return Token("num", str(int(source[start:pos], 16)), line), pos
+    while pos < n and _is_digit(source[pos]):
+        pos += 1
+    if pos < n and source[pos] == ".":
+        pos += 1
+        while pos < n and _is_digit(source[pos]):
+            pos += 1
+    if pos < n and source[pos] in "eE":
+        mark = pos
+        pos += 1
+        if pos < n and source[pos] in "+-":
+            pos += 1
+        if pos < n and _is_digit(source[pos]):
+            while pos < n and _is_digit(source[pos]):
+                pos += 1
+        else:
+            pos = mark  # not an exponent after all
+    return Token("num", source[start:pos], line), pos
+
+
+def _read_string(source: str, pos: int, line: int) -> tuple[Token, int, int]:
+    quote = source[pos]
+    pos += 1
+    n = len(source)
+    parts: list[str] = []
+    while pos < n:
+        ch = source[pos]
+        if ch == quote:
+            return Token("str", "".join(parts), line), pos + 1, line
+        if ch == "\n":
+            raise LexError("unterminated string literal", line)
+        if ch == "\\":
+            if pos + 1 >= n:
+                raise LexError("bad escape at end of input", line)
+            esc = source[pos + 1]
+            if esc == "x" and pos + 3 < n:
+                try:
+                    parts.append(chr(int(source[pos + 2:pos + 4], 16)))
+                    pos += 4
+                    continue
+                except ValueError as exc:
+                    raise LexError("malformed \\x escape", line) from exc
+            if esc == "u" and pos + 5 < n:
+                try:
+                    parts.append(chr(int(source[pos + 2:pos + 6], 16)))
+                    pos += 6
+                    continue
+                except ValueError as exc:
+                    raise LexError("malformed \\u escape", line) from exc
+            parts.append(_ESCAPES.get(esc, esc))
+            pos += 2
+            continue
+        parts.append(ch)
+        pos += 1
+    raise LexError("unterminated string literal", line)

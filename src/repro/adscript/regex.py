@@ -1,0 +1,491 @@
+"""A from-scratch regular-expression engine for AdScript.
+
+Ad scripts use regexes for UA sniffing and URL munging; the engine here
+implements the practically-used subset with a recursive backtracking
+matcher:
+
+* literals, ``.``, escapes ``\\d \\D \\w \\W \\s \\S``
+* character classes ``[abc]``, ranges ``[a-z]``, negation ``[^...]``
+* quantifiers ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}`` (greedy,
+  with the non-greedy ``?`` suffix)
+* alternation ``|`` and capturing groups ``(...)`` /
+  non-capturing ``(?:...)``
+* anchors ``^`` and ``$``
+* flags: ``i`` (ignore case), ``g`` (global, used by replace/match)
+
+Regex *literals* (``/.../``) are not lexed — AdScript code constructs
+patterns with ``new RegExp("...", "gi")``, which real obfuscated droppers
+do anyway to hide patterns from static scanners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RegexSyntaxError(ValueError):
+    """The pattern is not valid."""
+
+
+# -- AST ----------------------------------------------------------------------
+
+
+@dataclass
+class _Char:
+    ch: str
+
+
+@dataclass
+class _AnyChar:
+    pass
+
+
+@dataclass
+class _CharClass:
+    negated: bool
+    singles: frozenset[str]
+    ranges: tuple[tuple[str, str], ...]
+
+    def matches(self, ch: str, ignore_case: bool) -> bool:
+        candidates = {ch, ch.lower(), ch.upper()} if ignore_case else {ch}
+        hit = any(
+            c in self.singles or any(lo <= c <= hi for lo, hi in self.ranges)
+            for c in candidates
+        )
+        return hit != self.negated
+
+
+@dataclass
+class _Group:
+    index: Optional[int]  # None for non-capturing
+    body: "_Alternation"
+
+
+@dataclass
+class _Anchor:
+    kind: str  # '^' or '$'
+
+
+@dataclass
+class _Repeat:
+    node: object
+    minimum: int
+    maximum: Optional[int]  # None = unbounded
+    greedy: bool = True
+
+
+@dataclass
+class _Sequence:
+    items: list
+
+
+@dataclass
+class _Alternation:
+    options: list
+
+
+_DIGITS = frozenset("0123456789")
+_WORD = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+_SPACE = frozenset(" \t\n\r\f\v")
+
+_ESCAPE_CLASSES = {
+    "d": _CharClass(False, _DIGITS, ()),
+    "D": _CharClass(True, _DIGITS, ()),
+    "w": _CharClass(False, _WORD, ()),
+    "W": _CharClass(True, _WORD, ()),
+    "s": _CharClass(False, _SPACE, ()),
+    "S": _CharClass(True, _SPACE, ()),
+}
+
+_ESCAPE_LITERALS = {"n": "\n", "t": "\t", "r": "\r", "f": "\f", "v": "\v", "0": "\0"}
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+        self.group_count = 0
+
+    def parse(self) -> _Alternation:
+        alternation = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexSyntaxError(f"unexpected {self.pattern[self.pos]!r} "
+                                   f"at {self.pos}")
+        return alternation
+
+    def _alternation(self) -> _Alternation:
+        options = [self._sequence()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._sequence())
+        return _Alternation(options)
+
+    def _sequence(self) -> _Sequence:
+        items = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                return _Sequence(items)
+            items.append(self._quantified())
+
+    def _quantified(self):
+        atom = self._atom()
+        ch = self._peek()
+        if ch == "*":
+            self.pos += 1
+            return self._maybe_lazy(_Repeat(atom, 0, None))
+        if ch == "+":
+            self.pos += 1
+            return self._maybe_lazy(_Repeat(atom, 1, None))
+        if ch == "?":
+            self.pos += 1
+            return self._maybe_lazy(_Repeat(atom, 0, 1))
+        if ch == "{":
+            bounds = self._try_bounds()
+            if bounds is not None:
+                minimum, maximum = bounds
+                return self._maybe_lazy(_Repeat(atom, minimum, maximum))
+        return atom
+
+    def _maybe_lazy(self, repeat: _Repeat) -> _Repeat:
+        if self._peek() == "?":
+            self.pos += 1
+            repeat.greedy = False
+        return repeat
+
+    def _try_bounds(self) -> Optional[tuple[int, Optional[int]]]:
+        end = self.pattern.find("}", self.pos)
+        if end == -1:
+            return None  # literal '{'
+        body = self.pattern[self.pos + 1:end]
+        if not body or not all(c in "0123456789," for c in body) or body.count(",") > 1:
+            return None
+        self.pos = end + 1
+        if "," not in body:
+            n = int(body)
+            return n, n
+        low, high = body.split(",")
+        minimum = int(low) if low else 0
+        maximum = int(high) if high else None
+        if maximum is not None and maximum < minimum:
+            raise RegexSyntaxError("bad repeat bounds")
+        return minimum, maximum
+
+    def _atom(self):
+        ch = self._peek()
+        if ch is None:
+            raise RegexSyntaxError("unexpected end of pattern")
+        if ch == "(":
+            self.pos += 1
+            capturing = True
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+                capturing = False
+            elif self._peek() == "?":
+                raise RegexSyntaxError("unsupported group modifier")
+            index = None
+            if capturing:
+                self.group_count += 1
+                index = self.group_count
+            body = self._alternation()
+            if self._peek() != ")":
+                raise RegexSyntaxError("missing ')'")
+            self.pos += 1
+            return _Group(index, body)
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self.pos += 1
+            return _AnyChar()
+        if ch in "^$":
+            self.pos += 1
+            return _Anchor(ch)
+        if ch == "\\":
+            return self._escape()
+        if ch in "*+?":
+            raise RegexSyntaxError(f"nothing to repeat at {self.pos}")
+        self.pos += 1
+        return _Char(ch)
+
+    def _escape(self):
+        self.pos += 1
+        ch = self._peek()
+        if ch is None:
+            raise RegexSyntaxError("dangling backslash")
+        self.pos += 1
+        if ch in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[ch]
+        if ch in _ESCAPE_LITERALS:
+            return _Char(_ESCAPE_LITERALS[ch])
+        if ch == "x" and self.pos + 2 <= len(self.pattern):
+            hex2 = self.pattern[self.pos:self.pos + 2]
+            if all(c in "0123456789abcdefABCDEF" for c in hex2) and len(hex2) == 2:
+                self.pos += 2
+                return _Char(chr(int(hex2, 16)))
+        return _Char(ch)  # escaped metachar or identity escape
+
+    def _char_class(self) -> _CharClass:
+        self.pos += 1  # '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self.pos += 1
+        singles: set[str] = set()
+        ranges: list[tuple[str, str]] = []
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise RegexSyntaxError("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                return _CharClass(negated, frozenset(singles), tuple(ranges))
+            first = False
+            if ch == "\\":
+                node = self._escape()
+                if isinstance(node, _CharClass):
+                    singles |= node.singles
+                    ranges.extend(node.ranges)
+                    # Negated escape classes inside [] are rare; unsupported.
+                    continue
+                ch = node.ch
+            else:
+                self.pos += 1
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                    self.pattern[self.pos + 1] != "]":
+                self.pos += 1
+                hi = self._peek()
+                if hi == "\\":
+                    hi_node = self._escape()
+                    if not isinstance(hi_node, _Char):
+                        raise RegexSyntaxError("bad range endpoint")
+                    hi = hi_node.ch
+                else:
+                    self.pos += 1
+                if hi is None or hi < ch:
+                    raise RegexSyntaxError("bad character range")
+                ranges.append((ch, hi))
+            else:
+                singles.add(ch)
+
+    def _peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+
+# -- matcher ------------------------------------------------------------------
+
+
+@dataclass
+class MatchResult:
+    """A successful match."""
+
+    start: int
+    end: int
+    groups: dict[int, tuple[int, int]]
+    text: str
+
+    @property
+    def matched(self) -> str:
+        return self.text[self.start:self.end]
+
+    def group(self, index: int) -> Optional[str]:
+        if index == 0:
+            return self.matched
+        span = self.groups.get(index)
+        if span is None:
+            return None
+        return self.text[span[0]:span[1]]
+
+
+_MAX_BACKTRACK_STEPS = 200_000
+
+
+class RegexBudgetError(RuntimeError):
+    """Catastrophic backtracking guard tripped."""
+
+
+class Regex:
+    """A compiled pattern."""
+
+    def __init__(self, pattern: str, flags: str = "") -> None:
+        unknown = set(flags) - set("gim")
+        if unknown:
+            raise RegexSyntaxError(f"unsupported flags: {''.join(sorted(unknown))}")
+        self.pattern = pattern
+        self.flags = flags
+        self.ignore_case = "i" in flags
+        self.global_ = "g" in flags
+        parser = _Parser(pattern)
+        self._ast = parser.parse()
+        self.n_groups = parser.group_count
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, text: str, start: int = 0) -> Optional[MatchResult]:
+        """Find the leftmost match at or after ``start``."""
+        for begin in range(start, len(text) + 1):
+            result = self._match_here(text, begin)
+            if result is not None:
+                return result
+        return None
+
+    def test(self, text: str) -> bool:
+        return self.search(text) is not None
+
+    def find_all(self, text: str) -> list[MatchResult]:
+        """All non-overlapping matches (what the ``g`` flag enables)."""
+        out: list[MatchResult] = []
+        pos = 0
+        while pos <= len(text):
+            result = self.search(text, pos)
+            if result is None:
+                break
+            out.append(result)
+            pos = result.end + 1 if result.end == result.start else result.end
+        return out
+
+    def replace(self, text: str, replacement: str) -> str:
+        """Replace the first (or all, with ``g``) matches.
+
+        Supports ``$1``..``$9`` group references and ``$&`` in the
+        replacement, like JS ``String.prototype.replace``.
+        """
+        matches = self.find_all(text) if self.global_ else \
+            ([self.search(text)] if self.search(text) else [])
+        out: list[str] = []
+        cursor = 0
+        for match in matches:
+            out.append(text[cursor:match.start])
+            out.append(self._expand(replacement, match))
+            cursor = match.end
+        out.append(text[cursor:])
+        return "".join(out)
+
+    def _expand(self, replacement: str, match: MatchResult) -> str:
+        out: list[str] = []
+        i = 0
+        while i < len(replacement):
+            ch = replacement[i]
+            if ch == "$" and i + 1 < len(replacement):
+                nxt = replacement[i + 1]
+                if nxt == "&":
+                    out.append(match.matched)
+                    i += 2
+                    continue
+                if nxt.isdigit() and nxt != "0":
+                    group = match.group(int(nxt))
+                    out.append(group or "")
+                    i += 2
+                    continue
+                if nxt == "$":
+                    out.append("$")
+                    i += 2
+                    continue
+            out.append(ch)
+            i += 1
+        return "".join(out)
+
+    # -- matching core ----------------------------------------------------------
+
+    def _match_here(self, text: str, start: int) -> Optional[MatchResult]:
+        groups: dict[int, tuple[int, int]] = {}
+        self._steps = 0
+        end = self._match_alt(self._ast, text, start, groups)
+        if end is None:
+            return None
+        return MatchResult(start, end, dict(groups), text)
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > _MAX_BACKTRACK_STEPS:
+            raise RegexBudgetError(f"pattern {self.pattern!r} backtracked too much")
+
+    def _match_alt(self, alt: _Alternation, text: str, pos: int,
+                   groups: dict) -> Optional[int]:
+        self._tick()
+        for option in alt.options:
+            saved = dict(groups)
+            end = self._match_seq(option.items, 0, text, pos, groups)
+            if end is not None:
+                return end
+            groups.clear()
+            groups.update(saved)
+        return None
+
+    def _match_seq(self, items: list, index: int, text: str, pos: int,
+                   groups: dict) -> Optional[int]:
+        self._tick()
+        if index == len(items):
+            return pos
+        node = items[index]
+        if isinstance(node, _Repeat):
+            return self._match_repeat(node, items, index, text, pos, groups)
+        next_positions = self._match_single(node, text, pos, groups)
+        for next_pos in next_positions:
+            end = self._match_seq(items, index + 1, text, next_pos, groups)
+            if end is not None:
+                return end
+        return None
+
+    def _match_repeat(self, node: _Repeat, items: list, index: int, text: str,
+                      pos: int, groups: dict) -> Optional[int]:
+        # Collect the chain of reachable positions by repeated matching.
+        positions = [pos]
+        current = pos
+        maximum = node.maximum if node.maximum is not None else len(text) - pos + 1
+        while len(positions) <= maximum:
+            nexts = self._match_single(node.node, text, current, groups)
+            advanced = next((p for p in nexts), None)
+            if advanced is None or advanced == current:
+                break
+            positions.append(advanced)
+            current = advanced
+        if len(positions) - 1 < node.minimum:
+            return None
+        candidate_counts = range(len(positions) - 1, node.minimum - 1, -1) \
+            if node.greedy else range(node.minimum, len(positions))
+        for count in candidate_counts:
+            end = self._match_seq(items, index + 1, text, positions[count], groups)
+            if end is not None:
+                return end
+        return None
+
+    def _match_single(self, node, text: str, pos: int, groups: dict):
+        """Yield the positions after matching ``node`` once at ``pos``."""
+        self._tick()
+        if isinstance(node, _Char):
+            if pos < len(text):
+                a, b = (text[pos], node.ch)
+                if a == b or (self.ignore_case and a.lower() == b.lower()):
+                    yield pos + 1
+            return
+        if isinstance(node, _AnyChar):
+            if pos < len(text) and text[pos] != "\n":
+                yield pos + 1
+            return
+        if isinstance(node, _CharClass):
+            if pos < len(text) and node.matches(text[pos], self.ignore_case):
+                yield pos + 1
+            return
+        if isinstance(node, _Anchor):
+            if node.kind == "^" and pos == 0:
+                yield pos
+            elif node.kind == "$" and pos == len(text):
+                yield pos
+            return
+        if isinstance(node, _Group):
+            end = self._match_alt(node.body, text, pos, groups)
+            if end is not None:
+                if node.index is not None:
+                    groups[node.index] = (pos, end)
+                yield end
+            return
+        raise RegexSyntaxError(f"unknown node {node!r}")
+
+
+def compile_pattern(pattern: str, flags: str = "") -> Regex:
+    """Compile ``pattern`` (raises :class:`RegexSyntaxError` when invalid)."""
+    return Regex(pattern, flags)

@@ -1,0 +1,48 @@
+"""Per-experiment analytics (§4 of the paper).
+
+Each module consumes a :class:`~repro.core.results.StudyResults` and
+regenerates one table/figure of the paper from the *observed* data (the
+corpus, traffic logs and oracle verdicts) — never from the simulator's
+ground truth:
+
+* :mod:`repro.analysis.tables` — Table 1, incident classification counts.
+* :mod:`repro.analysis.networks` — Figures 1 and 2, per-network ratios.
+* :mod:`repro.analysis.clusters` — §4.2 top/bottom/other cluster shares.
+* :mod:`repro.analysis.categories` — Figure 3, category mix.
+* :mod:`repro.analysis.tlds` — Figure 4, TLD mix.
+* :mod:`repro.analysis.arbitration` — Figure 5, chain-length distributions.
+* :mod:`repro.analysis.sandbox` — §4.4, iframe sandbox audit.
+"""
+
+from repro.analysis.arbitration import ArbitrationAnalysis, analyze_arbitration
+from repro.analysis.categories import categorize_malvertising_sites
+from repro.analysis.clusters import ClusterShares, analyze_clusters
+from repro.analysis.exposure import ExposureReport, analyze_exposure
+from repro.analysis.networks import NetworkStats, analyze_networks
+from repro.analysis.overlap import OverlapStats, analyze_overlap
+from repro.analysis.sandbox import SandboxAudit, audit_sandbox_usage
+from repro.analysis.tables import Table1, build_table1
+from repro.analysis.tlds import tld_distribution
+from repro.analysis.tracking import TrackingReport, measure_tracking, referer_map_from_har
+
+__all__ = [
+    "ArbitrationAnalysis",
+    "ClusterShares",
+    "ExposureReport",
+    "NetworkStats",
+    "OverlapStats",
+    "SandboxAudit",
+    "Table1",
+    "TrackingReport",
+    "analyze_arbitration",
+    "analyze_clusters",
+    "analyze_exposure",
+    "analyze_networks",
+    "analyze_overlap",
+    "audit_sandbox_usage",
+    "build_table1",
+    "categorize_malvertising_sites",
+    "measure_tracking",
+    "referer_map_from_har",
+    "tld_distribution",
+]

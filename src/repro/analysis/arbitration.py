@@ -1,0 +1,96 @@
+"""Figure 5: arbitration-chain analysis (§4.3).
+
+From the observed redirect chains the analysis derives, for benign and
+malicious advertisements separately: the chain-length histograms, the
+fraction of long chains, whether networks repeatedly re-buy the same slot,
+and the tier composition of late auctions (the paper found that late
+auctions happen only among malvertising-implicated networks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.results import StudyResults
+
+
+@dataclass
+class ArbitrationAnalysis:
+    """The data behind Figure 5 and the §4.3 observations."""
+
+    benign_lengths: Counter
+    malicious_lengths: Counter
+    repeat_participation_impressions: int   # chains where one network bought twice+
+    late_hop_networks: Counter              # serving networks at hops > 10
+    early_hop_networks: Counter             # networks at hops <= 3
+
+    @property
+    def max_benign_length(self) -> int:
+        return max(self.benign_lengths, default=0)
+
+    @property
+    def max_malicious_length(self) -> int:
+        return max(self.malicious_lengths, default=0)
+
+    def fraction_longer_than(self, length: int, malicious: bool = True) -> float:
+        counter = self.malicious_lengths if malicious else self.benign_lengths
+        total = sum(counter.values())
+        if total == 0:
+            return 0.0
+        return sum(v for k, v in counter.items() if k > length) / total
+
+    def mean_length(self, malicious: bool = True) -> float:
+        counter = self.malicious_lengths if malicious else self.benign_lengths
+        total = sum(counter.values())
+        if total == 0:
+            return 0.0
+        return sum(k * v for k, v in counter.items()) / total
+
+    def render(self) -> str:
+        lines = ["Figure 5: arbitration chain lengths (impressions)"]
+        lines.append("  len   benign  malicious")
+        max_len = max(self.max_benign_length, self.max_malicious_length)
+        for length in range(1, max_len + 1):
+            lines.append(f"  {length:>3}  {self.benign_lengths.get(length, 0):>7}"
+                         f"  {self.malicious_lengths.get(length, 0):>9}")
+        lines.append(f"  max benign {self.max_benign_length} (paper ~15); "
+                     f"max malicious {self.max_malicious_length} (paper ~30)")
+        lines.append(f"  malicious chains >15 auctions: "
+                     f"{self.fraction_longer_than(15):.1%} (paper ~2%)")
+        return "\n".join(lines)
+
+
+def analyze_arbitration(results: StudyResults) -> ArbitrationAnalysis:
+    """Derive the Figure 5 statistics from the observed chains."""
+    ecosystem = results.world.ecosystem
+    benign_lengths: Counter = Counter()
+    malicious_lengths: Counter = Counter()
+    repeats = 0
+    late: Counter = Counter()
+    early: Counter = Counter()
+    for record, verdict in results.iter_with_verdicts():
+        target = malicious_lengths if verdict.is_malicious else benign_lengths
+        for impression in record.impressions:
+            length = impression.chain_length
+            if length == 0:
+                continue
+            target[length] += 1
+            domains = impression.chain_domains
+            if len(set(domains)) < len(domains):
+                repeats += 1
+            for hop, domain in enumerate(domains):
+                network = ecosystem.network_for_domain(domain)
+                if network is None:
+                    continue
+                if hop > 10:
+                    late[network.tier] += 1
+                elif hop <= 3:
+                    early[network.tier] += 1
+    return ArbitrationAnalysis(
+        benign_lengths=benign_lengths,
+        malicious_lengths=malicious_lengths,
+        repeat_participation_impressions=repeats,
+        late_hop_networks=late,
+        early_hop_networks=early,
+    )

@@ -1,0 +1,82 @@
+"""§4.2 cluster analysis: top-ranked vs bottom-ranked vs other sites.
+
+The paper split its crawl set into the Alexa top-10,000 slice, the
+bottom-10,000 slice, and everything else, then measured each cluster's
+share of malvertisements (82.3% / 6.2% / 11.5%) against its share of all
+advertisements (76.6% / 11.6% / 11.8%) — concluding miscreants chase
+total impressions, not particular sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+
+TOP = "top"
+BOTTOM = "bottom"
+OTHER = "other"
+CLUSTERS = (TOP, BOTTOM, OTHER)
+
+PAPER_MALICIOUS_SHARES = {TOP: 0.823, BOTTOM: 0.062, OTHER: 0.115}
+PAPER_TOTAL_SHARES = {TOP: 0.766, BOTTOM: 0.116, OTHER: 0.118}
+
+
+@dataclass
+class ClusterShares:
+    """Observed per-cluster shares."""
+
+    malicious_impressions: dict[str, int]
+    total_impressions: dict[str, int]
+
+    def malicious_share(self, cluster: str) -> float:
+        total = sum(self.malicious_impressions.values())
+        if total == 0:
+            return 0.0
+        return self.malicious_impressions[cluster] / total
+
+    def total_share(self, cluster: str) -> float:
+        total = sum(self.total_impressions.values())
+        if total == 0:
+            return 0.0
+        return self.total_impressions[cluster] / total
+
+    def render(self) -> str:
+        lines = [f"{'cluster':<10}{'malvertising':>14}{'paper':>8}"
+                 f"{'all ads':>10}{'paper':>8}"]
+        for cluster in CLUSTERS:
+            lines.append(
+                f"{cluster:<10}{self.malicious_share(cluster):>13.1%}"
+                f"{PAPER_MALICIOUS_SHARES[cluster]:>8.1%}"
+                f"{self.total_share(cluster):>9.1%}"
+                f"{PAPER_TOTAL_SHARES[cluster]:>8.1%}"
+            )
+        return "\n".join(lines)
+
+
+def cluster_of(rank: int, top_threshold: int, total_rank_space: int) -> str:
+    """Which cluster a site of the given rank belongs to."""
+    if rank <= top_threshold:
+        return TOP
+    if rank > total_rank_space - top_threshold:
+        return BOTTOM
+    return OTHER
+
+
+def analyze_clusters(results: StudyResults) -> ClusterShares:
+    """Compute per-cluster malvertising and total-ad shares."""
+    world = results.world
+    top_threshold = world.params.top_cluster_rank
+    rank_space = world.params.total_rank_space
+    malicious = {c: 0 for c in CLUSTERS}
+    total = {c: 0 for c in CLUSTERS}
+    for record, verdict in results.iter_with_verdicts():
+        for impression in record.impressions:
+            publisher = world.publisher_by_domain(impression.site_domain)
+            if publisher is None:
+                continue
+            cluster = cluster_of(publisher.rank, top_threshold, rank_space)
+            total[cluster] += 1
+            if verdict.is_malicious:
+                malicious[cluster] += 1
+    return ClusterShares(malicious_impressions=malicious, total_impressions=total)

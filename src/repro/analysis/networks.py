@@ -1,0 +1,115 @@
+"""Figures 1 and 2: per-ad-network malvertising ratios and volume shares.
+
+Attribution works the way the paper's did: every unique ad is attributed to
+the network(s) whose domains were observed *serving the creative* (the last
+auction hop).  Ad-company domains are public knowledge, so mapping a
+serving domain to a network identity is legitimate observed data, not
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+
+
+@dataclass
+class NetworkStats:
+    """Observed serving statistics for one ad network."""
+
+    name: str
+    tier: str
+    ads_served: int            # unique ads attributed to this network
+    malicious_served: int      # unique malicious ads
+    impressions: int           # impression-level volume
+    malicious_impressions: int = 0
+
+    @property
+    def malicious_ratio(self) -> float:
+        """Figure 1's metric: the malvertising share of the network's
+        traffic (impressions)."""
+        if self.impressions == 0:
+            return 0.0
+        return self.malicious_impressions / self.impressions
+
+    @property
+    def unique_ad_ratio(self) -> float:
+        """Alternative metric: malvertising share of unique ads served."""
+        if self.ads_served == 0:
+            return 0.0
+        return self.malicious_served / self.ads_served
+
+
+@dataclass
+class NetworkAnalysis:
+    """The data behind Figures 1 and 2."""
+
+    stats: list[NetworkStats]  # sorted by malicious ratio, descending
+    total_impressions: int
+
+    def with_malvertising(self) -> list[NetworkStats]:
+        """Figure 1 shows only networks with at least one malvertisement."""
+        return [s for s in self.stats if s.malicious_served > 0]
+
+    def volume_share(self, stat: NetworkStats) -> float:
+        """Figure 2: the network's share of all served impressions."""
+        if self.total_impressions == 0:
+            return 0.0
+        return stat.impressions / self.total_impressions
+
+    def render_figure1(self) -> str:
+        lines = ["Figure 1: malvertising share of each network's traffic (desc)"]
+        for stat in self.with_malvertising():
+            bar = "#" * int(stat.malicious_ratio * 40)
+            lines.append(f"  {stat.name:<18}{stat.malicious_ratio:7.1%} "
+                         f"({stat.malicious_impressions}/{stat.impressions} imps, "
+                         f"{stat.malicious_served}/{stat.ads_served} ads) {bar}")
+        return "\n".join(lines)
+
+    def render_figure2(self) -> str:
+        lines = ["Figure 2: share of total ad volume (same networks as Fig. 1)"]
+        for stat in self.with_malvertising():
+            share = self.volume_share(stat)
+            bar = "#" * int(share * 200)
+            lines.append(f"  {stat.name:<18}{share:7.2%} "
+                         f"({stat.impressions} impressions) {bar}")
+        return "\n".join(lines)
+
+
+def analyze_networks(results: StudyResults) -> NetworkAnalysis:
+    """Group unique ads and impressions by serving network."""
+    ecosystem = results.world.ecosystem
+    per_network: dict[str, NetworkStats] = {}
+
+    def stats_for(domain: str) -> NetworkStats | None:
+        network = ecosystem.network_for_domain(domain)
+        if network is None:
+            return None
+        stat = per_network.get(network.name)
+        if stat is None:
+            stat = NetworkStats(network.name, network.tier, 0, 0, 0)
+            per_network[network.name] = stat
+        return stat
+
+    total_impressions = 0
+    for record, verdict in results.iter_with_verdicts():
+        attributed: set[str] = set()
+        for impression in record.impressions:
+            total_impressions += 1
+            stat = stats_for(impression.serving_domain)
+            if stat is None:
+                continue
+            stat.impressions += 1
+            if verdict.is_malicious:
+                stat.malicious_impressions += 1
+            attributed.add(stat.name)
+        for name in attributed:
+            per_network[name].ads_served += 1
+            if verdict.is_malicious:
+                per_network[name].malicious_served += 1
+
+    ordered = sorted(per_network.values(),
+                     key=lambda s: (s.malicious_ratio, s.malicious_served),
+                     reverse=True)
+    return NetworkAnalysis(stats=ordered, total_impressions=total_impressions)

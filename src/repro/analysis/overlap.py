@@ -1,0 +1,67 @@
+"""Cross-network campaign overlap.
+
+§5.1's shared-blacklist proposal exists because "attackers ... submit their
+malvertisements to a different network if they get rejected from a former
+one".  This analysis measures the resulting spread from the observed data:
+across how many distinct ad networks was each malicious advertisement seen
+being served?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+
+
+@dataclass
+class OverlapStats:
+    """Distribution of per-ad network spread."""
+
+    malicious_spread: dict[str, int]   # ad_id -> distinct serving networks
+    benign_spread: dict[str, int]
+
+    @staticmethod
+    def _mean(spread: dict[str, int]) -> float:
+        if not spread:
+            return 0.0
+        return sum(spread.values()) / len(spread)
+
+    @property
+    def mean_malicious_spread(self) -> float:
+        return self._mean(self.malicious_spread)
+
+    @property
+    def mean_benign_spread(self) -> float:
+        return self._mean(self.benign_spread)
+
+    @property
+    def multi_network_malicious(self) -> int:
+        """Malicious ads observed being served by 2+ distinct networks."""
+        return sum(1 for n in self.malicious_spread.values() if n >= 2)
+
+    def render(self) -> str:
+        return (
+            "cross-network spread: malicious ads served by "
+            f"{self.mean_malicious_spread:.1f} networks on average "
+            f"(benign: {self.mean_benign_spread:.1f}); "
+            f"{self.multi_network_malicious}/{len(self.malicious_spread)} "
+            "malicious ads appeared on 2+ networks — the resubmission "
+            "behaviour §5.1's shared blacklist targets"
+        )
+
+
+def analyze_overlap(results: StudyResults) -> OverlapStats:
+    """Count distinct serving networks per unique ad."""
+    ecosystem = results.world.ecosystem
+    malicious: dict[str, int] = {}
+    benign: dict[str, int] = {}
+    for record, verdict in results.iter_with_verdicts():
+        networks = set()
+        for impression in record.impressions:
+            network = ecosystem.network_for_domain(impression.serving_domain)
+            if network is not None:
+                networks.add(network.network_id)
+        target = malicious if verdict.is_malicious else benign
+        target[record.ad_id] = len(networks)
+    return OverlapStats(malicious_spread=malicious, benign_spread=benign)

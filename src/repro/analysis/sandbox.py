@@ -1,0 +1,47 @@
+"""§4.4: the iframe ``sandbox`` audit.
+
+The paper checked whether publishers protect their visitors by putting the
+HTML5 ``sandbox`` attribute on advertisement iframes (which would defeat
+``top.location`` hijacking).  None of the crawled sites did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+
+
+@dataclass
+class SandboxAudit:
+    """Outcome of the sandbox-attribute audit."""
+
+    sites_serving_ads: int
+    sites_using_sandbox: int
+    sandboxed_ad_iframes: int
+    total_ad_iframes: int
+
+    @property
+    def adoption_rate(self) -> float:
+        if self.sites_serving_ads == 0:
+            return 0.0
+        return self.sites_using_sandbox / self.sites_serving_ads
+
+    def render(self) -> str:
+        return (
+            f"Sandbox audit (§4.4): {self.sites_using_sandbox} of "
+            f"{self.sites_serving_ads} ad-serving sites sandbox their ad "
+            f"iframes ({self.adoption_rate:.1%}; paper: 0); "
+            f"{self.sandboxed_ad_iframes}/{self.total_ad_iframes} ad iframes sandboxed"
+        )
+
+
+def audit_sandbox_usage(results: StudyResults) -> SandboxAudit:
+    """Audit sandbox-attribute adoption from crawl statistics."""
+    stats = results.crawl_stats
+    return SandboxAudit(
+        sites_serving_ads=len(stats.sites_with_ads),
+        sites_using_sandbox=len(stats.sites_using_sandbox),
+        sandboxed_ad_iframes=stats.sandboxed_ad_iframes,
+        total_ad_iframes=stats.ad_iframes,
+    )

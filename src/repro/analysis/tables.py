@@ -1,0 +1,62 @@
+"""Table 1: classification of malvertisements by detection source."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.incidents import INCIDENT_LABELS, INCIDENT_TYPES, PAPER_TABLE1
+from repro.core.results import StudyResults
+
+
+@dataclass
+class Table1:
+    """The reproduced Table 1."""
+
+    counts: dict[str, int]
+    total_incidents: int
+    corpus_size: int
+
+    @property
+    def malicious_fraction(self) -> float:
+        if self.corpus_size == 0:
+            return 0.0
+        return self.total_incidents / self.corpus_size
+
+    def shares(self) -> dict[str, float]:
+        """Each bucket's share of all incidents."""
+        if self.total_incidents == 0:
+            return {k: 0.0 for k in self.counts}
+        return {k: v / self.total_incidents for k, v in self.counts.items()}
+
+    def render(self) -> str:
+        """Render rows like the paper's table, with paper values alongside."""
+        lines = [f"{'Type of maliciousness':<28}{'#Incidents':>12}{'paper':>10}"]
+        paper_total = sum(PAPER_TABLE1.values())
+        for incident_type in INCIDENT_TYPES:
+            label = INCIDENT_LABELS[incident_type]
+            count = self.counts.get(incident_type, 0)
+            share = count / self.total_incidents if self.total_incidents else 0.0
+            paper_share = PAPER_TABLE1[incident_type] / paper_total
+            lines.append(
+                f"{label:<28}{count:>12}{PAPER_TABLE1[incident_type]:>10}"
+                f"   ({share:6.1%} vs {paper_share:6.1%})"
+            )
+        lines.append(
+            f"{'Total':<28}{self.total_incidents:>12}{paper_total:>10}"
+            f"   (corpus {self.corpus_size}; {self.malicious_fraction:.2%} malicious)"
+        )
+        return "\n".join(lines)
+
+
+def build_table1(results: StudyResults) -> Table1:
+    """Classify every incident into the Table 1 buckets."""
+    counts = {incident_type: 0 for incident_type in INCIDENT_TYPES}
+    for verdict in results.verdicts.values():
+        incident_type = verdict.incident_type
+        if incident_type is not None:
+            counts[incident_type] += 1
+    return Table1(
+        counts=counts,
+        total_incidents=sum(counts.values()),
+        corpus_size=results.corpus.unique_ads,
+    )

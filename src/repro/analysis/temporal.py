@@ -1,0 +1,68 @@
+"""Temporal analysis of a longitudinal run.
+
+Shows the arms race the NX-redirect heuristic feeds on: takedowns remove
+observed malicious infrastructure, campaigns rotate, broken references pile
+up in between, and blacklists lag the rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.adnet.takedowns import TakedownAuthority
+from repro.core.longitudinal import DayStats
+
+
+@dataclass
+class TemporalSummary:
+    """Aggregates across a longitudinal run."""
+
+    days: int
+    total_takedowns: int
+    total_rotations: int
+    nx_events_by_day: list[int]
+    takedowns_by_day: list[int]
+    new_ads_by_day: list[int]
+
+    @property
+    def nx_events_total(self) -> int:
+        return sum(self.nx_events_by_day)
+
+    def nx_rate_after_first_takedown(self) -> float:
+        """Mean daily NX events after takedowns begin vs before."""
+        first = next((i for i, t in enumerate(self.takedowns_by_day) if t > 0), None)
+        if first is None or first == 0:
+            return 0.0
+        before = self.nx_events_by_day[:first]
+        after = self.nx_events_by_day[first:]
+        mean_before = sum(before) / len(before) if before else 0.0
+        mean_after = sum(after) / len(after) if after else 0.0
+        if mean_before == 0:
+            return float(mean_after > 0)
+        return mean_after / mean_before
+
+    def render(self) -> str:
+        lines = ["temporal analysis (longitudinal run):",
+                 "  day  new_ads  nx_events  takedowns"]
+        for day in range(self.days):
+            lines.append(f"  {day:>3}  {self.new_ads_by_day[day]:>7}"
+                         f"  {self.nx_events_by_day[day]:>9}"
+                         f"  {self.takedowns_by_day[day]:>9}")
+        lines.append(f"  total: {self.total_takedowns} takedowns, "
+                     f"{self.total_rotations} rotations, "
+                     f"{self.nx_events_total} NX events")
+        return "\n".join(lines)
+
+
+def summarize_run(day_stats: Sequence[DayStats],
+                  authority: TakedownAuthority) -> TemporalSummary:
+    """Build the temporal summary from a finished longitudinal run."""
+    return TemporalSummary(
+        days=len(day_stats),
+        total_takedowns=len(authority.takedowns),
+        total_rotations=sum(1 for e in authority.takedowns if e.rotated_to),
+        nx_events_by_day=[s.nx_redirect_events for s in day_stats],
+        takedowns_by_day=[s.takedowns for s in day_stats],
+        new_ads_by_day=[s.new_unique_ads for s in day_stats],
+    )

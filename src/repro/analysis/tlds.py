@@ -1,0 +1,57 @@
+"""Figure 4: malvertising distribution across top-level domains.
+
+The paper found .com dominating the malvertising-serving sites, and generic
+TLDs (mainly .com and .net) together carrying more than 66% of malvertising
+traffic — suggesting malvertising primarily targets US audiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+from repro.datasets.categories import GENERIC_TLDS
+
+
+@dataclass
+class TldBreakdown:
+    """TLD mix of malvertising-serving sites."""
+
+    counts: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, tld: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(tld, 0) / self.total
+
+    @property
+    def generic_share(self) -> float:
+        """Combined share of the generic TLDs (.com/.net/.org/.info/.biz)."""
+        return sum(self.share(tld) for tld in GENERIC_TLDS)
+
+    def ranked(self) -> list[tuple[str, int]]:
+        return sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+
+    def render(self) -> str:
+        lines = ["Figure 4: TLDs of sites serving malvertisements"]
+        for tld, count in self.ranked():
+            share = count / self.total if self.total else 0.0
+            lines.append(f"  .{tld:<8}{count:>5}  {share:6.1%} {'#' * int(share * 60)}")
+        lines.append(f"  generic TLD share: {self.generic_share:.1%} (paper: >66%)")
+        return "\n".join(lines)
+
+
+def tld_distribution(results: StudyResults) -> TldBreakdown:
+    """Count malvertising-serving sites per TLD (each site once)."""
+    sites: set[str] = set()
+    for record in results.malicious_records():
+        sites.update(record.publisher_domains)
+    counts: dict[str, int] = {}
+    for domain in sites:
+        tld = domain.rsplit(".", 1)[-1]
+        counts[tld] = counts.get(tld, 0) + 1
+    return TldBreakdown(counts=counts)

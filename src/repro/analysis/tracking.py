@@ -1,0 +1,84 @@
+"""Third-party tracking measurement.
+
+Not a paper figure, but the ad-measurement context the paper sits in
+(Gill et al.'s economics work, Guha et al.'s measurement challenges): ad
+networks identify browsers across publishers with third-party ``uid``
+cookies.  Given a crawl performed with a cookie jar attached, this module
+reports which networks could track the crawler across how many sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.har import HarLog
+from repro.web.cookies import CookieJar
+
+
+@dataclass
+class TrackerStats:
+    """One tracking domain's observed reach."""
+
+    domain: str
+    n_cookies: int
+    sites_seen_from: set[str]
+
+    @property
+    def reach(self) -> int:
+        return len(self.sites_seen_from)
+
+
+@dataclass
+class TrackingReport:
+    """Cross-site tracking summary for one crawl session."""
+
+    trackers: list[TrackerStats]
+    sites_crawled: int
+
+    def top_trackers(self, n: int = 10) -> list[TrackerStats]:
+        return sorted(self.trackers, key=lambda t: t.reach, reverse=True)[:n]
+
+    def render(self) -> str:
+        lines = [f"tracking: {len(self.trackers)} cookie-setting domains "
+                 f"across {self.sites_crawled} crawled sites"]
+        for tracker in self.top_trackers():
+            lines.append(f"  {tracker.domain:<28} reach {tracker.reach}"
+                         f"/{self.sites_crawled} sites")
+        return "\n".join(lines)
+
+
+def measure_tracking(jar: CookieJar, referer_log: dict[str, set[str]],
+                     sites_crawled: int) -> TrackingReport:
+    """Build the report from a session jar and a domain→sites map.
+
+    ``referer_log`` maps each third-party domain to the set of first-party
+    sites from which it was contacted (derivable from HAR referers).
+    """
+    trackers = []
+    for domain in sorted(jar.domains()):
+        cookies = [c for c in jar.cookies_for_domain(domain)]
+        trackers.append(TrackerStats(
+            domain=domain,
+            n_cookies=len(cookies),
+            sites_seen_from=set(referer_log.get(domain, set())),
+        ))
+    return TrackingReport(trackers=trackers, sites_crawled=sites_crawled)
+
+
+def referer_map_from_har(har: HarLog) -> dict[str, set[str]]:
+    """Derive the third-party-domain → first-party-sites map from traffic."""
+    from repro.web.url import UrlError, etld_plus_one, parse_url
+
+    mapping: dict[str, set[str]] = {}
+    for entry in har.entries:
+        if entry.referer is None:
+            continue
+        try:
+            first_party = etld_plus_one(parse_url(entry.referer).host)
+        except UrlError:
+            continue
+        third_party = entry.registered_domain
+        if third_party == first_party:
+            continue
+        mapping.setdefault(third_party, set()).add(first_party)
+    return mapping

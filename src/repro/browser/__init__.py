@@ -1,0 +1,41 @@
+"""Emulated browser.
+
+The paper used Selenium driving Firefox so that dynamically-generated
+advertisements render fully, and captured all HTTP traffic.  This package
+provides the equivalent for the simulated web: :class:`Browser` loads pages
+over the simulated HTTP layer, parses them into a DOM, executes their
+scripts with the AdScript engine, loads subframes and script-created
+resources, emulates browser plugins (and their vulnerabilities), and records
+a timeline of behavioural events plus a HAR-style traffic log.
+"""
+
+from repro.browser.browser import Browser, PageLoad
+from repro.browser.downloads import Download, DownloadLog
+from repro.browser.events import BrowserEvent, EventLog
+from repro.browser.har import HarEntry, HarLog
+from repro.browser.page import Frame, Page
+from repro.browser.plugins import (
+    ExploitOutcome,
+    Plugin,
+    PluginProfile,
+    patched_profile,
+    vulnerable_profile,
+)
+
+__all__ = [
+    "Browser",
+    "BrowserEvent",
+    "Download",
+    "DownloadLog",
+    "EventLog",
+    "ExploitOutcome",
+    "Frame",
+    "HarEntry",
+    "HarLog",
+    "Page",
+    "PageLoad",
+    "Plugin",
+    "PluginProfile",
+    "patched_profile",
+    "vulnerable_profile",
+]

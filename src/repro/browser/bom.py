@@ -1,0 +1,548 @@
+"""Browser Object Model bindings for AdScript.
+
+These host objects give ad scripts the surface real malvertising code uses:
+``document.write``, ``document.createElement``, ``navigator.plugins``,
+``setTimeout``, ``window.open``, and — crucially for link hijacking (§2.3
+of the paper) — the ``top.location`` escape hatch that lets an iframed
+script navigate the whole page despite the Same-Origin Policy blocking DOM
+access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.adscript.values import (
+    HostObject,
+    JSArray,
+    NativeFunction,
+    UNDEFINED,
+    to_js_number,
+    to_js_string,
+)
+from repro.browser import events as ev
+from repro.web.dom import Element
+from repro.web.html import parse_fragment
+
+if TYPE_CHECKING:
+    from repro.browser.browser import _FrameContext
+
+
+class ElementHandle(HostObject):
+    """Script-side wrapper around a DOM element."""
+
+    host_name = "HTMLElement"
+
+    def __init__(self, ctx: "_FrameContext", element: Element) -> None:
+        self.ctx = ctx
+        self.element = element
+        self._onclick: Any = UNDEFINED
+
+    # -- member access -----------------------------------------------------
+
+    def get_member(self, name: str) -> Any:
+        if name in ("src", "href", "id", "name", "type", "data", "width", "height", "style", "class"):
+            return self.element.get(name)
+        if name == "tagName":
+            return self.element.tag.upper()
+        if name == "innerHTML":
+            return "".join(
+                child.to_html() if isinstance(child, Element) else getattr(child, "text", "")
+                for child in self.element.children
+            )
+        if name == "onclick":
+            return self._onclick
+        if name == "parentNode":
+            parent = self.element.parent
+            return ElementHandle(self.ctx, parent) if parent is not None else None
+        if name == "appendChild":
+            return NativeFunction("appendChild", self._append_child)
+        if name == "setAttribute":
+            return NativeFunction("setAttribute", self._set_attribute)
+        if name == "getAttribute":
+            return NativeFunction(
+                "getAttribute",
+                lambda *a: self.element.get(to_js_string(a[0])) if a else UNDEFINED,
+            )
+        if name == "removeAttribute":
+            return NativeFunction(
+                "removeAttribute",
+                lambda *a: self.element.attributes.pop(to_js_string(a[0]).lower(), None) and UNDEFINED
+                if a else UNDEFINED,
+            )
+        if name == "click":
+            return NativeFunction("click", lambda *a: self.ctx.browser._fire_click(self.ctx, self))
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "onclick":
+            self._onclick = value
+            return
+        if name == "innerHTML":
+            self.element.children.clear()
+            for child in parse_fragment(to_js_string(value)):
+                self.element.append(child)
+            self.ctx.note_dynamic_content(self.element)
+            return
+        if name in ("src", "href", "data"):
+            self.element.set(name, to_js_string(value))
+            self.ctx.note_dynamic_content(self.element)
+            return
+        self.element.set(name, to_js_string(value))
+
+    def member_names(self) -> list[str]:
+        return ["src", "href", "innerHTML", "appendChild", "setAttribute", "tagName"]
+
+    # -- helpers -------------------------------------------------------------
+
+    def _append_child(self, *args: Any) -> Any:
+        if not args or not isinstance(args[0], ElementHandle):
+            return UNDEFINED
+        child = args[0]
+        self.element.append(child.element)
+        self.ctx.record(ev.ELEMENT_CREATED, tag=child.element.tag,
+                        src=child.element.get("src") or child.element.get("href"))
+        self.ctx.note_dynamic_content(child.element)
+        return child
+
+    def _set_attribute(self, *args: Any) -> Any:
+        if len(args) >= 2:
+            self.element.set(to_js_string(args[0]), to_js_string(args[1]))
+            self.ctx.note_dynamic_content(self.element)
+        return UNDEFINED
+
+
+class LocationObject(HostObject):
+    """``window.location`` / ``document.location`` for one frame."""
+
+    host_name = "Location"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+
+    def get_member(self, name: str) -> Any:
+        url = self.ctx.frame.url
+        if name == "href":
+            return str(url)
+        if name == "hostname" or name == "host":
+            return url.host
+        if name == "protocol":
+            return url.scheme + ":"
+        if name == "pathname":
+            return url.path
+        if name == "search":
+            return f"?{url.query}" if url.query else ""
+        if name == "replace" or name == "assign":
+            return NativeFunction(
+                name, lambda *a: self.ctx.request_navigation(to_js_string(a[0])) if a else UNDEFINED
+            )
+        if name == "reload":
+            return NativeFunction("reload", lambda *a: UNDEFINED)
+        if name == "toString":
+            return NativeFunction("toString", lambda *a: str(url))
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "href":
+            self.ctx.request_navigation(to_js_string(value))
+
+    def member_names(self) -> list[str]:
+        return ["href", "hostname", "protocol", "pathname", "replace", "assign"]
+
+    def __repr__(self) -> str:
+        return str(self.ctx.frame.url)
+
+
+class TopLocationProxy(HostObject):
+    """``top.location`` as seen from a (possibly cross-origin) subframe.
+
+    Per the BOM, setting it navigates the *top* window even from an iframe —
+    the link-hijacking vector the paper describes.
+    """
+
+    host_name = "Location"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+
+    def get_member(self, name: str) -> Any:
+        # Reading cross-origin top.location details is SOP-restricted; real
+        # browsers throw, we return undefined except href-as-string.
+        if name in ("replace", "assign"):
+            return NativeFunction(
+                name,
+                lambda *a: self.ctx.request_top_navigation(to_js_string(a[0])) if a else UNDEFINED,
+            )
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "href":
+            self.ctx.request_top_navigation(to_js_string(value))
+
+    def member_names(self) -> list[str]:
+        return ["href", "replace", "assign"]
+
+
+class PluginsArray(HostObject):
+    """``navigator.plugins``; reading it is recorded as a probe."""
+
+    host_name = "PluginArray"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+
+    def get_member(self, name: str) -> Any:
+        plugins = self.ctx.browser.plugin_profile.plugins
+        if name == "length":
+            return float(len(plugins))
+        if name == "namedItem":
+            return NativeFunction("namedItem", self._named_item)
+        try:
+            index = int(name)
+        except ValueError:
+            return UNDEFINED
+        if 0 <= index < len(plugins):
+            return self._wrap(plugins[index])
+        return UNDEFINED
+
+    def _named_item(self, *args: Any) -> Any:
+        if not args:
+            return None
+        plugin = self.ctx.browser.plugin_profile.find_by_name(to_js_string(args[0]))
+        return self._wrap(plugin) if plugin else None
+
+    def _wrap(self, plugin: Any) -> Any:
+        from repro.adscript.values import JSObject
+
+        self.ctx.record(ev.PLUGIN_PROBE, plugin=plugin.description)
+        return JSObject({"name": plugin.name, "version": plugin.version,
+                         "description": plugin.description})
+
+    def member_names(self) -> list[str]:
+        return ["length", "namedItem"]
+
+
+class NavigatorObject(HostObject):
+    host_name = "Navigator"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+        self._plugins = PluginsArray(ctx)
+
+    def get_member(self, name: str) -> Any:
+        if name == "userAgent":
+            return self.ctx.browser.user_agent
+        if name == "plugins":
+            return self._plugins
+        if name == "language":
+            return "en-US"
+        if name == "platform":
+            return "Linux x86_64"
+        if name == "cookieEnabled":
+            return True
+        if name == "webdriver":
+            # Environment-aware malware probes this analysis tell; the
+            # SCARECROW defence (§5.2) deliberately sets it on real users'
+            # browsers so such malware stays dormant everywhere.
+            return self.ctx.browser.exposes_analysis_tells
+        return UNDEFINED
+
+    def member_names(self) -> list[str]:
+        return ["userAgent", "plugins", "language", "platform", "cookieEnabled",
+                "webdriver"]
+
+
+class ScreenObject(HostObject):
+    host_name = "Screen"
+
+    def get_member(self, name: str) -> Any:
+        return {"width": 1920.0, "height": 1080.0,
+                "availWidth": 1920.0, "availHeight": 1040.0,
+                "colorDepth": 24.0}.get(name, UNDEFINED)
+
+    def member_names(self) -> list[str]:
+        return ["width", "height", "availWidth", "availHeight", "colorDepth"]
+
+
+class DocumentObject(HostObject):
+    host_name = "HTMLDocument"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+        self.location = LocationObject(ctx)
+        self._cookie = ""
+
+    def get_member(self, name: str) -> Any:
+        if name == "write" or name == "writeln":
+            return NativeFunction(name, self._write)
+        if name == "createElement":
+            return NativeFunction("createElement", self._create_element)
+        if name == "getElementById":
+            return NativeFunction("getElementById", self._get_element_by_id)
+        if name == "getElementsByTagName":
+            return NativeFunction("getElementsByTagName", self._get_elements_by_tag_name)
+        if name == "body":
+            body = self.ctx.frame.document.body
+            if body is None:
+                # Pages written entirely by script may lack <body>; create it.
+                from repro.web.dom import Element
+
+                body = Element("body")
+                root = self.ctx.frame.document.root
+                (root or self.ctx.frame.document).append(body)
+            return ElementHandle(self.ctx, body)
+        if name == "head":
+            head = self.ctx.frame.document.head
+            return ElementHandle(self.ctx, head) if head is not None else UNDEFINED
+        if name == "location":
+            return self.location
+        if name == "cookie":
+            return self._cookie
+        if name == "referrer":
+            return self.ctx.referrer or ""
+        if name == "domain":
+            return self.ctx.frame.url.host
+        if name == "title":
+            title = self.ctx.frame.document.find("title")
+            return title.text_content() if title is not None else ""
+        if name == "URL":
+            return str(self.ctx.frame.url)
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "cookie":
+            self._cookie = to_js_string(value)
+            self.ctx.record(ev.COOKIE_SET, cookie=self._cookie[:100])
+            return
+        if name == "location":
+            self.ctx.request_navigation(to_js_string(value))
+            return
+        if name == "title":
+            return
+
+    def member_names(self) -> list[str]:
+        return ["write", "createElement", "getElementById", "body", "location",
+                "cookie", "referrer", "domain", "title"]
+
+    # -- natives -------------------------------------------------------------
+
+    def _write(self, *args: Any) -> Any:
+        markup = "".join(to_js_string(a) for a in args)
+        self.ctx.record(ev.DOCUMENT_WRITE, length=len(markup))
+        self.ctx.document_write(markup)
+        return UNDEFINED
+
+    def _create_element(self, *args: Any) -> Any:
+        tag = to_js_string(args[0]).lower() if args else "div"
+        element = Element(tag)
+        return ElementHandle(self.ctx, element)
+
+    def _get_element_by_id(self, *args: Any) -> Any:
+        if not args:
+            return None
+        element = self.ctx.frame.document.get_element_by_id(to_js_string(args[0]))
+        return ElementHandle(self.ctx, element) if element is not None else None
+
+    def _get_elements_by_tag_name(self, *args: Any) -> Any:
+        if not args:
+            return JSArray([])
+        found = self.ctx.frame.document.find_all(to_js_string(args[0]))
+        return JSArray([ElementHandle(self.ctx, el) for el in found])
+
+
+class WindowObject(HostObject):
+    host_name = "Window"
+
+    def __init__(self, ctx: "_FrameContext", document: DocumentObject) -> None:
+        self.ctx = ctx
+        self.document = document
+        self.navigator = NavigatorObject(ctx)
+        self.screen = ScreenObject()
+
+    def get_member(self, name: str) -> Any:
+        if name == "document":
+            return self.document
+        if name == "location":
+            return self.document.location
+        if name == "navigator":
+            return self.navigator
+        if name == "screen":
+            return self.screen
+        if name == "top":
+            if self.ctx.frame.is_top:
+                return self
+            return TopWindowProxy(self.ctx)
+        if name == "parent":
+            if self.ctx.frame.is_top:
+                return self
+            return TopWindowProxy(self.ctx)  # opaque cross-origin handle
+        if name == "self" or name == "window":
+            return self
+        if name == "open":
+            return NativeFunction("open", self._open)
+        if name == "setTimeout" or name == "setInterval":
+            return NativeFunction(name, self._set_timeout)
+        if name == "clearTimeout" or name == "clearInterval":
+            return NativeFunction(name, lambda *a: UNDEFINED)
+        if name == "alert" or name == "confirm" or name == "prompt":
+            return NativeFunction(name, self._dialog(name))
+        if name == "innerWidth":
+            return 1920.0
+        if name == "innerHeight":
+            return 960.0
+        # Fall back to script globals so `window.foo` mirrors global `foo`.
+        if self.ctx.interpreter.globals.has(name):
+            return self.ctx.interpreter.globals.lookup(name)
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "location":
+            self.ctx.request_navigation(to_js_string(value))
+            return
+        if name == "onload" or name == "onerror":
+            self.ctx.schedule_timer(value)
+            return
+        self.ctx.interpreter.globals.declare(name, value)
+
+    def member_names(self) -> list[str]:
+        return ["document", "location", "navigator", "screen", "top", "parent",
+                "open", "setTimeout", "alert"]
+
+    def _open(self, *args: Any) -> Any:
+        url = to_js_string(args[0]) if args else ""
+        self.ctx.record(ev.POPUP, url=url)
+        if url:
+            self.ctx.browser._load_auxiliary(self.ctx, url, initiated_by="script")
+        return self
+
+    def _set_timeout(self, *args: Any) -> Any:
+        if args:
+            self.ctx.record(ev.TIMER_SET,
+                            delay=to_js_number(args[1]) if len(args) > 1 else 0.0)
+            self.ctx.schedule_timer(args[0])
+        return float(len(self.ctx.timers))
+
+    def _dialog(self, kind: str):
+        def impl(*args: Any) -> Any:
+            self.ctx.record(ev.DIALOG, dialog=kind,
+                            message=to_js_string(args[0])[:200] if args else "")
+            if kind == "confirm":
+                return True
+            if kind == "prompt":
+                return ""
+            return UNDEFINED
+        return impl
+
+
+class XhrObject(HostObject):
+    """A synchronous ``XMLHttpRequest``: enough for ad-config fetches.
+
+    Real 2014 ad scripts pulled JSON configs and beaconed impressions over
+    XHR.  ``send`` performs the fetch immediately (the emulated browser has
+    no event loop to await) and fires ``onreadystatechange`` once.
+    """
+
+    host_name = "XMLHttpRequest"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+        self._url: str = ""
+        self._method: str = "GET"
+        self.status: float = 0.0
+        self.response_text: str = ""
+        self.ready_state: float = 0.0
+        self._onreadystatechange: Any = UNDEFINED
+
+    def get_member(self, name: str) -> Any:
+        if name == "open":
+            return NativeFunction("open", self._open)
+        if name == "send":
+            return NativeFunction("send", self._send)
+        if name == "setRequestHeader":
+            return NativeFunction("setRequestHeader", lambda *a: UNDEFINED)
+        if name == "responseText":
+            return self.response_text
+        if name == "status":
+            return self.status
+        if name == "readyState":
+            return self.ready_state
+        if name == "onreadystatechange":
+            return self._onreadystatechange
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "onreadystatechange":
+            self._onreadystatechange = value
+
+    def member_names(self) -> list[str]:
+        return ["open", "send", "responseText", "status", "readyState",
+                "onreadystatechange", "setRequestHeader"]
+
+    def _open(self, *args: Any) -> Any:
+        if len(args) >= 2:
+            self._method = to_js_string(args[0]).upper()
+            self._url = to_js_string(args[1])
+            self.ready_state = 1.0
+        return UNDEFINED
+
+    def _send(self, *args: Any) -> Any:
+        from repro.web.dns import DnsError
+        from repro.web.http import HttpError
+        from repro.web.url import UrlError
+
+        if not self._url:
+            return UNDEFINED
+        try:
+            resolved = self.ctx.frame.url.resolve(self._url)
+            response, _ = self.ctx.browser.client.fetch(
+                resolved, referer=self.ctx.frame.url)
+        except (DnsError, HttpError, UrlError) as exc:
+            self.status = 0.0
+            self.ready_state = 4.0
+            self.ctx.record(ev.NX_REDIRECT, url=self._url, resource="xhr",
+                            error=type(exc).__name__)
+        else:
+            self.status = float(response.status)
+            self.response_text = response.text()
+            self.ready_state = 4.0
+            self.ctx.record(ev.RESOURCE_LOAD, url=str(response.url or resolved),
+                            resource="xhr", status=response.status)
+        if self._onreadystatechange is not UNDEFINED and \
+                self._onreadystatechange is not None:
+            self.ctx.browser._run_callback(self.ctx, self._onreadystatechange)
+        return UNDEFINED
+
+
+class _XhrConstructor(HostObject):
+    host_name = "Function"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+
+    def __call__(self, *args: Any) -> XhrObject:
+        return XhrObject(self.ctx)
+
+
+class TopWindowProxy(HostObject):
+    """Cross-origin handle on the top window: only ``location`` is reachable."""
+
+    host_name = "Window"
+
+    def __init__(self, ctx: "_FrameContext") -> None:
+        self.ctx = ctx
+        self._location = TopLocationProxy(ctx)
+
+    def get_member(self, name: str) -> Any:
+        if name == "location":
+            return self._location
+        if name == "frames" or name == "top" or name == "parent" or name == "self":
+            return self
+        # SOP: everything else on a cross-origin window is opaque.
+        return UNDEFINED
+
+    def set_member(self, name: str, value: Any) -> None:
+        if name == "location":
+            self.ctx.request_top_navigation(to_js_string(value))
+
+    def member_names(self) -> list[str]:
+        return ["location"]

@@ -1,0 +1,68 @@
+"""Download tracking.
+
+Downloads are the raw material for the VirusTotal oracle: whenever an
+advertisement causes the browser to receive executable or Flash content,
+the bytes are retained so they can be submitted for AV scanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+EXECUTABLE_TYPES = frozenset(
+    {
+        "application/octet-stream",
+        "application/x-msdownload",
+        "application/x-msdos-program",
+        "application/vnd.microsoft.portable-executable",
+    }
+)
+
+FLASH_TYPES = frozenset({"application/x-shockwave-flash"})
+
+
+@dataclass
+class Download:
+    """A file the browser received."""
+
+    url: str
+    content_type: str
+    data: bytes
+    initiated_by: str  # 'script' | 'navigation' | 'user_click' | 'exploit' | 'plugin'
+
+    @property
+    def is_executable(self) -> bool:
+        return self.content_type in EXECUTABLE_TYPES
+
+    @property
+    def is_flash(self) -> bool:
+        return self.content_type in FLASH_TYPES
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class DownloadLog:
+    """All downloads observed during a page load."""
+
+    def __init__(self) -> None:
+        self.downloads: list[Download] = []
+
+    def record(self, url: str, content_type: str, data: bytes, initiated_by: str) -> Download:
+        download = Download(url, content_type, data, initiated_by)
+        self.downloads.append(download)
+        return download
+
+    def executables(self) -> list[Download]:
+        return [d for d in self.downloads if d.is_executable]
+
+    def flash_files(self) -> list[Download]:
+        return [d for d in self.downloads if d.is_flash]
+
+    def __iter__(self) -> Iterator[Download]:
+        return iter(self.downloads)
+
+    def __len__(self) -> int:
+        return len(self.downloads)

@@ -1,0 +1,69 @@
+"""Behavioural event timeline.
+
+Every observable action during a page load — navigations, writes, element
+creation, resource loads, plugin probes, exploit attempts, downloads, eval
+calls, script errors — is appended to an :class:`EventLog`.  The oracle's
+feature extraction (:mod:`repro.oracles.features`) consumes this log; it is
+the moral equivalent of Wepawet's instrumented browser trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+# Event kinds emitted by the browser.
+NAVIGATION = "navigation"                # frame navigates itself
+TOP_NAVIGATION = "top_navigation"        # a frame navigates the top window
+DOCUMENT_WRITE = "document_write"
+ELEMENT_CREATED = "element_created"
+RESOURCE_LOAD = "resource_load"
+PLUGIN_PROBE = "plugin_probe"            # script enumerates navigator.plugins
+EXPLOIT_ATTEMPT = "exploit_attempt"      # plugin content tried to exploit
+EXPLOIT_SUCCESS = "exploit_success"
+DOWNLOAD = "download"
+EVAL_CALL = "eval"
+TIMER_SET = "timer_set"
+SCRIPT_ERROR = "script_error"
+DIALOG = "dialog"                        # alert/confirm/prompt
+POPUP = "popup"                          # window.open
+COOKIE_SET = "cookie_set"
+REDIRECT = "redirect"                    # HTTP-level redirect observed
+NX_REDIRECT = "nx_redirect"              # redirect chain hit NXDOMAIN
+
+
+@dataclass
+class BrowserEvent:
+    """One observed behaviour."""
+
+    kind: str
+    frame_url: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"BrowserEvent({self.kind}, {self.frame_url}, {self.data})"
+
+
+class EventLog:
+    """Ordered collection of :class:`BrowserEvent`."""
+
+    def __init__(self) -> None:
+        self.events: list[BrowserEvent] = []
+
+    def record(self, kind: str, frame_url: str, **data: Any) -> BrowserEvent:
+        event = BrowserEvent(kind, frame_url, data)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, *kinds: str) -> list[BrowserEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[BrowserEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

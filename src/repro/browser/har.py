@@ -1,0 +1,83 @@
+"""HAR-style HTTP traffic capture.
+
+The paper captured all HTTP traffic during crawling "for further
+investigation"; the blacklist oracle in particular checks *every domain
+observed serving advertisement content*, which requires the full request
+log, not just the final document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.web.http import Exchange
+from repro.web.url import Url, etld_plus_one
+
+
+@dataclass
+class HarEntry:
+    """One captured request/response pair."""
+
+    url: str
+    host: str
+    status: int
+    content_type: str
+    referer: Optional[str]
+    body_size: int
+    location: Optional[str] = None  # redirect target, when status is 3xx
+
+    @property
+    def registered_domain(self) -> str:
+        return etld_plus_one(self.host)
+
+    @classmethod
+    def from_exchange(cls, exchange: Exchange) -> "HarEntry":
+        request = exchange.request
+        response = exchange.response
+        return cls(
+            url=str(request.url),
+            host=request.url.host,
+            status=response.status,
+            content_type=response.content_type,
+            referer=str(request.referer) if request.referer else None,
+            body_size=len(response.body),
+            location=response.headers.get("location"),
+        )
+
+
+class HarLog:
+    """Ordered log of all HTTP exchanges observed during a page load."""
+
+    def __init__(self) -> None:
+        self.entries: list[HarEntry] = []
+
+    def observe(self, exchange: Exchange) -> None:
+        """HttpClient observer hook."""
+        self.entries.append(HarEntry.from_exchange(exchange))
+
+    def hosts(self) -> list[str]:
+        """Unique hosts contacted, in first-seen order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.host, None)
+        return list(seen)
+
+    def registered_domains(self) -> list[str]:
+        """Unique eTLD+1 domains contacted, in first-seen order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.registered_domain, None)
+        return list(seen)
+
+    def redirect_entries(self) -> list[HarEntry]:
+        return [e for e in self.entries if 300 <= e.status < 400]
+
+    def failed_entries(self) -> list[HarEntry]:
+        return [e for e in self.entries if e.status >= 400]
+
+    def __iter__(self) -> Iterator[HarEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,94 @@
+"""Loaded-page model: a tree of frames, each with its own document.
+
+Advertisements live in iframes (the paper extracted them per-iframe), so
+the frame tree is a first-class object: each :class:`Frame` knows its URL,
+its parsed document, its parent, and the child frames discovered while
+loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.web.dom import Document, Element
+from repro.web.url import Url
+
+
+class Frame:
+    """One browsing context (the top window or an iframe)."""
+
+    def __init__(
+        self,
+        url: Url,
+        document: Document,
+        parent: Optional["Frame"] = None,
+        element: Optional[Element] = None,
+        source_html: str = "",
+    ) -> None:
+        self.url = url
+        self.document = document
+        self.parent = parent
+        self.element = element  # the <iframe> element in the parent document
+        self.source_html = source_html  # the markup as received over HTTP
+        self.children: list["Frame"] = []
+        self.navigations: list[str] = []  # URLs this frame navigated itself to
+
+    @property
+    def is_top(self) -> bool:
+        return self.parent is None
+
+    @property
+    def top(self) -> "Frame":
+        frame = self
+        while frame.parent is not None:
+            frame = frame.parent
+        return frame
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        frame = self
+        while frame.parent is not None:
+            depth += 1
+            frame = frame.parent
+        return depth
+
+    def add_child(self, child: "Frame") -> "Frame":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_frames(self) -> Iterator["Frame"]:
+        """This frame and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_frames()
+
+    def __repr__(self) -> str:
+        return f"Frame({self.url}, depth={self.depth}, children={len(self.children)})"
+
+
+class Page:
+    """The result of rendering one top-level URL."""
+
+    def __init__(self, main_frame: Frame) -> None:
+        self.main_frame = main_frame
+
+    @property
+    def url(self) -> Url:
+        return self.main_frame.url
+
+    @property
+    def document(self) -> Document:
+        return self.main_frame.document
+
+    def all_frames(self) -> list[Frame]:
+        return list(self.main_frame.iter_frames())
+
+    def iframes(self) -> list[Frame]:
+        """All non-top frames."""
+        return [f for f in self.all_frames() if not f.is_top]
+
+    def __repr__(self) -> str:
+        return f"Page({self.url}, frames={len(self.all_frames())})"

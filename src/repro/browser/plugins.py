@@ -1,0 +1,112 @@
+"""Browser plugin emulation.
+
+Drive-by downloads in the paper target vulnerabilities in browser plugins
+(Flash, Java, PDF readers).  The emulated browser advertises a plugin
+profile through ``navigator.plugins``; malicious Flash/Java content carries
+a target CVE, and exploitation succeeds only when the profile contains a
+plugin vulnerable to that CVE — which is why honeyclients deliberately run
+old, vulnerable plugin sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Plugin:
+    """An installed browser plugin."""
+
+    name: str
+    version: str
+    mime_types: tuple[str, ...]
+    vulnerable_to: frozenset[str] = frozenset()
+
+    @property
+    def description(self) -> str:
+        return f"{self.name} {self.version}"
+
+
+@dataclass
+class ExploitOutcome:
+    """Result of an exploitation attempt against the plugin profile."""
+
+    cve: str
+    plugin: Optional[Plugin]
+    succeeded: bool
+
+
+class PluginProfile:
+    """The set of plugins the emulated browser exposes."""
+
+    def __init__(self, plugins: list[Plugin]) -> None:
+        self.plugins = list(plugins)
+
+    def find_by_mime(self, mime_type: str) -> Optional[Plugin]:
+        for plugin in self.plugins:
+            if mime_type in plugin.mime_types:
+                return plugin
+        return None
+
+    def find_by_name(self, fragment: str) -> Optional[Plugin]:
+        fragment = fragment.lower()
+        for plugin in self.plugins:
+            if fragment in plugin.name.lower():
+                return plugin
+        return None
+
+    def attempt_exploit(self, cve: str) -> ExploitOutcome:
+        """Try ``cve`` against every installed plugin."""
+        for plugin in self.plugins:
+            if cve in plugin.vulnerable_to:
+                return ExploitOutcome(cve, plugin, succeeded=True)
+        return ExploitOutcome(cve, None, succeeded=False)
+
+    def names(self) -> list[str]:
+        return [p.description for p in self.plugins]
+
+
+# CVE identifiers used throughout the simulation.  They name real 2013/2014
+# vulnerability classes the paper's era of exploit kits targeted.
+FLASH_CVES = ("CVE-2013-0634", "CVE-2014-0515")
+JAVA_CVES = ("CVE-2013-2465", "CVE-2012-4681")
+PDF_CVES = ("CVE-2013-0640",)
+ALL_CVES = FLASH_CVES + JAVA_CVES + PDF_CVES
+
+
+def vulnerable_profile() -> PluginProfile:
+    """A deliberately outdated profile, as a honeyclient would run."""
+    return PluginProfile(
+        [
+            Plugin(
+                "Shockwave Flash",
+                "11.5.502.110",
+                ("application/x-shockwave-flash",),
+                frozenset(FLASH_CVES),
+            ),
+            Plugin(
+                "Java(TM) Platform",
+                "1.7.0_17",
+                ("application/x-java-applet",),
+                frozenset(JAVA_CVES),
+            ),
+            Plugin(
+                "Adobe Acrobat",
+                "10.1.5",
+                ("application/pdf",),
+                frozenset(PDF_CVES),
+            ),
+        ]
+    )
+
+
+def patched_profile() -> PluginProfile:
+    """A fully patched profile: exploitation attempts always fail."""
+    return PluginProfile(
+        [
+            Plugin("Shockwave Flash", "14.0.0.125", ("application/x-shockwave-flash",)),
+            Plugin("Java(TM) Platform", "1.8.0_11", ("application/x-java-applet",)),
+            Plugin("Adobe Acrobat", "11.0.7", ("application/pdf",)),
+        ]
+    )

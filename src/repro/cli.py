@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``repro-study study``       — run the full pipeline, print the §4 report;
+* ``repro-study figures``     — alias printing only the tables/figures;
+* ``repro-study countermeasures`` — the §5 defences side by side;
+* ``repro-study clickfraud``  — the intro's click-fraud workload + detectors;
+* ``repro-study scarecrow``   — the SCARECROW defence experiment.
+
+Every subcommand accepts ``--seed`` and the scale flags; all runs are
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.persistence import save_corpus, save_verdicts
+from repro.core.report import build_report
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--days", type=int, default=4,
+                        help="crawl days (paper: 90)")
+    parser.add_argument("--refreshes", type=int, default=4,
+                        help="page refreshes per visit (paper: 5)")
+    parser.add_argument("--sites", type=int, default=25,
+                        help="sites per cluster (paper: 10,000+)")
+    parser.add_argument("--feed-sites", type=int, default=8)
+
+
+def _config_from(args: argparse.Namespace) -> StudyConfig:
+    return StudyConfig(
+        seed=args.seed,
+        days=args.days,
+        refreshes_per_visit=args.refreshes,
+        world_params=WorldParams(
+            n_top_sites=args.sites,
+            n_bottom_sites=args.sites,
+            n_other_sites=args.sites,
+            n_feed_sites=args.feed_sites,
+        ),
+    )
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    results = run_study(_config_from(args))
+    report = build_report(results)
+    print(report.render_markdown() if args.markdown else report.render())
+    if args.save_corpus:
+        n = save_corpus(results.corpus, args.save_corpus)
+        print(f"\nwrote {n} unique ads to {args.save_corpus}", file=sys.stderr)
+    if args.save_verdicts:
+        n = save_verdicts(results, args.save_verdicts)
+        print(f"wrote {n} verdicts to {args.save_verdicts}", file=sys.stderr)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    results = run_study(_config_from(args))
+    print(build_report(results).render())
+    return 0
+
+
+def _cmd_countermeasures(args: argparse.Namespace) -> int:
+    from repro.analysis.networks import analyze_networks
+    from repro.core.study import Study
+    from repro.countermeasures.adblock import simulate_adblock
+    from repro.countermeasures.browser_defense import AdPathDefense
+    from repro.countermeasures.penalties import PenaltyPolicy, apply_penalties
+    from repro.countermeasures.shared_blacklist import apply_shared_blacklist
+    from repro.datasets.world import build_world
+    from repro.filterlists.matcher import FilterEngine
+
+    config = _config_from(args)
+    baseline = run_study(config)
+    base = baseline.n_incidents
+    print(f"baseline: {base} incidents "
+          f"({baseline.malicious_fraction:.2%} of unique ads)\n")
+
+    world = build_world(config.seed, config.world_params)
+    shared = apply_shared_blacklist(world.networks, world.campaigns, 1.0)
+    defended = Study(config, world=world).run()
+    print(f"shared blacklist: {base} -> {defended.n_incidents} incidents "
+          f"({len(shared.rejected_campaigns)} campaigns listed)")
+
+    world = build_world(config.seed, config.world_params)
+    outcome = apply_penalties(world.networks, analyze_networks(baseline),
+                              PenaltyPolicy())
+    punished = Study(config, world=world).run()
+    print(f"penalties: {base} -> {punished.n_incidents} incidents "
+          f"({len(outcome.banned_networks)} networks banned)")
+
+    engine = FilterEngine.from_text(baseline.world.easylist_text)
+    print(simulate_adblock(baseline, engine).render())
+    defense = AdPathDefense.train_from_results(baseline)
+    print(defense.evaluate(baseline).render())
+    return 0
+
+
+def _cmd_clickfraud(args: argparse.Namespace) -> int:
+    from repro.clickfraud.detectors import (
+        BloomDuplicateDetector,
+        CtrAnomalyDetector,
+        SlidingWindowDetector,
+    )
+    from repro.clickfraud.events import Botnet, ClickStreamBuilder, OrganicAudience
+    from repro.clickfraud.evaluation import score_detector
+
+    campaigns = [f"cmp-{i}" for i in range(6)]
+    builder = ClickStreamBuilder(seed=args.seed)
+    for i in range(4):
+        builder.add_audience(OrganicAudience(
+            f"honest{i}.com", "net-a", campaigns, n_users=200, ctr=0.015))
+    builder.add_botnet(Botnet("fraudster.biz", "net-a", campaigns,
+                              n_bots=40, mode=args.mode))
+    stream = builder.build(args.steps)
+    fraud = sum(e.fraudulent for e in stream)
+    print(f"stream: {len(stream)} clicks, {fraud} fraudulent "
+          f"(mode: {args.mode})\n")
+    detectors = [
+        ("sliding-window dedup", SlidingWindowDetector(window=3)),
+        ("bloom dedup", BloomDuplicateDetector(window=3, capacity=200_000)),
+        ("CTR anomaly", CtrAnomalyDetector(factor=2.5)),
+    ]
+    for name, detector in detectors:
+        score = score_detector(stream, detector.flag_stream(stream))
+        print(score.render(name))
+    return 0
+
+
+def _cmd_scarecrow(args: argparse.Namespace) -> int:
+    from repro.countermeasures.scarecrow import run_scarecrow_experiment
+
+    print(run_scarecrow_experiment().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the full pipeline and report")
+    _add_scale_args(study)
+    study.add_argument("--markdown", action="store_true")
+    study.add_argument("--save-corpus", metavar="PATH")
+    study.add_argument("--save-verdicts", metavar="PATH")
+    study.set_defaults(fn=_cmd_study)
+
+    figures = sub.add_parser("figures", help="print every table and figure")
+    _add_scale_args(figures)
+    figures.set_defaults(fn=_cmd_figures)
+
+    counter = sub.add_parser("countermeasures", help="evaluate the §5 defences")
+    _add_scale_args(counter)
+    counter.set_defaults(fn=_cmd_countermeasures)
+
+    fraud = sub.add_parser("clickfraud", help="click-fraud workload + detectors")
+    fraud.add_argument("--seed", type=int, default=1)
+    fraud.add_argument("--steps", type=int, default=40)
+    fraud.add_argument("--mode", choices=("naive", "distributed", "duplicate_heavy"),
+                       default="duplicate_heavy")
+    fraud.set_defaults(fn=_cmd_clickfraud)
+
+    scarecrow = sub.add_parser("scarecrow", help="SCARECROW defence experiment")
+    scarecrow.set_defaults(fn=_cmd_scarecrow)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

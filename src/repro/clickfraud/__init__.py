@@ -1,0 +1,40 @@
+"""Click fraud: the scam that motivates the paper's introduction.
+
+§1 of the paper opens with click fraud — criminals register as publishers,
+point a botnet at their own pages, and collect per-click payouts — and
+cites the duplicate-click detection literature (Metwally et al. WWW'05,
+Zhang & Guan ICDCS'08) and click-spam measurement work.  This package
+implements that workload and the classic defences against it:
+
+* :mod:`repro.clickfraud.events` — click streams over the simulated
+  ecosystem (organic audiences + botnets in several attack modes);
+* :mod:`repro.clickfraud.bloom` — a from-scratch Bloom filter, the data
+  structure behind streaming duplicate detection;
+* :mod:`repro.clickfraud.detectors` — duplicate-click detectors (exact
+  sliding window, Bloom-filter jumping window) and a publisher-CTR anomaly
+  detector;
+* :mod:`repro.clickfraud.evaluation` — precision/recall scoring against
+  ground truth.
+"""
+
+from repro.clickfraud.bloom import BloomFilter
+from repro.clickfraud.detectors import (
+    BloomDuplicateDetector,
+    CtrAnomalyDetector,
+    SlidingWindowDetector,
+)
+from repro.clickfraud.events import Botnet, ClickEvent, ClickStreamBuilder, OrganicAudience
+from repro.clickfraud.evaluation import DetectorScore, score_detector
+
+__all__ = [
+    "BloomDuplicateDetector",
+    "BloomFilter",
+    "Botnet",
+    "ClickEvent",
+    "ClickStreamBuilder",
+    "CtrAnomalyDetector",
+    "DetectorScore",
+    "OrganicAudience",
+    "SlidingWindowDetector",
+    "score_detector",
+]

@@ -1,0 +1,72 @@
+"""A from-scratch Bloom filter.
+
+Streaming duplicate-click detection cannot afford to remember every click
+exactly; Metwally et al. used Bloom filters over jumping windows.  This is
+a standard k-hash Bloom filter with double hashing over SHA-256 halves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte/string items."""
+
+    def __init__(self, n_bits: int, n_hashes: int) -> None:
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if n_hashes <= 0:
+            raise ValueError("n_hashes must be positive")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._bits = bytearray((n_bits + 7) // 8)
+        self.n_added = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size the filter for ``capacity`` items at the target FP rate."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        n_bits = max(8, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        n_hashes = max(1, round(n_bits / capacity * math.log(2)))
+        return cls(n_bits, n_hashes)
+
+    def _positions(self, item: str | bytes) -> list[int]:
+        data = item.encode("utf-8") if isinstance(item, str) else item
+        digest = hashlib.sha256(data).digest()
+        h1 = int.from_bytes(digest[:16], "big")
+        h2 = int.from_bytes(digest[16:], "big") | 1  # odd => full period
+        return [(h1 + i * h2) % self.n_bits for i in range(self.n_hashes)]
+
+    def add(self, item: str | bytes) -> None:
+        for position in self._positions(item):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.n_added += 1
+
+    def __contains__(self, item: str | bytes) -> bool:
+        return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._positions(item))
+
+    def add_if_new(self, item: str | bytes) -> bool:
+        """Add ``item``; return True if it was (probably) not present."""
+        positions = self._positions(item)
+        present = all(self._bits[p >> 3] & (1 << (p & 7)) for p in positions)
+        if not present:
+            for position in positions:
+                self._bits[position >> 3] |= 1 << (position & 7)
+            self.n_added += 1
+        return not present
+
+    def clear(self) -> None:
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self.n_added = 0
+
+    @property
+    def estimated_fp_rate(self) -> float:
+        """Expected FP rate at the current fill level."""
+        fill = 1.0 - math.exp(-self.n_hashes * self.n_added / self.n_bits)
+        return fill ** self.n_hashes

@@ -1,0 +1,61 @@
+"""Detector evaluation against ground-truth fraud labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.clickfraud.events import ClickEvent
+
+
+@dataclass
+class DetectorScore:
+    """Confusion counts and derived rates for one detector run."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    def render(self, name: str = "detector") -> str:
+        return (f"{name}: precision {self.precision:.1%}, recall "
+                f"{self.recall:.1%}, F1 {self.f1:.2f}, "
+                f"FPR {self.false_positive_rate:.2%}")
+
+
+def score_detector(events: Sequence[ClickEvent], flags: Sequence[bool]) -> DetectorScore:
+    """Score per-event flags against the stream's ground truth."""
+    if len(events) != len(flags):
+        raise ValueError("one flag per event required")
+    tp = fp = tn = fn = 0
+    for event, flagged in zip(events, flags):
+        if event.fraudulent and flagged:
+            tp += 1
+        elif event.fraudulent:
+            fn += 1
+        elif flagged:
+            fp += 1
+        else:
+            tn += 1
+    return DetectorScore(tp, fp, tn, fn)

@@ -1,0 +1,124 @@
+"""Click-stream generation: organic audiences and click-fraud botnets.
+
+The fraud scheme from the paper's introduction: a criminal registers a
+website as a publisher, then drives a botnet to it that clicks the
+displayed advertisements.  Three classic attack profiles are modelled:
+
+* ``naive`` — few bots, high per-bot rates, many exact duplicates (what
+  duplicate detection catches trivially);
+* ``distributed`` — many bots, each clicking a handful of times (harder
+  for duplicate detection, still anomalous in aggregate CTR);
+* ``duplicate_heavy`` — bots re-click the same ad within short windows
+  (the Metwally et al. target case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.util.rand import fork, weighted_choice
+
+ATTACK_MODES = ("naive", "distributed", "duplicate_heavy")
+
+
+@dataclass(frozen=True)
+class ClickEvent:
+    """One click on an advertisement."""
+
+    step: int              # logical time step
+    user_id: str           # bot id or organic user id (an IP stands in)
+    publisher_domain: str
+    campaign_id: str
+    ad_network: str
+    fraudulent: bool       # ground truth label (hidden from detectors)
+
+    @property
+    def dedup_key(self) -> str:
+        """The identity used by duplicate-click detection."""
+        return f"{self.user_id}|{self.publisher_domain}|{self.campaign_id}"
+
+
+@dataclass
+class OrganicAudience:
+    """Legitimate visitors of one publisher."""
+
+    publisher_domain: str
+    ad_network: str
+    campaigns: Sequence[str]
+    n_users: int = 500
+    ctr: float = 0.01            # clicks per user per step
+    repeat_click_rate: float = 0.02  # occasional honest double-click
+
+    def clicks(self, steps: int, seed: int) -> Iterator[ClickEvent]:
+        rand = fork(seed, f"organic:{self.publisher_domain}")
+        for step in range(steps):
+            for user in range(self.n_users):
+                if rand.random() >= self.ctr:
+                    continue
+                campaign = rand.choice(list(self.campaigns))
+                event = ClickEvent(step, f"user-{self.publisher_domain}-{user}",
+                                   self.publisher_domain, campaign,
+                                   self.ad_network, fraudulent=False)
+                yield event
+                if rand.random() < self.repeat_click_rate:
+                    yield event  # honest double-click: same step, same ad
+
+
+@dataclass
+class Botnet:
+    """A click-fraud botnet pointed at the fraudster's publisher site."""
+
+    publisher_domain: str
+    ad_network: str
+    campaigns: Sequence[str]
+    n_bots: int = 50
+    mode: str = "naive"
+    clicks_per_bot_per_step: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ATTACK_MODES:
+            raise ValueError(f"unknown attack mode {self.mode!r}")
+
+    def clicks(self, steps: int, seed: int) -> Iterator[ClickEvent]:
+        rand = fork(seed, f"botnet:{self.publisher_domain}:{self.mode}")
+        rate = self.clicks_per_bot_per_step
+        if self.mode == "distributed":
+            rate = rate / 5  # spread thin across many bots
+        for step in range(steps):
+            for bot in range(self.n_bots):
+                n_clicks = 0
+                while rand.random() < rate and n_clicks < 8:
+                    n_clicks += 1
+                    campaign = rand.choice(list(self.campaigns))
+                    event = ClickEvent(step, f"bot-{self.publisher_domain}-{bot}",
+                                       self.publisher_domain, campaign,
+                                       self.ad_network, fraudulent=True)
+                    yield event
+                    if self.mode == "duplicate_heavy":
+                        for _ in range(rand.randrange(1, 4)):
+                            yield event
+
+
+class ClickStreamBuilder:
+    """Interleave organic and fraudulent clicks into one ordered stream."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._sources: list[object] = []
+
+    def add_audience(self, audience: OrganicAudience) -> "ClickStreamBuilder":
+        self._sources.append(audience)
+        return self
+
+    def add_botnet(self, botnet: Botnet) -> "ClickStreamBuilder":
+        self._sources.append(botnet)
+        return self
+
+    def build(self, steps: int) -> list[ClickEvent]:
+        """Materialise the stream, ordered by step (stable within a step)."""
+        events: list[ClickEvent] = []
+        for source in self._sources:
+            events.extend(source.clicks(steps, self.seed))  # type: ignore[attr-defined]
+        events.sort(key=lambda e: e.step)
+        return events

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: the malvertising measurement pipeline.
+
+:class:`~repro.core.oracle.CombinedOracle` fuses the three §3.2 oracle
+components into per-ad verdicts; :mod:`repro.core.incidents` defines the
+Table 1 incident taxonomy and classification precedence; and
+:class:`~repro.core.study.Study` drives the full experiment — crawl the
+simulated web, classify every unique advertisement, and hand the results
+to the :mod:`repro.analysis` modules that regenerate each table/figure.
+"""
+
+from repro.core.incidents import INCIDENT_TYPES, IncidentType, classify_incident
+from repro.core.oracle import AdVerdict, CombinedOracle
+from repro.core.results import StudyResults
+from repro.core.study import Study, StudyConfig, run_study
+
+__all__ = [
+    "AdVerdict",
+    "CombinedOracle",
+    "INCIDENT_TYPES",
+    "IncidentType",
+    "StudyConfig",
+    "StudyResults",
+    "Study",
+    "classify_incident",
+    "run_study",
+]

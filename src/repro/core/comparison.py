@@ -1,0 +1,176 @@
+"""Machine-checkable paper-vs-measured comparison.
+
+EXPERIMENTS.md claims the reproduction preserves the paper's *shapes*.
+This module turns those claims into code: :func:`compare_to_paper` runs
+every shape check against a results set and returns pass/fail per claim,
+so a regression in calibration shows up as a failing claim rather than a
+silently drifting document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.arbitration import analyze_arbitration
+from repro.analysis.categories import categorize_malvertising_sites
+from repro.analysis.clusters import BOTTOM, OTHER, TOP, analyze_clusters
+from repro.analysis.networks import analyze_networks
+from repro.analysis.sandbox import audit_sandbox_usage
+from repro.analysis.tables import build_table1
+from repro.analysis.tlds import tld_distribution
+from repro.core.incidents import IncidentType
+from repro.core.results import StudyResults
+
+
+@dataclass
+class Claim:
+    """One paper shape claim with its measured verdict."""
+
+    claim_id: str
+    description: str
+    holds: bool
+    measured: str
+
+    def render(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        return f"[{status}] {self.claim_id}: {self.description} ({self.measured})"
+
+
+@dataclass
+class ComparisonReport:
+    """All shape claims for one run."""
+
+    claims: list[Claim] = field(default_factory=list)
+
+    def add(self, claim_id: str, description: str, holds: bool, measured: str) -> None:
+        self.claims.append(Claim(claim_id, description, bool(holds), measured))
+
+    @property
+    def all_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def failing(self) -> list[Claim]:
+        return [claim for claim in self.claims if not claim.holds]
+
+    def render(self) -> str:
+        lines = ["paper-vs-measured shape claims:"]
+        lines.extend("  " + claim.render() for claim in self.claims)
+        lines.append(f"  => {sum(c.holds for c in self.claims)}/"
+                     f"{len(self.claims)} claims hold")
+        return "\n".join(lines)
+
+
+def compare_to_paper(results: StudyResults) -> ComparisonReport:
+    """Evaluate every paper shape claim against ``results``.
+
+    Meant for bench-scale runs; very small corpora make several claims
+    statistically meaningless (they will legitimately fail there).
+    """
+    report = ComparisonReport()
+
+    table = build_table1(results)
+    counts = table.counts
+    report.add(
+        "table1.ordering",
+        "blacklists > redirections >= heuristics >= model",
+        counts[IncidentType.BLACKLISTS] > counts[IncidentType.SUSPICIOUS_REDIRECTIONS]
+        >= counts[IncidentType.HEURISTICS] >= counts[IncidentType.MODEL_DETECTION],
+        f"counts={[counts[t] for t in counts]}",
+    )
+    report.add(
+        "table1.fraction",
+        "malicious fraction is ~1% (same order of magnitude)",
+        0.002 < table.malicious_fraction < 0.06,
+        f"{table.malicious_fraction:.2%}",
+    )
+
+    networks = analyze_networks(results)
+    implicated = networks.with_malvertising()
+    worst_ratio = implicated[0].malicious_ratio if implicated else 0.0
+    report.add(
+        "fig1.hot_networks",
+        "some networks approach/exceed 1/3 malvertising share",
+        worst_ratio > 0.26,
+        f"worst={worst_ratio:.1%}",
+    )
+    major_ratios = [s.malicious_ratio for s in networks.stats if s.tier == "major"]
+    report.add(
+        "fig1.clean_majors",
+        "major exchanges stay far cleaner than the worst offenders",
+        bool(major_ratios) and max(major_ratios) < worst_ratio / 3,
+        f"major_max={max(major_ratios):.1%}" if major_ratios else "no majors seen",
+    )
+    small = [s for s in implicated if networks.volume_share(s) < 0.02]
+    report.add(
+        "fig2.small_offenders",
+        "most implicated networks carry <2% of volume each",
+        len(small) >= len(implicated) * 0.5 if implicated else False,
+        f"{len(small)}/{len(implicated)} under 2%",
+    )
+
+    clusters = analyze_clusters(results)
+    report.add(
+        "clusters.top_dominates",
+        "top cluster dominates malvertising and volume (82.3%/76.6%)",
+        clusters.malicious_share(TOP) > 0.55 and clusters.total_share(TOP) > 0.55,
+        f"mal={clusters.malicious_share(TOP):.1%} vol={clusters.total_share(TOP):.1%}",
+    )
+    tracking = max(abs(clusters.malicious_share(c) - clusters.total_share(c))
+                   for c in (TOP, BOTTOM, OTHER))
+    report.add(
+        "clusters.tracks_volume",
+        "malicious split tracks volume split (miscreants chase impressions)",
+        tracking < 0.20,
+        f"max deviation={tracking:.1%}",
+    )
+
+    categories = categorize_malvertising_sites(results)
+    shares = categories.shares()
+    ent_news = shares.get("entertainment", 0.0) + shares.get("news", 0.0)
+    report.add(
+        "fig3.ent_news_block",
+        "entertainment+news make up roughly a third of malvertising sites",
+        ent_news > 0.18,
+        f"{ent_news:.1%}",
+    )
+
+    tlds = tld_distribution(results)
+    report.add(
+        "fig4.com_leads",
+        ".com leads and generic TLDs carry >~2/3 of malvertising sites",
+        tlds.ranked() and tlds.ranked()[0][0] == "com" and tlds.generic_share > 0.6,
+        f"com={tlds.share('com'):.1%} generic={tlds.generic_share:.1%}",
+    )
+
+    arbitration = analyze_arbitration(results)
+    report.add(
+        "fig5.lengths",
+        "benign chains cap near ~15-20; malicious stretch far longer",
+        arbitration.max_benign_length <= 22
+        and arbitration.max_malicious_length > arbitration.max_benign_length,
+        f"benign_max={arbitration.max_benign_length} "
+        f"malicious_max={arbitration.max_malicious_length}",
+    )
+    long_fraction = arbitration.fraction_longer_than(15, malicious=True)
+    report.add(
+        "fig5.long_tail",
+        "malicious chains >15 auctions are a small but real share (~2%)",
+        0.002 < long_fraction < 0.15,
+        f"{long_fraction:.1%}",
+    )
+    late = arbitration.late_hop_networks
+    report.add(
+        "fig5.late_hops_shady",
+        "late auctions happen among shady networks",
+        bool(late) and late.get("shady", 0) >= 0.8 * sum(late.values()),
+        f"late={dict(late)}",
+    )
+
+    sandbox = audit_sandbox_usage(results)
+    report.add(
+        "sandbox.zero_adoption",
+        "no crawled site sandboxes its ad iframes",
+        sandbox.sites_using_sandbox == 0,
+        f"{sandbox.sites_using_sandbox} adopters",
+    )
+    return report

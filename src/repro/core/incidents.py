@@ -1,0 +1,79 @@
+"""Incident taxonomy (Table 1 of the paper).
+
+An advertisement may trigger several detectors at once; the paper counts
+each misbehaving advertisement as one *incident*, categorised by detection
+source.  The precedence below assigns an ad to the strongest available
+evidence class, mirroring the paper's analysis procedure (blacklist
+intelligence first, then the traffic-level redirect heuristics, then the
+behavioural heuristics, then file-level AV confirmation, with the anomaly
+model as the catch-all for otherwise-invisible ads).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.oracle import AdVerdict
+
+
+class IncidentType:
+    """Table 1 rows."""
+
+    BLACKLISTS = "blacklists"
+    SUSPICIOUS_REDIRECTIONS = "suspicious_redirections"
+    HEURISTICS = "heuristics"
+    MALICIOUS_EXECUTABLES = "malicious_executables"
+    MALICIOUS_FLASH = "malicious_flash"
+    MODEL_DETECTION = "model_detection"
+
+
+# Classification precedence: first matching signal wins.
+INCIDENT_TYPES = (
+    IncidentType.BLACKLISTS,
+    IncidentType.SUSPICIOUS_REDIRECTIONS,
+    IncidentType.HEURISTICS,
+    IncidentType.MALICIOUS_EXECUTABLES,
+    IncidentType.MALICIOUS_FLASH,
+    IncidentType.MODEL_DETECTION,
+)
+
+# Human-readable labels matching the paper's Table 1.
+INCIDENT_LABELS = {
+    IncidentType.BLACKLISTS: "Blacklists",
+    IncidentType.SUSPICIOUS_REDIRECTIONS: "Suspicious redirections",
+    IncidentType.HEURISTICS: "Heuristics",
+    IncidentType.MALICIOUS_EXECUTABLES: "Malicious executables",
+    IncidentType.MALICIOUS_FLASH: "Malicious Flash",
+    IncidentType.MODEL_DETECTION: "Model detection",
+}
+
+# Paper's reported counts, for EXPERIMENTS.md comparison.
+PAPER_TABLE1 = {
+    IncidentType.BLACKLISTS: 4794,
+    IncidentType.SUSPICIOUS_REDIRECTIONS: 1396,
+    IncidentType.HEURISTICS: 309,
+    IncidentType.MALICIOUS_EXECUTABLES: 68,
+    IncidentType.MALICIOUS_FLASH: 31,
+    IncidentType.MODEL_DETECTION: 3,
+}
+
+PAPER_TOTAL_INCIDENTS = sum(PAPER_TABLE1.values())
+PAPER_CORPUS_SIZE = 673_596
+
+
+def classify_incident(verdict: "AdVerdict") -> Optional[str]:
+    """Assign the Table 1 bucket for a verdict; ``None`` when benign."""
+    if verdict.blacklist_hits:
+        return IncidentType.BLACKLISTS
+    if verdict.wepawet.suspicious_redirection:
+        return IncidentType.SUSPICIOUS_REDIRECTIONS
+    if verdict.wepawet.driveby_heuristic:
+        return IncidentType.HEURISTICS
+    if verdict.malicious_executables:
+        return IncidentType.MALICIOUS_EXECUTABLES
+    if verdict.malicious_flash:
+        return IncidentType.MALICIOUS_FLASH
+    if verdict.wepawet.model_detection:
+        return IncidentType.MODEL_DETECTION
+    return None

@@ -1,0 +1,124 @@
+"""Longitudinal study: crawl days interleaved with ecosystem dynamics.
+
+The single-shot :class:`~repro.core.study.Study` freezes the world; a
+three-month crawl does not get that luxury — domains get taken down,
+campaigns rotate infrastructure, blacklists lag.  ``LongitudinalStudy``
+runs one crawl day at a time, hands the day's observations to the
+:class:`~repro.adnet.takedowns.TakedownAuthority`, and records per-day
+statistics so the temporal analysis can show the arms race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adnet.takedowns import TakedownAuthority
+from repro.browser import events as ev
+from repro.browser.browser import Browser
+from repro.core.results import StudyResults
+from repro.crawler.corpus import AdCorpus
+from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.schedule import Visit
+from repro.datasets.world import World, WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+from repro.util.rand import fork
+
+
+@dataclass
+class DayStats:
+    """Observations of one crawl day."""
+
+    day: int
+    pages_visited: int = 0
+    pages_failed: int = 0
+    ad_impressions: int = 0
+    new_unique_ads: int = 0
+    nx_redirect_events: int = 0
+    observed_serving_domains: set[str] = field(default_factory=set)
+    takedowns: int = 0
+    rotations: int = 0
+
+
+@dataclass
+class LongitudinalConfig:
+    """Knobs for a longitudinal run."""
+
+    seed: int = 2014
+    days: int = 10
+    refreshes_per_visit: int = 3
+    takedown_probability: float = 0.5
+    rotation_probability: float = 0.7
+    listing_lag_days: int = 2
+    world_params: Optional[WorldParams] = None
+
+
+class LongitudinalStudy:
+    """Crawl with live takedown/rotation dynamics."""
+
+    def __init__(self, config: Optional[LongitudinalConfig] = None,
+                 world: Optional[World] = None) -> None:
+        self.config = config or LongitudinalConfig()
+        self.world = world or build_world(self.config.seed, self.config.world_params)
+        self.authority = TakedownAuthority(
+            self.world,
+            takedown_probability=self.config.takedown_probability,
+            rotation_probability=self.config.rotation_probability,
+            listing_lag_days=self.config.listing_lag_days,
+        )
+        self.day_stats: list[DayStats] = []
+        self.corpus = AdCorpus()
+        self.crawl_stats = CrawlStats()
+
+    def run(self) -> "LongitudinalStudy":
+        rng = fork(self.config.seed, "longitudinal-browser")
+        browser = Browser(self.world.client, script_random=rng.random)
+        engine = FilterEngine.from_text(self.world.easylist_text)
+        crawler = Crawler(browser, engine)
+        urls = [p.url for p in self.world.crawl_sites]
+
+        for day in range(self.config.days):
+            stats = DayStats(day=day)
+            unique_before = self.corpus.unique_ads
+            failed_before = self.crawl_stats.pages_failed
+            visited_before = self.crawl_stats.pages_visited
+            impressions_before = self.corpus.total_impressions
+            for url in urls:
+                for refresh in range(self.config.refreshes_per_visit):
+                    visit = Visit(url, day, refresh)
+                    load = crawler.visit(visit, self.corpus, self.crawl_stats)
+                    if load is not None:
+                        stats.nx_redirect_events += load.events.count(ev.NX_REDIRECT)
+            stats.pages_visited = self.crawl_stats.pages_visited - visited_before
+            stats.pages_failed = self.crawl_stats.pages_failed - failed_before
+            stats.ad_impressions = self.corpus.total_impressions - impressions_before
+            stats.new_unique_ads = self.corpus.unique_ads - unique_before
+            stats.observed_serving_domains = self._domains_observed_on(day)
+            events = self.authority.process_day(day, stats.observed_serving_domains)
+            stats.takedowns = len(events)
+            stats.rotations = sum(1 for e in events if e.rotated_to)
+            self.day_stats.append(stats)
+        return self
+
+    def _domains_observed_on(self, day: int) -> set[str]:
+        """Every domain observed serving ad content on ``day``.
+
+        Includes asset hosts referenced by that day's creatives (the ones
+        abuse reports would name), extracted from the stored creative HTML.
+        """
+        import re
+
+        domains: set[str] = set()
+        for record in self.corpus.records():
+            if not any(i.day == day for i in record.impressions):
+                continue
+            for impression in record.impressions:
+                if impression.day == day:
+                    domains.update(impression.chain_domains)
+            domains.update(re.findall(r"http://([a-z0-9.-]+)/", record.html))
+        return {d.lower() for d in domains}
+
+    def results_skeleton(self) -> StudyResults:
+        """Wrap the longitudinal corpus for the standard analyses."""
+        return StudyResults(world=self.world, corpus=self.corpus,
+                            crawl_stats=self.crawl_stats)

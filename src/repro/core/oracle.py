@@ -1,0 +1,95 @@
+"""The combined oracle (§3.2).
+
+For every unique advertisement in the corpus the oracle:
+
+1. submits the ad document to the Wepawet honeyclient and gets back the
+   behavioural report (redirect heuristics, drive-by heuristics, anomaly
+   model score, downloads, contacted domains);
+2. checks every domain observed serving the ad's content — from both the
+   honeyclient run and the crawl-time arbitration chains — against the
+   49-blacklist tracker;
+3. submits every downloaded executable/Flash file to the simulated
+   VirusTotal and applies the engine-consensus threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crawler.corpus import AdRecord
+from repro.oracles.blacklists import BlacklistHit, BlacklistTracker
+from repro.oracles.virustotal import VirusTotal, VTReport
+from repro.oracles.wepawet import Wepawet, WepawetReport
+
+VT_CONSENSUS_THRESHOLD = 4
+
+
+@dataclass
+class AdVerdict:
+    """Everything the oracle concluded about one unique advertisement."""
+
+    ad_id: str
+    wepawet: WepawetReport
+    blacklist_hits: list[BlacklistHit] = field(default_factory=list)
+    vt_reports: list[VTReport] = field(default_factory=list)
+    malicious_executables: int = 0
+    malicious_flash: int = 0
+
+    @property
+    def is_malicious(self) -> bool:
+        from repro.core.incidents import classify_incident
+
+        return classify_incident(self) is not None
+
+    @property
+    def incident_type(self) -> Optional[str]:
+        from repro.core.incidents import classify_incident
+
+        return classify_incident(self)
+
+
+class CombinedOracle:
+    """Fuses Wepawet, the blacklist tracker, and VirusTotal."""
+
+    def __init__(
+        self,
+        wepawet: Wepawet,
+        blacklists: BlacklistTracker,
+        virustotal: VirusTotal,
+        vt_threshold: int = VT_CONSENSUS_THRESHOLD,
+    ) -> None:
+        self.wepawet = wepawet
+        self.blacklists = blacklists
+        self.virustotal = virustotal
+        self.vt_threshold = vt_threshold
+
+    def judge(self, record: AdRecord) -> AdVerdict:
+        """Produce the verdict for one unique advertisement."""
+        report = self.wepawet.analyze_html(record.html)
+        domains = set(report.contacted_domains)
+        domains.update(record.serving_domains)
+        for impression in record.impressions:
+            domains.update(impression.chain_domains)
+        hits = self.blacklists.check_domains(sorted(domains))
+
+        vt_reports: list[VTReport] = []
+        malicious_exe = 0
+        malicious_flash = 0
+        for download in report.downloads:
+            vt_report = self.virustotal.scan(download.data)
+            vt_reports.append(vt_report)
+            if not vt_report.is_malicious(self.vt_threshold):
+                continue
+            if download.is_executable:
+                malicious_exe += 1
+            elif download.is_flash:
+                malicious_flash += 1
+        return AdVerdict(
+            ad_id=record.ad_id,
+            wepawet=report,
+            blacklist_hits=hits,
+            vt_reports=vt_reports,
+            malicious_executables=malicious_exe,
+            malicious_flash=malicious_flash,
+        )

@@ -1,0 +1,142 @@
+"""Persistence: save and reload crawl corpora and verdicts.
+
+A three-month crawl is expensive; the paper's pipeline necessarily
+separated collection from analysis.  The formats here are line-oriented
+JSON (one unique ad per line with all its impressions) so corpora can be
+streamed, diffed, and appended across crawl sessions, plus a flat verdict
+summary for downstream consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.results import StudyResults
+from repro.crawler.corpus import AdCorpus, AdRecord, Impression
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _impression_to_dict(impression: Impression) -> dict:
+    return {
+        "site_domain": impression.site_domain,
+        "page_url": impression.page_url,
+        "day": impression.day,
+        "refresh": impression.refresh,
+        "slot_id": impression.slot_id,
+        "request_url": impression.request_url,
+        "final_url": impression.final_url,
+        "chain_urls": list(impression.chain_urls),
+        "chain_domains": list(impression.chain_domains),
+    }
+
+
+def _impression_from_dict(data: dict) -> Impression:
+    return Impression(
+        site_domain=data["site_domain"],
+        page_url=data["page_url"],
+        day=data["day"],
+        refresh=data["refresh"],
+        slot_id=data["slot_id"],
+        request_url=data["request_url"],
+        final_url=data["final_url"],
+        chain_urls=tuple(data["chain_urls"]),
+        chain_domains=tuple(data["chain_domains"]),
+    )
+
+
+def record_to_dict(record: AdRecord) -> dict:
+    """Serialize one unique advertisement with all its impressions."""
+    return {
+        "version": FORMAT_VERSION,
+        "ad_id": record.ad_id,
+        "content_hash": record.content_hash,
+        "html": record.html,
+        "first_seen_url": record.first_seen_url,
+        "sandboxed_anywhere": record.sandboxed_anywhere,
+        "impressions": [_impression_to_dict(i) for i in record.impressions],
+    }
+
+
+def save_corpus(corpus: AdCorpus, path: PathLike) -> int:
+    """Write the corpus as JSONL; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in corpus.records():
+            handle.write(json.dumps(record_to_dict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_corpus(path: PathLike) -> AdCorpus:
+    """Reload a corpus saved by :func:`save_corpus`.
+
+    Records are re-added through the normal dedup path, so loading a file
+    produced by concatenating two sessions' corpora merges them correctly.
+    """
+    corpus = AdCorpus()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("version") != FORMAT_VERSION:
+                raise ValueError(f"unsupported corpus format: {data.get('version')!r}")
+            impressions = [_impression_from_dict(i) for i in data["impressions"]]
+            if not impressions:
+                continue
+            record = corpus.add(data["html"], impressions[0],
+                                sandboxed=data.get("sandboxed_anywhere", False))
+            for impression in impressions[1:]:
+                corpus.add(data["html"], impression)
+            _ = record
+    return corpus
+
+
+def verdicts_to_dicts(results: StudyResults) -> list[dict]:
+    """Flatten every verdict into a plain dict (for JSON export)."""
+    out = []
+    for record, verdict in results.iter_with_verdicts():
+        report = verdict.wepawet
+        out.append({
+            "ad_id": record.ad_id,
+            "content_hash": record.content_hash,
+            "incident_type": verdict.incident_type,
+            "is_malicious": verdict.is_malicious,
+            "n_impressions": record.n_impressions,
+            "serving_domains": sorted(record.serving_domains),
+            "publisher_domains": sorted(record.publisher_domains),
+            "blacklist_hits": [
+                {"domain": h.domain, "n_lists": h.n_lists}
+                for h in verdict.blacklist_hits
+            ],
+            "vt_positives": [r.positives for r in verdict.vt_reports],
+            "suspicious_redirection": report.suspicious_redirection,
+            "driveby_heuristic": report.driveby_heuristic,
+            "model_detection": report.model_detection,
+            "model_score": round(report.model_score, 3),
+        })
+    return out
+
+
+def save_verdicts(results: StudyResults, path: PathLike) -> int:
+    """Write the verdict summary as a JSON array; returns record count."""
+    rows = verdicts_to_dicts(results)
+    Path(path).write_text(json.dumps(rows, indent=1, sort_keys=True),
+                          encoding="utf-8")
+    return len(rows)
+
+
+def load_verdicts(path: PathLike) -> list[dict]:
+    """Reload a verdict summary written by :func:`save_verdicts`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError("verdict file must contain a JSON array")
+    return data

@@ -1,0 +1,77 @@
+"""One-shot study report.
+
+Collects every analysis of §4 (Table 1, Figures 1–5, cluster shares, the
+sandbox audit) into a single renderable report — what the CLI prints and
+what EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.arbitration import ArbitrationAnalysis, analyze_arbitration
+from repro.analysis.categories import CategoryBreakdown, categorize_malvertising_sites
+from repro.analysis.clusters import ClusterShares, analyze_clusters
+from repro.analysis.exposure import ExposureReport, analyze_exposure
+from repro.analysis.networks import NetworkAnalysis, analyze_networks
+from repro.analysis.sandbox import SandboxAudit, audit_sandbox_usage
+from repro.analysis.tables import Table1, build_table1
+from repro.analysis.tlds import TldBreakdown, tld_distribution
+from repro.core.results import StudyResults
+
+
+@dataclass
+class StudyReport:
+    """Every §4 analysis of one study run."""
+
+    corpus_unique_ads: int
+    corpus_impressions: int
+    table1: Table1
+    networks: NetworkAnalysis
+    clusters: ClusterShares
+    categories: CategoryBreakdown
+    tlds: TldBreakdown
+    arbitration: ArbitrationAnalysis
+    sandbox: SandboxAudit
+    exposure: ExposureReport
+
+    def render(self) -> str:
+        sections = [
+            f"corpus: {self.corpus_unique_ads} unique ads / "
+            f"{self.corpus_impressions} impressions "
+            "(paper: 673,596 unique ads)",
+            self.table1.render(),
+            self.networks.render_figure1(),
+            self.networks.render_figure2(),
+            "§4.2 cluster shares:\n" + self.clusters.render(),
+            self.categories.render(),
+            self.tlds.render(),
+            self.arbitration.render(),
+            self.sandbox.render(),
+            self.exposure.render(),
+        ]
+        return "\n\n".join(sections)
+
+    def render_markdown(self) -> str:
+        """The report as a standalone markdown document."""
+        return (
+            "# Malvertising study report\n\n"
+            "Reproduction of Zarras et al., IMC 2014.\n\n"
+            "```\n" + self.render() + "\n```\n"
+        )
+
+
+def build_report(results: StudyResults) -> StudyReport:
+    """Run every analysis over ``results``."""
+    return StudyReport(
+        corpus_unique_ads=results.corpus.unique_ads,
+        corpus_impressions=results.corpus.total_impressions,
+        table1=build_table1(results),
+        networks=analyze_networks(results),
+        clusters=analyze_clusters(results),
+        categories=categorize_malvertising_sites(results),
+        tlds=tld_distribution(results),
+        arbitration=analyze_arbitration(results),
+        sandbox=audit_sandbox_usage(results),
+        exposure=analyze_exposure(results),
+    )

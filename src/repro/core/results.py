@@ -1,0 +1,48 @@
+"""Study results container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.oracle import AdVerdict
+from repro.crawler.corpus import AdCorpus, AdRecord
+from repro.crawler.crawler import CrawlStats
+from repro.datasets.world import World
+
+
+@dataclass
+class StudyResults:
+    """Everything the experiment produced: corpus, stats, verdicts."""
+
+    world: World
+    corpus: AdCorpus
+    crawl_stats: CrawlStats
+    verdicts: dict[str, AdVerdict] = field(default_factory=dict)  # by ad_id
+
+    # -- convenience accessors -------------------------------------------------
+
+    def verdict_for(self, record: AdRecord) -> Optional[AdVerdict]:
+        return self.verdicts.get(record.ad_id)
+
+    def malicious_records(self) -> list[AdRecord]:
+        return [r for r in self.corpus.records()
+                if self.verdicts[r.ad_id].is_malicious]
+
+    def benign_records(self) -> list[AdRecord]:
+        return [r for r in self.corpus.records()
+                if not self.verdicts[r.ad_id].is_malicious]
+
+    def iter_with_verdicts(self) -> Iterator[tuple[AdRecord, AdVerdict]]:
+        for record in self.corpus.records():
+            yield record, self.verdicts[record.ad_id]
+
+    @property
+    def n_incidents(self) -> int:
+        return sum(1 for v in self.verdicts.values() if v.is_malicious)
+
+    @property
+    def malicious_fraction(self) -> float:
+        if not self.verdicts:
+            return 0.0
+        return self.n_incidents / len(self.verdicts)

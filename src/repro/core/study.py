@@ -1,0 +1,93 @@
+"""End-to-end study driver.
+
+``run_study`` is the one-call reproduction of the paper's methodology:
+build (or accept) a simulated world, crawl it on the paper's schedule,
+classify every unique advertisement with the combined oracle, and return a
+:class:`~repro.core.results.StudyResults` ready for the per-figure analysis
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser.browser import Browser
+from repro.core.oracle import CombinedOracle
+from repro.core.results import StudyResults
+from repro.crawler.crawler import Crawler
+from repro.crawler.schedule import CrawlSchedule
+from repro.datasets.world import World, WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+from repro.oracles.blacklists import BlacklistTracker
+from repro.oracles.virustotal import VirusTotal
+from repro.oracles.wepawet import Wepawet
+from repro.util.rand import fork
+
+
+@dataclass
+class StudyConfig:
+    """Knobs for one full study run."""
+
+    seed: int = 2014
+    days: int = 3
+    refreshes_per_visit: int = 5
+    blacklist_threshold: int = 5
+    vt_threshold: int = 4
+    world_params: Optional[WorldParams] = None
+
+
+class Study:
+    """The full measurement pipeline, step by step.
+
+    Use :func:`run_study` for the one-shot version; instantiate ``Study``
+    directly when you need to intervene between phases (the countermeasure
+    ablations do).
+    """
+
+    def __init__(self, config: Optional[StudyConfig] = None,
+                 world: Optional[World] = None) -> None:
+        self.config = config or StudyConfig()
+        self.world = world or build_world(self.config.seed, self.config.world_params)
+
+    def build_crawler(self) -> Crawler:
+        rng = fork(self.config.seed, "crawler-browser")
+        browser = Browser(self.world.client, script_random=rng.random)
+        engine = FilterEngine.from_text(self.world.easylist_text)
+        return Crawler(browser, engine)
+
+    def build_oracle(self) -> CombinedOracle:
+        rng = fork(self.config.seed, "oracle-browser")
+        wepawet = Wepawet(self.world.client, self.world.resolver)
+        wepawet.browser.plugin_profile  # (vulnerable by construction)
+        wepawet.browser._script_random = rng.random
+        blacklists = BlacklistTracker(self.world.blacklists,
+                                      threshold=self.config.blacklist_threshold)
+        virustotal = VirusTotal(seed=self.config.seed)
+        return CombinedOracle(wepawet, blacklists, virustotal,
+                              vt_threshold=self.config.vt_threshold)
+
+    def crawl(self) -> StudyResults:
+        """Phase 1: crawl every site on the schedule."""
+        crawler = self.build_crawler()
+        urls = [p.url for p in self.world.crawl_sites]
+        schedule = CrawlSchedule(urls, self.config.days,
+                                 self.config.refreshes_per_visit)
+        corpus, stats = crawler.crawl(schedule)
+        return StudyResults(world=self.world, corpus=corpus, crawl_stats=stats)
+
+    def classify(self, results: StudyResults) -> StudyResults:
+        """Phase 2: run the combined oracle over every unique ad."""
+        oracle = self.build_oracle()
+        for record in results.corpus.records():
+            results.verdicts[record.ad_id] = oracle.judge(record)
+        return results
+
+    def run(self) -> StudyResults:
+        return self.classify(self.crawl())
+
+
+def run_study(config: Optional[StudyConfig] = None,
+              world: Optional[World] = None) -> StudyResults:
+    """Build the world (unless given), crawl it, classify everything."""
+    return Study(config, world).run()

@@ -1,0 +1,24 @@
+"""Countermeasures (§5 of the paper), as runnable what-if experiments.
+
+The paper proposes proactive defences (a blacklist of rejected creatives
+shared across ad networks; arbitration penalties for networks caught
+serving malvertisements) and reactive ones (ad-path alarms in the browser;
+client-side ad blocking).  Each module here implements one of them against
+the simulated ecosystem so their effect can be measured with the same
+pipeline that measured the baseline.
+"""
+
+from repro.countermeasures.adblock import AdblockUser, simulate_adblock
+from repro.countermeasures.browser_defense import AdPathDefense
+from repro.countermeasures.penalties import PenaltyPolicy, apply_penalties
+from repro.countermeasures.shared_blacklist import SharedSubmissionBlacklist, apply_shared_blacklist
+
+__all__ = [
+    "AdPathDefense",
+    "AdblockUser",
+    "PenaltyPolicy",
+    "SharedSubmissionBlacklist",
+    "apply_penalties",
+    "apply_shared_blacklist",
+    "simulate_adblock",
+]

@@ -1,0 +1,80 @@
+"""§5.2: client-side ad blocking as the last line of defence.
+
+A user running Adblock Plus never fetches ad iframes at all, which blocks
+malvertising completely for covered ad hosts — at the price of the
+publisher's revenue (the "domino effect in the Internet's economy" the
+paper warns a universal adoption would cause).  The simulation replays the
+measured corpus through a user-side filter engine and reports both sides of
+the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import StudyResults
+from repro.filterlists.matcher import FilterEngine
+
+
+@dataclass
+class AdblockOutcome:
+    """What a filter-list user would have experienced."""
+
+    total_impressions: int
+    blocked_impressions: int
+    malicious_impressions: int
+    blocked_malicious: int
+
+    @property
+    def malicious_exposure_reduction(self) -> float:
+        if self.malicious_impressions == 0:
+            return 0.0
+        return self.blocked_malicious / self.malicious_impressions
+
+    @property
+    def revenue_loss(self) -> float:
+        """Fraction of all ad impressions (publisher revenue) suppressed."""
+        if self.total_impressions == 0:
+            return 0.0
+        return self.blocked_impressions / self.total_impressions
+
+    def render(self) -> str:
+        return (
+            f"Adblock simulation: blocks {self.blocked_malicious}/"
+            f"{self.malicious_impressions} malicious impressions "
+            f"({self.malicious_exposure_reduction:.1%}) at the cost of "
+            f"{self.revenue_loss:.1%} of all ad impressions"
+        )
+
+
+@dataclass
+class AdblockUser:
+    """A user whose browser runs the given filter list."""
+
+    engine: FilterEngine
+
+    def would_block(self, request_url: str, page_url: str) -> bool:
+        return self.engine.is_ad_url(request_url, page_url,
+                                     resource_type="subdocument")
+
+
+def simulate_adblock(results: StudyResults, engine: FilterEngine) -> AdblockOutcome:
+    """Replay the crawl's ad impressions through a client-side filter."""
+    user = AdblockUser(engine)
+    total = blocked = malicious = blocked_malicious = 0
+    for record, verdict in results.iter_with_verdicts():
+        for impression in record.impressions:
+            total += 1
+            is_blocked = user.would_block(impression.request_url, impression.page_url)
+            if is_blocked:
+                blocked += 1
+            if verdict.is_malicious:
+                malicious += 1
+                if is_blocked:
+                    blocked_malicious += 1
+    return AdblockOutcome(
+        total_impressions=total,
+        blocked_impressions=blocked,
+        malicious_impressions=malicious,
+        blocked_malicious=blocked_malicious,
+    )

@@ -1,0 +1,131 @@
+"""§5.2: a topology-aware browser defence (after Li et al., CCS 2012).
+
+The reactive defence the paper cites learns the *ad paths* that lead to
+malicious content and raises an alarm while the browser is still walking
+such a path — before the exploit server is reached.  The reproduction
+trains on previously-observed incident paths (arbitration-chain domains and
+their topological features) and then alarms on path prefixes that match the
+learned knowledge base.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.results import StudyResults
+from repro.crawler.corpus import Impression
+
+
+@dataclass
+class AdPathDefense:
+    """A knowledge base of malicious ad-path topology.
+
+    A domain is *implicated* when it appeared in at least
+    ``min_domain_score`` known malicious paths **and** malicious paths make
+    up at least ``min_domain_ratio`` of all its observed traffic — so the
+    big exchanges, which relay both kinds, never trip the alarm by mere
+    presence.  A path also alarms on topological anomaly: being longer than
+    practically every benign path ever observed.
+    """
+
+    bad_domain_scores: Counter = field(default_factory=Counter)
+    benign_length_quantile: int = 0
+    min_domain_score: int = 2
+    min_domain_ratio: float = 0.3
+
+    # -- training ----------------------------------------------------------
+
+    @classmethod
+    def train(cls, malicious_paths: Sequence[Sequence[str]],
+              benign_paths: Sequence[Sequence[str]],
+              min_domain_score: int = 2,
+              min_domain_ratio: float = 0.3) -> "AdPathDefense":
+        defense = cls(min_domain_score=min_domain_score,
+                      min_domain_ratio=min_domain_ratio)
+        malicious_counts: Counter = Counter()
+        benign_counts: Counter = Counter()
+        for path in malicious_paths:
+            for domain in set(path):
+                malicious_counts[domain] += 1
+        for path in benign_paths:
+            for domain in set(path):
+                benign_counts[domain] += 1
+        for domain, bad in malicious_counts.items():
+            ratio = bad / (bad + benign_counts.get(domain, 0))
+            if ratio >= min_domain_ratio:
+                defense.bad_domain_scores[domain] = bad
+        lengths = sorted(len(p) for p in benign_paths) or [0]
+        defense.benign_length_quantile = lengths[int(len(lengths) * 0.995)] \
+            if lengths else 0
+        return defense
+
+    @classmethod
+    def train_from_results(cls, results: StudyResults) -> "AdPathDefense":
+        malicious_paths = []
+        benign_paths = []
+        for record, verdict in results.iter_with_verdicts():
+            paths = [list(i.chain_domains) for i in record.impressions]
+            (malicious_paths if verdict.is_malicious else benign_paths).extend(paths)
+        return cls.train(malicious_paths, benign_paths)
+
+    # -- inference -----------------------------------------------------------
+
+    def alarm(self, path: Sequence[str]) -> bool:
+        """Would the browser raise an alarm while walking ``path``?"""
+        for prefix_len in range(1, len(path) + 1):
+            if self._alarm_at(path[:prefix_len]):
+                return True
+        return False
+
+    def alarm_hop(self, path: Sequence[str]) -> int:
+        """First hop (1-based) at which the alarm fires; 0 if never."""
+        for prefix_len in range(1, len(path) + 1):
+            if self._alarm_at(path[:prefix_len]):
+                return prefix_len
+        return 0
+
+    def _alarm_at(self, prefix: Sequence[str]) -> bool:
+        if self.benign_length_quantile and len(prefix) > self.benign_length_quantile:
+            return True
+        return any(self.bad_domain_scores.get(domain, 0) >= self.min_domain_score
+                   for domain in prefix)
+
+    def evaluate(self, results: StudyResults) -> "DefenseEvaluation":
+        """Measure detection/false-alarm rates on a results set."""
+        tp = fn = fp = tn = 0
+        for record, verdict in results.iter_with_verdicts():
+            for impression in record.impressions:
+                alarmed = self.alarm(impression.chain_domains)
+                if verdict.is_malicious:
+                    tp += alarmed
+                    fn += not alarmed
+                else:
+                    fp += alarmed
+                    tn += not alarmed
+        return DefenseEvaluation(tp, fn, fp, tn)
+
+
+@dataclass
+class DefenseEvaluation:
+    """Confusion counts for the ad-path defence (impression level)."""
+
+    true_positives: int
+    false_negatives: int
+    false_positives: int
+    true_negatives: int
+
+    @property
+    def detection_rate(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    def render(self) -> str:
+        return (f"Ad-path defense: detection {self.detection_rate:.1%}, "
+                f"false alarms {self.false_alarm_rate:.1%}")

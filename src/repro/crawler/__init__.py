@@ -1,0 +1,26 @@
+"""The advertisement crawler.
+
+Reproduces §3.1 of the paper: visit every site in the crawl set once per
+(simulated) day, refresh each page five times per visit, render pages with
+the emulated browser, capture all HTTP traffic, pick out the ad iframes
+with the EasyList engine, and accumulate a deduplicated corpus of unique
+advertisements together with per-impression metadata (serving domain and
+the observed arbitration redirect chain).
+"""
+
+from repro.crawler.corpus import AdCorpus, AdRecord, Impression
+from repro.crawler.crawler import Crawler, CrawlConfig
+from repro.crawler.extraction import extract_ad_frames, observed_arbitration_chain
+from repro.crawler.schedule import CrawlSchedule, Visit
+
+__all__ = [
+    "AdCorpus",
+    "AdRecord",
+    "CrawlConfig",
+    "CrawlSchedule",
+    "Crawler",
+    "Impression",
+    "Visit",
+    "extract_ad_frames",
+    "observed_arbitration_chain",
+]

@@ -1,0 +1,126 @@
+"""The advertisement corpus: unique ads plus impression metadata.
+
+The paper collected 673,596 *unique* advertisements over three months; the
+corpus deduplicates by creative content hash (variants of one campaign are
+distinct ads, the same variant seen twice is not) while retaining every
+impression — which site showed it, when, and through which arbitration
+chain it arrived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One observed display of an advertisement."""
+
+    site_domain: str          # registered domain of the publisher page
+    page_url: str
+    day: int
+    refresh: int
+    slot_id: str
+    request_url: str          # iframe src (first auction)
+    final_url: str            # creative URL after arbitration redirects
+    chain_urls: tuple[str, ...]
+    chain_domains: tuple[str, ...]  # one registered domain per auction hop
+
+    @property
+    def chain_length(self) -> int:
+        """Number of auctions this impression went through."""
+        return len(self.chain_domains)
+
+    @property
+    def serving_domain(self) -> str:
+        """Registered domain that ultimately served the creative."""
+        if self.chain_domains:
+            return self.chain_domains[-1]
+        from repro.web.url import registered_domain
+
+        return registered_domain(self.final_url)
+
+
+@dataclass
+class AdRecord:
+    """One unique advertisement."""
+
+    ad_id: str
+    content_hash: str
+    html: str
+    first_seen_url: str
+    sandboxed_anywhere: bool = False
+    impressions: list[Impression] = field(default_factory=list)
+
+    @property
+    def n_impressions(self) -> int:
+        return len(self.impressions)
+
+    @property
+    def serving_domains(self) -> set[str]:
+        return {imp.serving_domain for imp in self.impressions}
+
+    @property
+    def publisher_domains(self) -> set[str]:
+        return {imp.site_domain for imp in self.impressions}
+
+
+def content_hash(html: str) -> str:
+    return hashlib.sha256(html.encode("utf-8")).hexdigest()
+
+
+class AdCorpus:
+    """Deduplicated collection of unique advertisements."""
+
+    def __init__(self) -> None:
+        self._by_hash: dict[str, AdRecord] = {}
+        self._counter = 0
+
+    def add(self, html: str, impression: Impression, sandboxed: bool = False) -> AdRecord:
+        """Record one impression, creating the unique-ad record if new."""
+        digest = content_hash(html)
+        record = self._by_hash.get(digest)
+        if record is None:
+            self._counter += 1
+            record = AdRecord(
+                ad_id=f"ad-{self._counter:06d}",
+                content_hash=digest,
+                html=html,
+                first_seen_url=impression.final_url,
+            )
+            self._by_hash[digest] = record
+        record.impressions.append(impression)
+        if sandboxed:
+            record.sandboxed_anywhere = True
+        return record
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def unique_ads(self) -> int:
+        return len(self._by_hash)
+
+    @property
+    def total_impressions(self) -> int:
+        return sum(r.n_impressions for r in self._by_hash.values())
+
+    def records(self) -> list[AdRecord]:
+        return sorted(self._by_hash.values(), key=lambda r: r.ad_id)
+
+    def impressions(self) -> Iterator[Impression]:
+        for record in self.records():
+            yield from record.impressions
+
+    def by_id(self, ad_id: str) -> Optional[AdRecord]:
+        for record in self._by_hash.values():
+            if record.ad_id == ad_id:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __iter__(self) -> Iterator[AdRecord]:
+        return iter(self.records())

@@ -1,0 +1,101 @@
+"""The crawler driver.
+
+Walks a :class:`~repro.crawler.schedule.CrawlSchedule`, renders each visit
+with the emulated browser, extracts the ad iframes with EasyList, and
+accumulates the deduplicated :class:`~repro.crawler.corpus.AdCorpus` plus
+crawl-wide statistics (including the §4.4 sandbox audit data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser.browser import Browser, PageLoad
+from repro.crawler.corpus import AdCorpus, Impression
+from repro.crawler.extraction import auction_hops, extract_ad_frames, observed_arbitration_chain
+from repro.crawler.schedule import CrawlSchedule, Visit
+from repro.filterlists.matcher import FilterEngine
+from repro.web.url import UrlError, etld_plus_one, parse_url
+
+
+@dataclass
+class CrawlConfig:
+    """Crawl-wide knobs (paper defaults: 90 days × 5 refreshes)."""
+
+    days: int = 90
+    refreshes_per_visit: int = 5
+
+
+@dataclass
+class CrawlStats:
+    """Aggregate statistics of one crawl."""
+
+    pages_visited: int = 0
+    pages_failed: int = 0
+    iframes_seen: int = 0
+    ad_iframes: int = 0
+    non_ad_iframes: int = 0
+    sandboxed_ad_iframes: int = 0
+    sites_using_sandbox: set[str] = field(default_factory=set)
+    sites_with_ads: set[str] = field(default_factory=set)
+
+    @property
+    def ad_iframe_fraction(self) -> float:
+        if self.iframes_seen == 0:
+            return 0.0
+        return self.ad_iframes / self.iframes_seen
+
+
+class Crawler:
+    """Crawl a set of sites and build the advertisement corpus."""
+
+    def __init__(self, browser: Browser, filter_engine: FilterEngine) -> None:
+        self.browser = browser
+        self.filter_engine = filter_engine
+
+    def crawl(self, schedule: CrawlSchedule) -> tuple[AdCorpus, CrawlStats]:
+        """Run the whole schedule."""
+        corpus = AdCorpus()
+        stats = CrawlStats()
+        for visit in schedule:
+            self.visit(visit, corpus, stats)
+        return corpus, stats
+
+    def visit(self, visit: Visit, corpus: AdCorpus, stats: CrawlStats) -> Optional[PageLoad]:
+        """Perform one page visit, folding results into ``corpus``/``stats``."""
+        load = self.browser.load(visit.url)
+        stats.pages_visited += 1
+        if not load.ok:
+            stats.pages_failed += 1
+            return load
+        frames = load.page.all_frames()
+        iframes = [f for f in frames if not f.is_top and f.element is not None]
+        stats.iframes_seen += len(iframes)
+        ads = extract_ad_frames(frames, self.filter_engine)
+        stats.ad_iframes += len(ads)
+        stats.non_ad_iframes += len(iframes) - len(ads)
+        try:
+            site_domain = etld_plus_one(parse_url(visit.url).host)
+        except UrlError:
+            site_domain = visit.url
+        if ads:
+            stats.sites_with_ads.add(site_domain)
+        for ad in ads:
+            if ad.sandboxed:
+                stats.sandboxed_ad_iframes += 1
+                stats.sites_using_sandbox.add(site_domain)
+            chain_urls = observed_arbitration_chain(load.har, ad.request_url)
+            impression = Impression(
+                site_domain=site_domain,
+                page_url=visit.url,
+                day=visit.day,
+                refresh=visit.refresh,
+                slot_id=ad.slot_id,
+                request_url=ad.request_url,
+                final_url=ad.final_url,
+                chain_urls=tuple(chain_urls),
+                chain_domains=tuple(auction_hops(chain_urls)),
+            )
+            corpus.add(ad.frame.source_html, impression, sandboxed=ad.sandboxed)
+        return load

@@ -1,0 +1,103 @@
+"""Ad-iframe extraction and arbitration-chain reconstruction.
+
+Not every iframe is an advertisement (§3.1): the crawler classifies each
+iframe's request URL against the EasyList engine.  For iframes that *are*
+ads, the observed HTTP redirect chain from the captured traffic is the
+arbitration chain — each ``/adserve`` hop is one auction (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.browser.har import HarLog
+from repro.browser.page import Frame
+from repro.filterlists.matcher import FilterEngine
+from repro.web.url import UrlError, etld_plus_one, parse_url
+
+
+@dataclass
+class ExtractedAd:
+    """One ad iframe found on a crawled page."""
+
+    frame: Frame
+    request_url: str     # the iframe's src as written in the parent page
+    final_url: str       # where the creative was ultimately served from
+    slot_id: str
+    sandboxed: bool
+
+
+def extract_ad_frames(page_frames: list[Frame], engine: FilterEngine) -> list[ExtractedAd]:
+    """Classify every iframe of a rendered page; keep the ad ones."""
+    ads: list[ExtractedAd] = []
+    for frame in page_frames:
+        if frame.is_top or frame.element is None:
+            continue
+        src = frame.element.get("src")
+        if not src:
+            continue
+        parent_url = str(frame.parent.url) if frame.parent else None
+        try:
+            request_url = str(parse_url(src)) if "://" in src else str(
+                frame.parent.url.resolve(src)) if frame.parent else src
+        except UrlError:
+            continue
+        is_ad = engine.is_ad_url(request_url, parent_url, resource_type="subdocument") or \
+            engine.is_ad_url(str(frame.url), parent_url, resource_type="subdocument")
+        if not is_ad:
+            continue
+        ads.append(ExtractedAd(
+            frame=frame,
+            request_url=request_url,
+            final_url=str(frame.url),
+            slot_id=frame.element.get("id"),
+            sandboxed=frame.element.has_attribute("sandbox"),
+        ))
+    return ads
+
+
+def observed_arbitration_chain(har: HarLog, request_url: str) -> list[str]:
+    """Reconstruct the redirect chain starting at ``request_url``.
+
+    Returns the list of URLs visited (including the final non-redirect
+    fetch).  Works purely from captured traffic, as the paper did.
+    """
+    by_url: dict[str, list] = {}
+    for entry in har.entries:
+        by_url.setdefault(entry.url, []).append(entry)
+    chain: list[str] = []
+    current: Optional[str] = request_url
+    consumed: set[int] = set()
+    while current is not None and len(chain) < 64:
+        candidates = by_url.get(current, [])
+        entry = next((e for e in candidates if id(e) not in consumed), None)
+        if entry is None:
+            break
+        consumed.add(id(entry))
+        chain.append(current)
+        if 300 <= entry.status < 400 and entry.location:
+            try:
+                current = str(parse_url(entry.url).resolve(entry.location))
+            except UrlError:
+                break
+        else:
+            current = None
+    return chain
+
+
+def auction_hops(chain_urls: list[str]) -> list[str]:
+    """The ad-server hops of a chain: registered domains of /adserve URLs.
+
+    The returned list has one element per auction, in order; repeated
+    domains (a network re-buying the slot) are preserved.
+    """
+    hops: list[str] = []
+    for url in chain_urls:
+        try:
+            parsed = parse_url(url)
+        except UrlError:
+            continue
+        if parsed.path.startswith("/adserve"):
+            hops.append(etld_plus_one(parsed.host))
+    return hops

@@ -1,0 +1,42 @@
+"""Crawl scheduling.
+
+The paper crawled each website once per day for three months, refreshing
+each page five times per visit.  :class:`CrawlSchedule` enumerates the
+(site, day, refresh) visit tuples deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One page fetch: a site on a day, at one of the refreshes."""
+
+    url: str
+    day: int
+    refresh: int
+
+
+class CrawlSchedule:
+    """Deterministic enumeration of crawl visits."""
+
+    def __init__(self, site_urls: Sequence[str], days: int, refreshes_per_visit: int) -> None:
+        if days <= 0:
+            raise ValueError("days must be positive")
+        if refreshes_per_visit <= 0:
+            raise ValueError("refreshes_per_visit must be positive")
+        self.site_urls = list(site_urls)
+        self.days = days
+        self.refreshes_per_visit = refreshes_per_visit
+
+    def __iter__(self) -> Iterator[Visit]:
+        for day in range(self.days):
+            for url in self.site_urls:
+                for refresh in range(self.refreshes_per_visit):
+                    yield Visit(url, day, refresh)
+
+    def __len__(self) -> int:
+        return self.days * len(self.site_urls) * self.refreshes_per_visit

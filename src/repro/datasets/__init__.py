@@ -1,0 +1,28 @@
+"""Synthetic datasets and world construction.
+
+The paper drew its crawl targets from two feeds — an antivirus company's
+list of previously-malicious pages and a stratified sample of Alexa's top
+one million sites — and measured the live ad ecosystem behind them.  This
+package generates the offline equivalents: an Alexa-like ranking with
+categories and TLDs (:mod:`repro.datasets.alexa`), a malicious-history feed
+(:mod:`repro.datasets.feeds`), and :mod:`repro.datasets.world`, which
+builds the full simulated web (publishers, ad networks, campaigns,
+blacklists, EasyList) from a single seed.
+"""
+
+from repro.datasets.alexa import AlexaRanking, SiteEntry, generate_ranking
+from repro.datasets.categories import CATEGORY_WEIGHTS, TLD_WEIGHTS
+from repro.datasets.feeds import generate_av_feed
+from repro.datasets.world import World, WorldParams, build_world
+
+__all__ = [
+    "AlexaRanking",
+    "CATEGORY_WEIGHTS",
+    "SiteEntry",
+    "TLD_WEIGHTS",
+    "World",
+    "WorldParams",
+    "build_world",
+    "generate_av_feed",
+    "generate_ranking",
+]

@@ -1,0 +1,122 @@
+"""Synthetic Alexa-like site ranking.
+
+Generates a deterministic ranked list of websites (domain, rank, category,
+TLD) from which the crawler draws its targets with the paper's sampling
+strategy: top and bottom slices plus a random middle sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.datasets.categories import CATEGORY_WEIGHTS, TLD_WEIGHTS
+from repro.util.rand import fork, weighted_choice
+
+_NAME_HEADS = (
+    "daily", "super", "mega", "top", "hot", "fast", "blue", "red", "prime",
+    "city", "world", "web", "net", "cyber", "meta", "ultra", "smart", "easy",
+    "free", "best", "pro", "live", "zen", "alpha", "next", "star", "cloud",
+)
+
+_NAME_TAILS = (
+    "news", "tube", "zone", "hub", "base", "spot", "press", "mart", "play",
+    "cast", "media", "planet", "portal", "feed", "point", "space", "line",
+    "deck", "verse", "stack", "forge", "vault", "gram", "list", "page",
+)
+
+
+@dataclass(frozen=True)
+class SiteEntry:
+    """One row of the ranking."""
+
+    domain: str
+    rank: int
+    category: str
+
+    @property
+    def tld(self) -> str:
+        return self.domain.rsplit(".", 1)[-1]
+
+
+class AlexaRanking:
+    """A ranked list of sites with paper-style sampling helpers."""
+
+    def __init__(self, entries: Sequence[SiteEntry], total_rank_space: int) -> None:
+        self.entries = list(entries)
+        self.total_rank_space = total_rank_space
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[SiteEntry]:
+        return iter(self.entries)
+
+    def top(self, n: int) -> list[SiteEntry]:
+        return sorted(self.entries, key=lambda e: e.rank)[:n]
+
+    def bottom(self, n: int) -> list[SiteEntry]:
+        return sorted(self.entries, key=lambda e: e.rank)[-n:]
+
+    def random_sample(self, n: int, seed: int, exclude: Sequence[SiteEntry] = ()) -> list[SiteEntry]:
+        rand = fork(seed, "alexa-sample")
+        excluded = {e.domain for e in exclude}
+        pool = [e for e in self.entries if e.domain not in excluded]
+        if n >= len(pool):
+            return pool
+        return rand.sample(pool, n)
+
+
+def _mint_domain(rand, used: set[str]) -> tuple[str, str]:
+    """Mint a fresh (domain, category) pair."""
+    category = weighted_choice(rand, list(CATEGORY_WEIGHTS), list(CATEGORY_WEIGHTS.values()))
+    tld = weighted_choice(rand, list(TLD_WEIGHTS), list(TLD_WEIGHTS.values()))
+    for attempt in range(1000):
+        head = rand.choice(_NAME_HEADS)
+        tail = rand.choice(_NAME_TAILS)
+        suffix = "" if attempt == 0 else str(rand.randrange(100))
+        domain = f"{head}{tail}{suffix}.{tld}"
+        if domain not in used:
+            used.add(domain)
+            return domain, category
+    raise RuntimeError("domain namespace exhausted")
+
+
+def generate_ranking(
+    n_sites: int,
+    seed: int,
+    total_rank_space: int = 1_000_000,
+    rank_positions: Optional[Sequence[int]] = None,
+) -> AlexaRanking:
+    """Generate ``n_sites`` ranked sites.
+
+    ``rank_positions`` pins the ranks (paper-style stratification); when
+    omitted, ranks are drawn uniformly from the rank space.
+    """
+    if n_sites <= 0:
+        raise ValueError("n_sites must be positive")
+    rand = fork(seed, "alexa")
+    used: set[str] = set()
+    if rank_positions is None:
+        positions = sorted(rand.sample(range(1, total_rank_space + 1), n_sites))
+    else:
+        if len(rank_positions) != n_sites:
+            raise ValueError("rank_positions length must equal n_sites")
+        positions = list(rank_positions)
+    entries = []
+    for rank in positions:
+        domain, category = _mint_domain(rand, used)
+        entries.append(SiteEntry(domain, rank, category))
+    return AlexaRanking(entries, total_rank_space)
+
+
+def stratified_positions(n_top: int, n_bottom: int, n_middle: int, seed: int,
+                         total_rank_space: int = 1_000_000) -> list[int]:
+    """Rank positions mirroring the paper's sampling: top slice, bottom
+    slice, and a random middle draw."""
+    rand = fork(seed, "alexa-strata")
+    top = list(range(1, n_top + 1))
+    bottom = list(range(total_rank_space - n_bottom + 1, total_rank_space + 1))
+    middle_space = range(n_top + 1, total_rank_space - n_bottom)
+    middle = sorted(rand.sample(middle_space, n_middle))
+    return top + middle + bottom

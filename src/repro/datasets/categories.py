@@ -1,0 +1,51 @@
+"""Website category and TLD distributions.
+
+The weights shape Figures 3 and 4: entertainment + news make up roughly a
+third of ad-serving sites, adult ranks third, and generic TLDs (.com/.net
+and friends) carry more than two thirds of the web's ad traffic, .com alone
+a majority.
+"""
+
+from __future__ import annotations
+
+CATEGORY_WEIGHTS = {
+    "entertainment": 0.18,
+    "news": 0.15,
+    "adult": 0.12,
+    "shopping": 0.09,
+    "technology": 0.08,
+    "sports": 0.07,
+    "games": 0.06,
+    "finance": 0.06,
+    "education": 0.05,
+    "travel": 0.04,
+    "social": 0.04,
+    "health": 0.03,
+    "blogs": 0.03,
+}
+
+# Categories sum to < 1; the remainder is a long tail of 'other'.
+CATEGORY_WEIGHTS["other"] = round(1.0 - sum(CATEGORY_WEIGHTS.values()), 6)
+
+GENERIC_TLDS = ("com", "net", "org", "info", "biz")
+
+TLD_WEIGHTS = {
+    "com": 0.52,
+    "net": 0.10,
+    "org": 0.06,
+    "info": 0.04,
+    "biz": 0.02,
+    "de": 0.05,
+    "uk": 0.05,
+    "ru": 0.05,
+    "cn": 0.04,
+    "fr": 0.03,
+    "br": 0.02,
+    "jp": 0.02,
+}
+
+TLD_WEIGHTS["nl"] = round(1.0 - sum(TLD_WEIGHTS.values()), 6)
+
+
+def is_generic_tld(tld: str) -> bool:
+    return tld in GENERIC_TLDS

@@ -1,0 +1,53 @@
+"""The antivirus-company data feed.
+
+The paper's first crawl feed was a list of web pages that had shown
+malicious behaviour in the past, shared by an AV vendor (as in the
+authors' earlier "Shady Paths" work).  The synthetic equivalent mints
+extra sites — skewed toward low rank, shady ad networks, and the
+categories where past maliciousness concentrates — that are added to the
+crawl set on top of the Alexa sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.alexa import SiteEntry, _mint_domain
+from repro.util.rand import fork, weighted_choice
+
+# Past-maliciousness skews toward these categories.
+_FEED_CATEGORY_WEIGHTS = {
+    "entertainment": 0.22,
+    "adult": 0.20,
+    "games": 0.14,
+    "blogs": 0.12,
+    "shopping": 0.10,
+    "news": 0.08,
+    "other": 0.14,
+}
+
+
+@dataclass(frozen=True)
+class FeedEntry:
+    """One AV-feed site."""
+
+    site: SiteEntry
+    last_incident_days_ago: int
+
+
+def generate_av_feed(n_sites: int, seed: int,
+                     total_rank_space: int = 1_000_000) -> list[FeedEntry]:
+    """Generate the AV-company feed: ``n_sites`` previously-shady sites."""
+    rand = fork(seed, "av-feed")
+    used: set[str] = set()
+    feed = []
+    for _ in range(n_sites):
+        domain, _ = _mint_domain(rand, used)
+        category = weighted_choice(
+            rand, list(_FEED_CATEGORY_WEIGHTS), list(_FEED_CATEGORY_WEIGHTS.values())
+        )
+        # Feed sites skew unpopular: ranks in the bottom half of the space.
+        rank = rand.randrange(total_rank_space // 2, total_rank_space)
+        feed.append(FeedEntry(SiteEntry(domain, rank, category),
+                              last_incident_days_ago=rand.randrange(7, 365)))
+    return feed

@@ -1,0 +1,432 @@
+"""World construction: one seed in, the whole simulated web out.
+
+:func:`build_world` assembles every moving part — the ranked websites, the
+ad networks with their tiers and partner graphs, the benign and malicious
+campaigns, the blacklist feeds, the synthetic EasyList — wires the HTTP
+layer, and returns a :class:`World` the measurement pipeline can crawl.
+
+The defaults are calibrated so the *shape* of every paper result emerges
+(≈1% of unique ads malicious, Table 1 bucket ordering, top-cluster
+dominance, generic-TLD dominance, short benign vs long malicious
+arbitration chains); see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adnet.arbitration import (
+    ArbitrationPolicy,
+    default_partner_tiers,
+    default_resale_propensity,
+)
+from repro.adnet.ecosystem import Ecosystem
+from repro.adnet.entities import AdNetwork, Advertiser, Campaign, CampaignKind, NetworkTier, Publisher
+from repro.adnet.filtering import build_inventories
+from repro.browser.plugins import FLASH_CVES
+from repro.datasets.alexa import AlexaRanking, SiteEntry, generate_ranking, stratified_positions
+from repro.datasets.feeds import FeedEntry, generate_av_feed
+from repro.filterlists.easylist import build_easylist
+from repro.malware.signatures import FAMILIES
+from repro.util.rand import fork, weighted_choice, zipf_weights
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient
+
+# An exploit CVE no emulated plugin is vulnerable to: flash-malware
+# creatives attack *somebody's* browser, just not the honeyclient's.
+UNEMULATED_FLASH_CVE = "CVE-2014-0497"
+
+N_BLACKLISTS = 49
+BLACKLIST_THRESHOLD = 5  # "more than five lists" (strictly greater)
+
+
+@dataclass
+class WorldParams:
+    """Free parameters of the simulated web."""
+
+    # -- crawl-set composition (§3.1 sampling, scaled down) --
+    n_top_sites: int = 50
+    n_bottom_sites: int = 50
+    n_other_sites: int = 50
+    n_feed_sites: int = 12
+    total_rank_space: int = 1_000_000
+    top_cluster_rank: int = 10_000          # rank threshold for "top" cluster
+
+    # -- ad networks --
+    n_major_networks: int = 3
+    n_mid_networks: int = 8
+    n_shady_networks: int = 14
+    # One mid-tier network gets deliberately weak filtering: the "≈3% of
+    # volume yet a major malvertising source" outlier from Figure 2.
+    weak_mid_network: bool = True
+
+    # -- campaigns --
+    n_benign_campaigns: int = 400
+    n_malicious_campaigns: int = 32
+    variants_per_benign: int = 8
+    variants_per_malicious: int = 2
+    malicious_kind_weights: dict = field(default_factory=lambda: {
+        CampaignKind.SCAM: 0.70,
+        CampaignKind.CLOAK_REDIRECT: 0.21,
+        CampaignKind.DRIVEBY: 0.05,
+        CampaignKind.DECEPTIVE: 0.02,
+        CampaignKind.FLASH_MALWARE: 0.012,
+        CampaignKind.EVASIVE: 0.008,
+    })
+
+    # -- publisher behaviour --
+    p_top_serves_ads: float = 0.95
+    p_bottom_serves_ads: float = 0.45
+    p_other_serves_ads: float = 0.50
+    p_feed_serves_ads: float = 0.85
+
+    # -- lists --
+    easylist_coverage: float = 0.97
+
+    # -- arbitration --
+    malicious_top_site_boost: float = 2.5
+
+
+@dataclass
+class Blacklist:
+    """One of the 49 malware/phishing blacklists."""
+
+    name: str
+    kind: str  # 'malware' | 'phishing' | 'spam'
+    domains: frozenset[str]
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self.domains
+
+
+@dataclass
+class World:
+    """The assembled simulated web plus ground truth for evaluation."""
+
+    seed: int
+    params: WorldParams
+    resolver: DnsResolver
+    client: HttpClient
+    ecosystem: Ecosystem
+    ranking: AlexaRanking
+    publishers: list[Publisher]
+    networks: list[AdNetwork]
+    campaigns: list[Campaign]
+    av_feed: list[FeedEntry]
+    blacklists: list[Blacklist]
+    easylist_text: str
+
+    @property
+    def crawl_sites(self) -> list[Publisher]:
+        """The publishers the crawler visits (ordering is deterministic)."""
+        return self.publishers
+
+    def publisher_by_domain(self, domain: str) -> Optional[Publisher]:
+        for publisher in self.publishers:
+            if publisher.domain == domain or domain == f"www.{publisher.domain}":
+                return publisher
+        return None
+
+    # Ground truth accessors (tests/evaluation only — never the pipeline).
+
+    def malicious_campaigns(self) -> list[Campaign]:
+        return [c for c in self.campaigns if c.is_malicious]
+
+    def ground_truth_malicious_domains(self) -> set[str]:
+        out: set[str] = set()
+        for campaign in self.malicious_campaigns():
+            out.update(campaign.domains)
+        return out
+
+
+def build_world(seed: int = 2014, params: Optional[WorldParams] = None) -> World:
+    """Build and register the whole simulated web."""
+    params = params or WorldParams()
+    resolver = DnsResolver()
+    client = HttpClient(resolver)
+
+    networks = _build_networks(seed, params)
+    campaigns = _build_campaigns(seed, params)
+    build_inventories(networks, campaigns)
+
+    ranking, publishers, av_feed = _build_sites(seed, params, networks)
+
+    policy = ArbitrationPolicy(malicious_top_site_boost=params.malicious_top_site_boost)
+    ecosystem = Ecosystem(
+        resolver, client, networks, campaigns, publishers, seed,
+        policy=policy, top_cluster_rank=params.top_cluster_rank,
+    )
+    ecosystem.register_all()
+
+    blacklists = _build_blacklists(seed, campaigns, publishers)
+    easylist_text = build_easylist(
+        ecosystem.ad_serving_domains, seed=seed, coverage=params.easylist_coverage
+    )
+    return World(
+        seed=seed, params=params, resolver=resolver, client=client,
+        ecosystem=ecosystem, ranking=ranking, publishers=publishers,
+        networks=networks, campaigns=campaigns, av_feed=av_feed,
+        blacklists=blacklists, easylist_text=easylist_text,
+    )
+
+
+# -- networks ---------------------------------------------------------------------
+
+
+_NETWORK_NAMES = (
+    "clickstream", "admax", "bannerly", "pixelpush", "trafficwave", "impressia",
+    "adcascade", "promodesk", "mediadrip", "slotmachine", "advolley", "bidblast",
+    "fillrate", "popcastle", "cheapclicks", "bulkads", "greyimp", "shadowbid",
+    "quickfill", "lowcpm", "roguecast", "backfill", "dumpslot", "lastcall",
+    "offmarket",
+)
+
+
+def _build_networks(seed: int, params: WorldParams) -> list[AdNetwork]:
+    rand = fork(seed, "networks")
+    networks: list[AdNetwork] = []
+    specs = (
+        [(NetworkTier.MAJOR, share) for share in (30.0, 22.0, 14.0)[: params.n_major_networks]]
+        + [(NetworkTier.MID, 3.0) for _ in range(params.n_mid_networks)]
+        + [(NetworkTier.SHADY, 0.35) for _ in range(params.n_shady_networks)]
+    )
+    for index, (tier, share) in enumerate(specs):
+        name = _NETWORK_NAMES[index % len(_NETWORK_NAMES)]
+        if index >= len(_NETWORK_NAMES):
+            name = f"{name}{index}"
+        quality = {
+            NetworkTier.MAJOR: rand.uniform(0.96, 0.995),
+            NetworkTier.MID: rand.uniform(0.85, 0.95),
+            NetworkTier.SHADY: rand.uniform(0.05, 0.35),
+        }[tier]
+        networks.append(AdNetwork(
+            network_id=f"net-{index:02d}",
+            name=name,
+            tier=tier,
+            domain=f"{name}-ads.com",
+            market_share=share,
+            filter_quality=quality,
+            resale_propensity=default_resale_propensity(tier),
+        ))
+    if params.weak_mid_network and params.n_mid_networks > 0:
+        # The Figure 2 outlier: meaningful volume, sieve-grade filtering.
+        weak = next(n for n in networks if n.tier == NetworkTier.MID)
+        weak.filter_quality = 0.40
+    _wire_partners(networks)
+    return networks
+
+
+def _wire_partners(networks: list[AdNetwork]) -> None:
+    """Build each network's partner list with tier-drift weights.
+
+    A partner's selection weight is its tier's resale weight (chains drift
+    downmarket, see :func:`default_partner_tiers`) apportioned within the
+    tier by market share.
+    """
+    by_tier: dict[str, list[AdNetwork]] = {tier: [] for tier in NetworkTier.ALL}
+    for network in networks:
+        by_tier[network.tier].append(network)
+    for network in networks:
+        tier_weights = default_partner_tiers(network.tier)
+        partners: list[AdNetwork] = []
+        weights: list[float] = []
+        for tier, tier_weight in tier_weights.items():
+            if tier_weight <= 0:
+                continue
+            candidates = [c for c in by_tier[tier] if c is not network]
+            share_total = sum(c.market_share for c in candidates)
+            if not candidates or share_total <= 0:
+                continue
+            for candidate in candidates:
+                partners.append(candidate)
+                weights.append(tier_weight * candidate.market_share / share_total)
+        network.partners = partners
+        network.partner_weights = weights
+
+
+# -- campaigns ---------------------------------------------------------------------
+
+
+_BRAND_WORDS = (
+    "acme", "globex", "initech", "umbra", "vertex", "nimbus", "zephyr",
+    "quasar", "helix", "pylon", "cobalt", "argon", "lumen", "vortex",
+)
+
+_SHADY_WORDS = (
+    "freeprize", "luckyspin", "hotdeal", "bonusclub", "winbig", "cheapmeds",
+    "fastcash", "cracksoft", "warezhub", "datedash", "slimquick", "richnow",
+)
+
+
+def _build_campaigns(seed: int, params: WorldParams) -> list[Campaign]:
+    rand = fork(seed, "campaigns")
+    campaigns: list[Campaign] = []
+    for i in range(params.n_benign_campaigns):
+        word = _BRAND_WORDS[i % len(_BRAND_WORDS)]
+        landing = f"{word}{i}.com" if i >= len(_BRAND_WORDS) else f"{word}.com"
+        advertiser = Advertiser(f"adv-b{i:04d}", f"{word} inc")
+        campaigns.append(Campaign(
+            campaign_id=f"cmp-b{i:04d}",
+            advertiser=advertiser,
+            kind=CampaignKind.BENIGN,
+            landing_domain=landing,
+            serving_domain=f"static.{landing}",
+            bid=rand.uniform(0.5, 3.0),
+            n_variants=params.variants_per_benign,
+        ))
+    kinds = list(params.malicious_kind_weights)
+    kind_weights = [params.malicious_kind_weights[k] for k in kinds]
+    families = list(FAMILIES)
+    family_weights = [f.prevalence for f in families]
+    # Rarest kinds first: when campaign slots run out, frequent kinds (drawn
+    # by weight below) are the ones that can afford losing guaranteed slots.
+    guaranteed = sorted(kinds, key=lambda k: params.malicious_kind_weights[k])
+    for i in range(params.n_malicious_campaigns):
+        if i < len(guaranteed):
+            # Guarantee every archetype exists so each Table 1 row is live.
+            kind = guaranteed[i]
+        else:
+            kind = weighted_choice(rand, kinds, kind_weights)
+        word = _SHADY_WORDS[i % len(_SHADY_WORDS)]
+        tld = rand.choice(("com", "net", "biz", "info", "ws", "cc"))
+        landing = f"{word}{i}.{tld}"
+        serving = f"ads.{word}{i}-cdn.{rand.choice(('com', 'net', 'biz'))}"
+        payload = None
+        family = None
+        cve = None
+        if kind in (CampaignKind.DRIVEBY, CampaignKind.DECEPTIVE):
+            payload = f"dl{i}.{word}-files.{rand.choice(('com', 'net'))}"
+            family = weighted_choice(rand, families, family_weights).name
+        if kind == CampaignKind.DRIVEBY:
+            cve = rand.choice(FLASH_CVES)
+        if kind == CampaignKind.FLASH_MALWARE:
+            cve = UNEMULATED_FLASH_CVE
+        advertiser = Advertiser(f"adv-m{i:04d}", f"{word} llc")
+        campaigns.append(Campaign(
+            campaign_id=f"cmp-m{i:04d}",
+            advertiser=advertiser,
+            kind=kind,
+            landing_domain=landing,
+            serving_domain=serving,
+            payload_domain=payload,
+            bid=rand.uniform(1.0, 4.0),  # miscreants outbid to win volume
+            n_variants=params.variants_per_malicious,
+            malware_family=family,
+            exploit_cve=cve,
+        ))
+    return campaigns
+
+
+# -- sites --------------------------------------------------------------------------
+
+
+def _build_sites(seed: int, params: WorldParams,
+                 networks: list[AdNetwork]) -> tuple[AlexaRanking, list[Publisher], list[FeedEntry]]:
+    positions = stratified_positions(
+        params.n_top_sites, params.n_bottom_sites, params.n_other_sites,
+        seed, params.total_rank_space,
+    )
+    n_sites = params.n_top_sites + params.n_bottom_sites + params.n_other_sites
+    ranking = generate_ranking(n_sites, seed, params.total_rank_space, positions)
+    av_feed = generate_av_feed(params.n_feed_sites, seed, params.total_rank_space)
+
+    rand = fork(seed, "publishers")
+    publishers: list[Publisher] = []
+    for entry in ranking:
+        publishers.append(_make_publisher(entry, params, networks, rand, from_feed=False))
+    for feed_entry in av_feed:
+        publishers.append(_make_publisher(feed_entry.site, params, networks, rand,
+                                          from_feed=True))
+    return ranking, publishers, av_feed
+
+
+def _make_publisher(entry: SiteEntry, params: WorldParams,
+                    networks: list[AdNetwork], rand, from_feed: bool) -> Publisher:
+    if from_feed:
+        serve_probability = params.p_feed_serves_ads
+        slots = 1
+        tier_affinity = {NetworkTier.MAJOR: 0.15, NetworkTier.MID: 0.35,
+                         NetworkTier.SHADY: 0.50}
+    elif entry.rank <= params.top_cluster_rank:
+        serve_probability = params.p_top_serves_ads
+        slots = rand.choice((2, 3, 3, 4))
+        tier_affinity = {NetworkTier.MAJOR: 0.80, NetworkTier.MID: 0.18,
+                         NetworkTier.SHADY: 0.02}
+    elif entry.rank > params.total_rank_space - params.top_cluster_rank:
+        serve_probability = params.p_bottom_serves_ads
+        slots = 1
+        tier_affinity = {NetworkTier.MAJOR: 0.30, NetworkTier.MID: 0.40,
+                         NetworkTier.SHADY: 0.30}
+    else:
+        serve_probability = params.p_other_serves_ads
+        slots = 1
+        tier_affinity = {NetworkTier.MAJOR: 0.45, NetworkTier.MID: 0.40,
+                         NetworkTier.SHADY: 0.15}
+
+    serves = rand.random() < serve_probability
+    primary: Optional[AdNetwork] = None
+    if serves:
+        tier = weighted_choice(rand, list(tier_affinity), list(tier_affinity.values()))
+        candidates = [n for n in networks if n.tier == tier]
+        primary = weighted_choice(rand, candidates, [n.market_share for n in candidates])
+    return Publisher(
+        domain=entry.domain,
+        rank=entry.rank,
+        category=entry.category,
+        n_slots=slots if serves else 0,
+        primary_network=primary,
+        uses_sandbox=False,  # §4.4: nobody sandboxes their ad iframes
+    )
+
+
+# -- blacklists -----------------------------------------------------------------------
+
+
+_BLACKLIST_VENDORS = (
+    "malwaredomainlist", "phishtank", "spamhaus-dbl", "surbl", "urlblacklist",
+    "hosts-file", "zeustracker", "cybercrime-tracker", "openphish", "vxvault",
+)
+
+
+def _build_blacklists(seed: int, campaigns: list[Campaign],
+                      publishers: list[Publisher]) -> list[Blacklist]:
+    """Build the 49 blacklist feeds.
+
+    SCAM campaign infrastructure is widely listed (it is old, reported
+    infrastructure — that is what makes it blacklist-detectable).  Other
+    malicious campaigns use fresh domains listed on few feeds, below the
+    paper's >5 threshold.  A sprinkle of benign domains appears on 1–5
+    feeds: the false positives the thresholding exists to reject.
+    """
+    rand = fork(seed, "blacklists")
+    listings: dict[str, set[int]] = {}
+
+    def list_domain(domain: str, n_lists: int) -> None:
+        chosen = rand.sample(range(N_BLACKLISTS), min(n_lists, N_BLACKLISTS))
+        listings.setdefault(domain, set()).update(chosen)
+
+    for campaign in campaigns:
+        if campaign.kind == CampaignKind.SCAM:
+            for domain in campaign.domains:
+                list_domain(domain, rand.randrange(BLACKLIST_THRESHOLD + 1, 22))
+        elif campaign.is_malicious:
+            # Fresh infrastructure: some lists know it, not enough of them.
+            for domain in campaign.domains:
+                if rand.random() < 0.6:
+                    list_domain(domain, rand.randrange(1, BLACKLIST_THRESHOLD))
+        else:
+            # Benign false positives on a couple of sloppy feeds.
+            if rand.random() < 0.03:
+                list_domain(campaign.landing_domain, rand.randrange(1, 4))
+    for publisher in publishers:
+        if rand.random() < 0.01:
+            list_domain(publisher.domain, rand.randrange(1, 3))
+
+    feeds: list[Blacklist] = []
+    for index in range(N_BLACKLISTS):
+        vendor = _BLACKLIST_VENDORS[index % len(_BLACKLIST_VENDORS)]
+        kind = ("malware", "phishing", "spam")[index % 3]
+        domains = frozenset(d for d, feed_ids in listings.items() if index in feed_ids)
+        feeds.append(Blacklist(f"{vendor}-{index:02d}", kind, domains))
+    return feeds

@@ -1,0 +1,24 @@
+"""Adblock-Plus-style filter lists.
+
+The paper distinguished advertisement iframes from other iframes using
+EasyList, the filter list behind Adblock Plus.  This package implements the
+ABP filter syntax (blocking rules, ``@@`` exceptions, ``||`` domain
+anchors, ``^`` separators, ``*`` wildcards, and the common ``$`` options)
+and a matching engine, plus a builder that produces the synulated web's own
+"EasyList" from the ad hosts the ad-network simulator registers.
+"""
+
+from repro.filterlists.easylist import build_easylist
+from repro.filterlists.matcher import FilterEngine, MatchResult
+from repro.filterlists.parser import parse_filter_list, parse_rule
+from repro.filterlists.rules import FilterRule, RequestContext
+
+__all__ = [
+    "FilterEngine",
+    "FilterRule",
+    "MatchResult",
+    "RequestContext",
+    "build_easylist",
+    "parse_filter_list",
+    "parse_rule",
+]

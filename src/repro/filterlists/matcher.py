@@ -1,0 +1,249 @@
+"""ABP matching engine.
+
+Implements the pattern semantics: ``*`` matches any run of characters,
+``^`` matches a separator (anything that is not letter/digit/``_-.%``) or
+the end of the URL, ``||`` anchors at a (sub)domain boundary, and ``|``
+anchors at the start/end of the URL.  Exception rules (``@@``) override
+blocking rules, as in Adblock Plus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import FilterRule, RequestContext
+
+_SEPARATOR_EXEMPT = set("abcdefghijklmnopqrstuvwxyz0123456789_-.%")
+
+
+def _is_separator(ch: str) -> bool:
+    return ch.lower() not in _SEPARATOR_EXEMPT
+
+
+def _match_from(pattern: str, url: str, u: int) -> bool:
+    """Match ``pattern`` against ``url`` starting at position ``u``."""
+    p = 0
+    # Backtracking pointers for '*'.
+    star_p = -1
+    star_u = -1
+    while True:
+        if p == len(pattern):
+            return True
+        ch = pattern[p]
+        if ch == "*":
+            star_p = p
+            star_u = u
+            p += 1
+            continue
+        matched = False
+        if u < len(url):
+            if ch == "^":
+                matched = _is_separator(url[u])
+            else:
+                matched = url[u].lower() == ch
+        elif ch == "^" and p == len(pattern) - 1:
+            return True  # '^' may match the end of the URL
+        if matched:
+            p += 1
+            u += 1
+            continue
+        if star_p != -1 and star_u < len(url):
+            star_u += 1
+            p = star_p + 1
+            u = star_u
+            continue
+        return False
+
+
+def _pattern_matches(rule: FilterRule, url: str) -> bool:
+    lowered = url.lower()
+    if rule.anchor_domain:
+        # '||' matches at the start of the host or any subdomain boundary.
+        scheme_end = lowered.find("://")
+        host_start = scheme_end + 3 if scheme_end != -1 else 0
+        positions = [host_start]
+        host_end = len(lowered)
+        for i, ch in enumerate(lowered[host_start:], host_start):
+            if ch in "/?#:":
+                host_end = i
+                break
+        for i in range(host_start, host_end):
+            if lowered[i] == ".":
+                positions.append(i + 1)
+        return any(_match_from(rule.pattern, url, pos) and
+                   (not rule.anchor_end or _anchored_end(rule, url, pos))
+                   for pos in positions)
+    if rule.anchor_start:
+        return _match_from_anchored(rule, url, 0)
+    for start in range(len(url) + 1):
+        if _match_from_anchored(rule, url, start):
+            return True
+    return False
+
+
+def _match_from_anchored(rule: FilterRule, url: str, start: int) -> bool:
+    if not _match_from(rule.pattern, url, start):
+        return False
+    if rule.anchor_end:
+        return _anchored_end(rule, url, start)
+    return True
+
+
+def _anchored_end(rule: FilterRule, url: str, start: int) -> bool:
+    """With an end anchor, the pattern must consume the URL to its end."""
+    return _match_exact(rule.pattern, url, start)
+
+
+def _match_exact(pattern: str, url: str, u: int) -> bool:
+    """Like :func:`_match_from` but requires consuming the whole URL."""
+    p = 0
+    star_p = -1
+    star_u = -1
+    while True:
+        if p == len(pattern):
+            if u == len(url):
+                return True
+            if star_p != -1 and star_u < len(url):
+                star_u += 1
+                p = star_p + 1
+                u = star_u
+                continue
+            return False
+        ch = pattern[p]
+        if ch == "*":
+            star_p = p
+            star_u = u
+            p += 1
+            continue
+        matched = False
+        if u < len(url):
+            if ch == "^":
+                matched = _is_separator(url[u])
+            else:
+                matched = url[u].lower() == ch
+        elif ch == "^" and p == len(pattern) - 1:
+            p += 1
+            continue
+        if matched:
+            p += 1
+            u += 1
+            continue
+        if star_p != -1 and star_u < len(url):
+            star_u += 1
+            p = star_p + 1
+            u = star_u
+            continue
+        return False
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching a request against the engine."""
+
+    blocked: bool
+    rule: Optional[FilterRule] = None
+    exception: Optional[FilterRule] = None
+
+
+class FilterEngine:
+    """A compiled filter list.
+
+    Rules are indexed by a literal "shortcut" substring where possible so
+    that matching a URL does not scan every rule (EasyList has tens of
+    thousands; ours is smaller but the crawler matches every iframe of
+    every page load).
+    """
+
+    def __init__(self, rules: list[FilterRule]) -> None:
+        self.block_rules = [r for r in rules if not r.is_exception]
+        self.exception_rules = [r for r in rules if r.is_exception]
+        self._block_index = _ShortcutIndex(self.block_rules)
+        self._exception_index = _ShortcutIndex(self.exception_rules)
+
+    @classmethod
+    def from_text(cls, text: str) -> "FilterEngine":
+        return cls(parse_filter_list(text))
+
+    def match(self, context: RequestContext) -> MatchResult:
+        """Decide whether ``context`` is an ad request (would be blocked)."""
+        url = str(context.url)
+        block = self._find(self._block_index, url, context)
+        if block is None:
+            return MatchResult(blocked=False)
+        exception = self._find(self._exception_index, url, context)
+        if exception is not None:
+            return MatchResult(blocked=False, rule=block, exception=exception)
+        return MatchResult(blocked=True, rule=block)
+
+    def is_ad_url(self, url: str, page_url: Optional[str] = None,
+                  resource_type: str = "subdocument") -> bool:
+        """Convenience wrapper used by the crawler's iframe classifier."""
+        return self.match(RequestContext.for_url(url, page_url, resource_type)).blocked
+
+    def _find(self, index: "_ShortcutIndex", url: str,
+              context: RequestContext) -> Optional[FilterRule]:
+        for rule in index.candidates(url):
+            if not rule.applies_to_type(context.resource_type):
+                continue
+            if not rule.applies_to_party(context):
+                continue
+            if not rule.applies_to_page(context):
+                continue
+            if _pattern_matches(rule, url):
+                return rule
+        return None
+
+    def __len__(self) -> int:
+        return len(self.block_rules) + len(self.exception_rules)
+
+
+_SHORTCUT_LEN = 6
+
+
+class _ShortcutIndex:
+    """Index rules by a 6-char literal substring of their pattern."""
+
+    def __init__(self, rules: list[FilterRule]) -> None:
+        self._by_shortcut: dict[str, list[FilterRule]] = {}
+        self._unindexed: list[FilterRule] = []
+        for rule in rules:
+            shortcut = self._pick_shortcut(rule.pattern)
+            if shortcut is None:
+                self._unindexed.append(rule)
+            else:
+                self._by_shortcut.setdefault(shortcut, []).append(rule)
+
+    @staticmethod
+    def _pick_shortcut(pattern: str) -> Optional[str]:
+        best: Optional[str] = None
+        for run in _literal_runs(pattern):
+            if len(run) >= _SHORTCUT_LEN and (best is None or len(run) > len(best)):
+                best = run
+        if best is None:
+            return None
+        return best[:_SHORTCUT_LEN]
+
+    def candidates(self, url: str) -> list[FilterRule]:
+        lowered = url.lower()
+        found = list(self._unindexed)
+        for shortcut, rules in self._by_shortcut.items():
+            if shortcut in lowered:
+                found.extend(rules)
+        return found
+
+
+def _literal_runs(pattern: str) -> list[str]:
+    runs: list[str] = []
+    current: list[str] = []
+    for ch in pattern:
+        if ch in "*^|":
+            if current:
+                runs.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        runs.append("".join(current))
+    return runs

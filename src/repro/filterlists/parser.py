@@ -1,0 +1,148 @@
+"""ABP filter syntax parser.
+
+Supported syntax (the subset EasyList actually relies on for request
+blocking):
+
+* ``||example.com^`` — domain-anchored rules
+* ``|http://exact`` / ``pattern|`` — start/end anchors
+* ``*`` wildcards and ``^`` separator placeholders
+* ``@@`` exception rules
+* ``$`` options: resource types (``script``, ``image``, ``subdocument``,
+  ``object``, ``stylesheet``, ``document``, ``other``), type negation
+  (``~script``), ``third-party``/``~third-party``, and
+  ``domain=a.com|~b.com``
+* ``!`` comments and ``##`` element-hiding rules are recognised and skipped
+  (element hiding is cosmetic; the paper only needed request
+  classification).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.filterlists.rules import FilterRule, RESOURCE_TYPES
+
+# Option aliases used in real EasyList.
+_TYPE_ALIASES = {
+    "xmlhttprequest": "other",
+    "subdocument": "subdocument",
+    "object-subrequest": "object",
+}
+
+
+class FilterParseError(ValueError):
+    """A rule could not be parsed."""
+
+
+def parse_rule(line: str) -> Optional[FilterRule]:
+    """Parse one list line; returns ``None`` for comments/cosmetic/empty lines."""
+    raw = line.strip()
+    if not raw or raw.startswith("!") or raw.startswith("["):
+        return None
+    if "##" in raw or "#@#" in raw or "#?#" in raw:
+        return None  # element hiding — out of scope
+    body = raw
+    is_exception = body.startswith("@@")
+    if is_exception:
+        body = body[2:]
+
+    options_text = ""
+    dollar = _find_options_separator(body)
+    if dollar != -1:
+        body, options_text = body[:dollar], body[dollar + 1:]
+
+    anchor_domain = body.startswith("||")
+    if anchor_domain:
+        body = body[2:]
+    anchor_start = False
+    if not anchor_domain and body.startswith("|"):
+        anchor_start = True
+        body = body[1:]
+    anchor_end = body.endswith("|")
+    if anchor_end:
+        body = body[:-1]
+    if not body:
+        raise FilterParseError(f"empty pattern in rule: {raw!r}")
+
+    rule = FilterRule(
+        raw=raw,
+        pattern=body.lower(),
+        is_exception=is_exception,
+        anchor_domain=anchor_domain,
+        anchor_start=anchor_start,
+        anchor_end=anchor_end,
+    )
+    if options_text:
+        _apply_options(rule, options_text, raw)
+    return rule
+
+
+def _find_options_separator(body: str) -> int:
+    """Find the ``$`` that starts the options, ignoring ``$`` inside the pattern.
+
+    ABP treats the *last* ``$`` as the separator when what follows is
+    structurally an options list; a ``$`` followed by anything else (digits,
+    symbols) is pattern content.
+    """
+    idx = body.rfind("$")
+    if idx in (-1, 0, len(body) - 1):
+        return -1
+    tail = body[idx + 1:]
+    for option in tail.split(","):
+        name = option.strip().lstrip("~").split("=", 1)[0]
+        if not name or not all(ch.isalpha() or ch == "-" for ch in name):
+            return -1
+    return idx
+
+
+def _apply_options(rule: FilterRule, options_text: str, raw: str) -> None:
+    types: set[str] = set()
+    negated: set[str] = set()
+    include: set[str] = set()
+    exclude: set[str] = set()
+    for option in options_text.split(","):
+        option = option.strip()
+        if not option:
+            continue
+        lowered = option.lower()
+        if lowered.startswith("domain="):
+            for domain in option[len("domain="):].split("|"):
+                domain = domain.strip().lower()
+                if not domain:
+                    continue
+                if domain.startswith("~"):
+                    exclude.add(domain[1:])
+                else:
+                    include.add(domain)
+            continue
+        if lowered == "third-party":
+            rule.third_party = True
+            continue
+        if lowered == "~third-party":
+            rule.third_party = False
+            continue
+        if lowered in ("match-case", "popup"):
+            continue  # accepted but not significant for this pipeline
+        negate = lowered.startswith("~")
+        type_name = lowered[1:] if negate else lowered
+        type_name = _TYPE_ALIASES.get(type_name, type_name)
+        if type_name not in RESOURCE_TYPES:
+            raise FilterParseError(f"unknown option {option!r} in rule: {raw!r}")
+        (negated if negate else types).add(type_name)
+    rule.resource_types = frozenset(types)
+    rule.negated_types = frozenset(negated)
+    rule.include_domains = frozenset(include)
+    rule.exclude_domains = frozenset(exclude)
+
+
+def parse_filter_list(text: str) -> list[FilterRule]:
+    """Parse a whole list, skipping comments and unsupported lines."""
+    rules = []
+    for line in text.splitlines():
+        try:
+            rule = parse_rule(line)
+        except FilterParseError:
+            continue  # real ABP also skips rules it cannot parse
+        if rule is not None:
+            rules.append(rule)
+    return rules

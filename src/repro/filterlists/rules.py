@@ -1,0 +1,91 @@
+"""Filter rule and request-context data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.web.url import Url, etld_plus_one, parse_url
+
+# Resource types ABP options can constrain.
+RESOURCE_TYPES = frozenset(
+    {"script", "image", "stylesheet", "subdocument", "object", "document", "other"}
+)
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The request being matched: URL plus page context."""
+
+    url: Url
+    page_url: Optional[Url] = None
+    resource_type: str = "other"
+
+    @property
+    def is_third_party(self) -> bool:
+        """Third-party means the request crosses the page's eTLD+1."""
+        if self.page_url is None:
+            return False
+        return self.url.registered_domain != self.page_url.registered_domain
+
+    @classmethod
+    def for_url(cls, url: str, page_url: Optional[str] = None,
+                resource_type: str = "other") -> "RequestContext":
+        return cls(
+            url=parse_url(url),
+            page_url=parse_url(page_url) if page_url else None,
+            resource_type=resource_type,
+        )
+
+
+@dataclass
+class FilterRule:
+    """One parsed ABP rule.
+
+    ``pattern`` is the body with ``|``/``||`` anchors stripped; anchor and
+    option flags live in the other fields.
+    """
+
+    raw: str
+    pattern: str
+    is_exception: bool = False
+    anchor_domain: bool = False  # '||' prefix
+    anchor_start: bool = False   # '|' prefix
+    anchor_end: bool = False     # '|' suffix
+    resource_types: frozenset[str] = frozenset()
+    negated_types: frozenset[str] = frozenset()
+    third_party: Optional[bool] = None
+    include_domains: frozenset[str] = frozenset()
+    exclude_domains: frozenset[str] = frozenset()
+
+    def applies_to_type(self, resource_type: str) -> bool:
+        if self.resource_types and resource_type not in self.resource_types:
+            return False
+        if self.negated_types and resource_type in self.negated_types:
+            return False
+        return True
+
+    def applies_to_party(self, context: RequestContext) -> bool:
+        if self.third_party is None:
+            return True
+        return context.is_third_party == self.third_party
+
+    def applies_to_page(self, context: RequestContext) -> bool:
+        if not self.include_domains and not self.exclude_domains:
+            return True
+        if context.page_url is None:
+            return not self.include_domains
+        page_host = context.page_url.host
+        page_domain = etld_plus_one(page_host)
+        if self.exclude_domains and _host_in(page_host, page_domain, self.exclude_domains):
+            return False
+        if self.include_domains:
+            return _host_in(page_host, page_domain, self.include_domains)
+        return True
+
+
+def _host_in(host: str, registered: str, domains: frozenset[str]) -> bool:
+    for domain in domains:
+        if host == domain or host.endswith("." + domain) or registered == domain:
+            return True
+    return False

@@ -1,0 +1,31 @@
+"""The oracle components (§3.2 of the paper).
+
+Three independent detectors feed the combined oracle in :mod:`repro.core`:
+
+* :mod:`repro.oracles.wepawet` — a honeyclient that executes an ad's
+  content in the emulated browser with deliberately vulnerable plugins and
+  extracts behavioural signals (redirect heuristics, exploit activity, an
+  anomaly model over behavioural features).
+* :mod:`repro.oracles.blacklists` — 49 domain blacklists aggregated with
+  the paper's ">5 lists" threshold.
+* :mod:`repro.oracles.virustotal` — 51 simulated AV engines scanning every
+  downloaded executable/Flash file.
+"""
+
+from repro.oracles.blacklists import BlacklistTracker
+from repro.oracles.features import BehaviourFeatures, extract_features
+from repro.oracles.model import AnomalyModel, pretrained_driveby_model
+from repro.oracles.virustotal import VirusTotal, VTReport
+from repro.oracles.wepawet import Wepawet, WepawetReport
+
+__all__ = [
+    "AnomalyModel",
+    "BehaviourFeatures",
+    "BlacklistTracker",
+    "VTReport",
+    "VirusTotal",
+    "Wepawet",
+    "WepawetReport",
+    "extract_features",
+    "pretrained_driveby_model",
+]

@@ -1,0 +1,94 @@
+"""Behavioural feature extraction.
+
+Wepawet's anomaly models work on features of the observed execution, not
+on source text (which malvertising obfuscates).  The vector here captures
+the signals its models used: dynamic code generation, environment
+fingerprinting, hidden plugin content, navigation hijacking, and network
+side effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.browser import events as ev
+from repro.browser.browser import PageLoad
+
+
+@dataclass
+class BehaviourFeatures:
+    """Numeric behavioural features of one analysed advertisement."""
+
+    eval_calls: float = 0.0
+    eval_source_chars: float = 0.0
+    plugin_probes: float = 0.0
+    document_writes: float = 0.0
+    timers_set: float = 0.0
+    popups: float = 0.0
+    dialogs: float = 0.0
+    redirect_hops: float = 0.0
+    nx_redirects: float = 0.0
+    cross_frame_top_navigations: float = 0.0
+    self_navigations: float = 0.0
+    exploit_attempts: float = 0.0
+    exploit_successes: float = 0.0
+    executable_downloads: float = 0.0
+    flash_downloads: float = 0.0
+    hidden_plugin_objects: float = 0.0
+    script_errors: float = 0.0
+    distinct_domains: float = 0.0
+
+    def to_vector(self) -> list[float]:
+        return [getattr(self, f.name) for f in fields(self)]
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+
+def extract_features(load: PageLoad) -> BehaviourFeatures:
+    """Build the feature vector from a honeyclient page load."""
+    features = BehaviourFeatures()
+    events = load.events
+    features.eval_calls = float(events.count(ev.EVAL_CALL))
+    features.eval_source_chars = float(
+        sum(e.data.get("length", 0) for e in events.of_kind(ev.EVAL_CALL))
+    )
+    features.plugin_probes = float(events.count(ev.PLUGIN_PROBE))
+    features.document_writes = float(events.count(ev.DOCUMENT_WRITE))
+    features.timers_set = float(events.count(ev.TIMER_SET))
+    features.popups = float(events.count(ev.POPUP))
+    features.dialogs = float(events.count(ev.DIALOG))
+    features.redirect_hops = float(events.count(ev.REDIRECT))
+    features.nx_redirects = float(events.count(ev.NX_REDIRECT))
+    features.cross_frame_top_navigations = float(
+        sum(1 for e in events.of_kind(ev.TOP_NAVIGATION) if e.data.get("cross_frame"))
+    )
+    features.self_navigations = float(events.count(ev.NAVIGATION))
+    features.exploit_attempts = float(events.count(ev.EXPLOIT_ATTEMPT))
+    features.exploit_successes = float(events.count(ev.EXPLOIT_SUCCESS))
+    features.executable_downloads = float(len(load.downloads.executables()))
+    features.flash_downloads = float(len(load.downloads.flash_files()))
+    features.hidden_plugin_objects = float(_count_hidden_plugin_objects(load))
+    features.script_errors = float(events.count(ev.SCRIPT_ERROR))
+    features.distinct_domains = float(len(load.har.registered_domains()))
+    return features
+
+
+def _count_hidden_plugin_objects(load: PageLoad) -> int:
+    """1×1 (or zero-sized) embeds/objects: plugin content the user cannot see."""
+    if load.page is None:
+        return 0
+    count = 0
+    for frame in load.page.all_frames():
+        for element in frame.document.iter():
+            if element.tag not in ("embed", "object"):
+                continue
+            try:
+                width = int(element.get("width") or "100")
+                height = int(element.get("height") or "100")
+            except ValueError:
+                continue
+            if width <= 1 or height <= 1:
+                count += 1
+    return count

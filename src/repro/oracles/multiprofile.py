@@ -1,0 +1,113 @@
+"""Multi-profile honeyclient analysis.
+
+A single analysis run sees one environment; environment-sensitive
+malvertising behaves differently per visitor (serve the exploit to the
+vulnerable, a clean banner to everyone else).  Honeyclients of the
+Wepawet era therefore re-analysed suspicious samples under *several*
+browser profiles and diffed the behaviour: divergence itself is a signal.
+
+:func:`analyze_across_profiles` runs a sample under a set of plugin
+profiles (optionally with analysis tells exposed, the SCARECROW switch)
+and reports the behavioural deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.browser.plugins import PluginProfile, patched_profile, vulnerable_profile
+from repro.oracles.features import BehaviourFeatures
+from repro.oracles.wepawet import Wepawet, WepawetReport
+
+# Features whose divergence across profiles indicates targeting, not noise.
+_DIVERGENCE_FEATURES = (
+    "exploit_attempts",
+    "exploit_successes",
+    "executable_downloads",
+    "flash_downloads",
+    "eval_calls",
+    "plugin_probes",
+)
+
+
+@dataclass
+class ProfileRun:
+    """One profile's analysis outcome."""
+
+    label: str
+    report: WepawetReport
+
+
+@dataclass
+class MultiProfileReport:
+    """The cross-profile diff for one advertisement."""
+
+    runs: list[ProfileRun] = field(default_factory=list)
+
+    def run_by_label(self, label: str) -> Optional[ProfileRun]:
+        for run in self.runs:
+            if run.label == label:
+                return run
+        return None
+
+    @property
+    def environment_sensitive(self) -> bool:
+        """Did any profile observe attack behaviour that another did not?"""
+        return bool(self.divergent_features())
+
+    def divergent_features(self) -> list[str]:
+        """Names of attack-relevant features that differ across profiles."""
+        divergent = []
+        for name in _DIVERGENCE_FEATURES:
+            values = {getattr(run.report.features, name) for run in self.runs}
+            if len(values) > 1:
+                divergent.append(name)
+        return divergent
+
+    @property
+    def any_flagged(self) -> bool:
+        return any(run.report.flagged for run in self.runs)
+
+    def render(self) -> str:
+        lines = ["multi-profile analysis:"]
+        for run in self.runs:
+            f = run.report.features
+            lines.append(
+                f"  {run.label:<22} exploit={int(f.exploit_successes)} "
+                f"exe_dl={int(f.executable_downloads)} "
+                f"probes={int(f.plugin_probes)} flagged={run.report.flagged}"
+            )
+        lines.append(f"  environment sensitive: {self.environment_sensitive} "
+                     f"({', '.join(self.divergent_features()) or 'no divergence'})")
+        return "\n".join(lines)
+
+
+def default_profile_matrix() -> list[tuple[str, PluginProfile, bool]]:
+    """(label, plugin profile, expose analysis tells) triples to test."""
+    return [
+        ("vulnerable", vulnerable_profile(), False),
+        ("patched", patched_profile(), False),
+        ("vulnerable+tells", vulnerable_profile(), True),
+    ]
+
+
+def analyze_across_profiles(
+    base: Wepawet,
+    html: str,
+    matrix: Optional[Sequence[tuple[str, PluginProfile, bool]]] = None,
+) -> MultiProfileReport:
+    """Analyse ``html`` once per profile in ``matrix``.
+
+    ``base`` supplies the simulated-web client and the anomaly model; a
+    fresh honeyclient browser is configured per profile so runs do not
+    contaminate each other.
+    """
+    matrix = list(matrix) if matrix is not None else default_profile_matrix()
+    report = MultiProfileReport()
+    for label, profile, tells in matrix:
+        wepawet = Wepawet(base.client, base.resolver, model=base.model)
+        wepawet.browser.plugin_profile = profile
+        wepawet.browser.exposes_analysis_tells = tells
+        report.runs.append(ProfileRun(label, wepawet.analyze_html(html)))
+    return report

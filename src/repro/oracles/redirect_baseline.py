@@ -1,0 +1,263 @@
+"""A redirection-properties baseline detector ("Shady Paths"-style).
+
+The paper builds on a line of prior work that detects malicious web pages
+purely from the *properties of their HTTP redirection chains* (Stringhini
+et al. CCS'13 "Shady Paths", Mekky et al. INFOCOM'14, and the MADTRACER
+ad-path work by Li et al.).  This module implements that family as a
+baseline the full oracle can be compared against: a logistic scorer over
+chain-level features — no content execution, no blacklists, no AV.
+
+It is deliberately weaker than the combined oracle: it sees only the
+traffic shape, so content-identified threats (blacklisted-but-short-chain
+scams, deceptive downloads) are largely invisible to it, and benign deep
+remnant chains cost it false positives.  That gap — measured in
+``benchmarks/test_baseline_comparison.py`` — is the paper's argument for a
+multi-component oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence
+
+from repro.crawler.corpus import AdRecord
+from repro.web.url import UrlError, etld_plus_one, parse_url
+
+
+@dataclass
+class ChainFeatures:
+    """Features of one advertisement's redirection behaviour."""
+
+    max_chain_length: float = 0.0
+    mean_chain_length: float = 0.0
+    n_distinct_domains: float = 0.0
+    cross_domain_ratio: float = 0.0   # hops that switch registered domains
+    repeat_domain_ratio: float = 0.0  # hops revisiting an earlier domain
+    rare_tld_ratio: float = 0.0       # .biz/.info/.ws/.cc style hop domains
+
+    def to_vector(self) -> list[float]:
+        return [getattr(self, f.name) for f in fields(self)]
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+
+RARE_TLDS = frozenset({"biz", "info", "ws", "cc", "tv", "me"})
+
+
+def extract_chain_features(chain: Sequence[str]) -> ChainFeatures:
+    """Compute redirection features of ONE observed chain.
+
+    Deployed chain detectors judge the redirect sequence in front of them,
+    one page load at a time — they do not get to aggregate hundreds of
+    sightings of the same creative the way an offline corpus would.
+    """
+    features = ChainFeatures()
+    domains: set[str] = set()
+    cross = repeats = hops = rare = 0
+    previous: Optional[str] = None
+    for domain in chain:
+        hops += 1
+        if domain in domains:
+            repeats += 1
+        domains.add(domain)
+        if previous is not None and domain != previous:
+            cross += 1
+        previous = domain
+        if domain.rsplit(".", 1)[-1] in RARE_TLDS:
+            rare += 1
+    features.max_chain_length = float(hops)
+    features.mean_chain_length = float(hops)
+    features.n_distinct_domains = float(len(domains))
+    if hops:
+        features.cross_domain_ratio = cross / hops
+        features.repeat_domain_ratio = repeats / hops
+        features.rare_tld_ratio = rare / hops
+    return features
+
+
+class RedirectChainBaseline:
+    """Logistic-regression scorer over chain features, trained with SGD.
+
+    Implemented from scratch (we have no sklearn): plain logistic loss,
+    mean/std feature standardisation, deterministic epoch ordering.
+    """
+
+    def __init__(self, threshold: Optional[float] = None, learning_rate: float = 0.1,
+                 epochs: int = 60) -> None:
+        # threshold=None means: calibrate to the F1-optimal operating point
+        # on the training scores (the standard way such detectors are tuned).
+        self.threshold = 0.5 if threshold is None else threshold
+        self._auto_threshold = threshold is None
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self._weights: list[float] = []
+        self._bias = 0.0
+        self._means: list[float] = []
+        self._stds: list[float] = []
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, vectors: Sequence[Sequence[float]], labels: Sequence[bool]) -> "RedirectChainBaseline":
+        if not vectors or len(vectors) != len(labels):
+            raise ValueError("need one label per feature vector")
+        n_features = len(vectors[0])
+        self._fit_scaler(vectors)
+        rows = [self._standardize(v) for v in vectors]
+        self._weights = [0.0] * n_features
+        self._bias = 0.0
+        n_pos = sum(labels)
+        n_neg = len(labels) - n_pos
+        if n_pos == 0 or n_neg == 0:
+            raise ValueError("training data must contain both classes")
+        # Class weights balance the heavy benign majority.
+        pos_weight = len(labels) / (2.0 * n_pos)
+        neg_weight = len(labels) / (2.0 * n_neg)
+        for _ in range(self.epochs):
+            for row, label in zip(rows, labels):
+                prediction = self._sigmoid(self._raw_score(row))
+                error = (1.0 if label else 0.0) - prediction
+                weight = pos_weight if label else neg_weight
+                step = self.learning_rate * error * weight
+                for j, value in enumerate(row):
+                    self._weights[j] += step * value
+                self._bias += step
+        if self._auto_threshold:
+            self._calibrate_threshold(rows, labels)
+        return self
+
+    def _calibrate_threshold(self, rows: Sequence[Sequence[float]],
+                             labels: Sequence[bool]) -> None:
+        """Pick the score cut-off that maximises F1 on the training data."""
+        scored = sorted(
+            (self._sigmoid(self._raw_score(row)), bool(label))
+            for row, label in zip(rows, labels)
+        )
+        total_pos = sum(labels)
+        if total_pos == 0:
+            return
+        best_f1 = -1.0
+        best_threshold = 0.5
+        tp = total_pos
+        fp = len(labels) - total_pos
+        previous_score = 0.0
+        for score, label in scored:
+            threshold = (previous_score + score) / 2.0
+            precision = tp / (tp + fp) if (tp + fp) else 0.0
+            recall = tp / total_pos
+            if precision + recall > 0:
+                f1 = 2 * precision * recall / (precision + recall)
+                if f1 > best_f1:
+                    best_f1 = f1
+                    best_threshold = threshold
+            if label:
+                tp -= 1
+            else:
+                fp -= 1
+            previous_score = score
+        self.threshold = best_threshold
+
+    def fit_records(self, records: Sequence[AdRecord], labels: Sequence[bool]) -> "RedirectChainBaseline":
+        """Fit on every impression's chain, labelled by its ad's verdict."""
+        vectors: list[list[float]] = []
+        flat_labels: list[bool] = []
+        for record, label in zip(records, labels):
+            for impression in record.impressions:
+                vectors.append(
+                    extract_chain_features(impression.chain_domains).to_vector())
+                flat_labels.append(label)
+        return self.fit(vectors, flat_labels)
+
+    def _fit_scaler(self, vectors: Sequence[Sequence[float]]) -> None:
+        n = len(vectors)
+        dims = len(vectors[0])
+        self._means = [sum(v[j] for v in vectors) / n for j in range(dims)]
+        self._stds = []
+        for j in range(dims):
+            variance = sum((v[j] - self._means[j]) ** 2 for v in vectors) / n
+            self._stds.append(math.sqrt(variance) or 1.0)
+
+    def _standardize(self, vector: Sequence[float]) -> list[float]:
+        return [(value - mean) / std
+                for value, mean, std in zip(vector, self._means, self._stds)]
+
+    # -- inference --------------------------------------------------------------
+
+    @staticmethod
+    def _sigmoid(x: float) -> float:
+        if x >= 0:
+            return 1.0 / (1.0 + math.exp(-x))
+        e = math.exp(x)
+        return e / (1.0 + e)
+
+    def _raw_score(self, standardized: Sequence[float]) -> float:
+        return sum(w * v for w, v in zip(self._weights, standardized)) + self._bias
+
+    def score_chain(self, chain: Sequence[str]) -> float:
+        """Probability-like maliciousness score for one observed chain."""
+        if not self._weights:
+            raise RuntimeError("baseline is not fitted")
+        vector = self._standardize(extract_chain_features(chain).to_vector())
+        return self._sigmoid(self._raw_score(vector))
+
+    def predict_chain(self, chain: Sequence[str]) -> bool:
+        return self.score_chain(chain) > self.threshold
+
+    def predict(self, record: AdRecord) -> bool:
+        """Record-level convenience: would any observed load have alarmed?
+
+        Mirrors how a browser-side detector protects a user population —
+        each impression is one judgement.
+        """
+        return any(self.predict_chain(i.chain_domains) for i in record.impressions)
+
+
+@dataclass
+class BaselineComparison:
+    """Head-to-head numbers (impression level): chain baseline vs oracle."""
+
+    baseline_tp: int
+    baseline_fp: int
+    baseline_fn: int
+    oracle_incidents: int
+    n_records: int
+
+    @property
+    def baseline_recall(self) -> float:
+        denom = self.baseline_tp + self.baseline_fn
+        return self.baseline_tp / denom if denom else 0.0
+
+    @property
+    def baseline_precision(self) -> float:
+        denom = self.baseline_tp + self.baseline_fp
+        return self.baseline_tp / denom if denom else 0.0
+
+    def render(self) -> str:
+        return (f"chain-only baseline (per impression): recall "
+                f"{self.baseline_recall:.1%}, precision "
+                f"{self.baseline_precision:.1%} against the "
+                f"{self.oracle_incidents} oracle-confirmed incidents "
+                f"({self.n_records} impressions)")
+
+
+def compare_to_oracle(results, baseline: RedirectChainBaseline) -> BaselineComparison:
+    """Score the fitted baseline, impression by impression, against the
+    combined oracle's per-ad verdicts."""
+    tp = fp = fn = 0
+    oracle_incidents = 0
+    n = 0
+    for record, verdict in results.iter_with_verdicts():
+        oracle_says = verdict.is_malicious
+        oracle_incidents += oracle_says
+        for impression in record.impressions:
+            n += 1
+            baseline_says = baseline.predict_chain(impression.chain_domains)
+            if baseline_says and oracle_says:
+                tp += 1
+            elif baseline_says:
+                fp += 1
+            elif oracle_says:
+                fn += 1
+    return BaselineComparison(tp, fp, fn, oracle_incidents, n)

@@ -1,0 +1,222 @@
+"""The Wepawet-style honeyclient (§3.2.1).
+
+Ad iframes collected by the crawler are submitted as HTML documents; the
+honeyclient hosts each submission on an internal sandbox origin, renders it
+in the emulated browser with a deliberately vulnerable plugin profile,
+clicks the links a curious user would click, and distils the observed
+behaviour into:
+
+* **suspicious-redirection signals** — redirect chains dying on NX domains,
+  bounces to benign search engines (cloaking), cross-frame ``top.location``
+  hijacks;
+* **drive-by heuristics** — exploit attempts/successes against installed
+  plugins, silent executable drops;
+* **an anomaly-model score** over the behavioural feature vector;
+
+plus the raw downloads for VirusTotal and the set of domains contacted for
+the blacklist tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser import events as ev
+from repro.browser.browser import Browser, PageLoad
+from repro.browser.downloads import Download
+from repro.browser.plugins import vulnerable_profile
+from repro.oracles.features import BehaviourFeatures, extract_features
+from repro.oracles.model import AnomalyModel, pretrained_driveby_model
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpResponse, WebServer
+from repro.web.url import UrlError, etld_plus_one, parse_url
+
+SANDBOX_DOMAIN = "sandbox.wepawet-internal.net"
+
+DEFAULT_BENIGN_DESTINATIONS = frozenset({"google.com", "bing.com", "yahoo.com"})
+
+MAX_CLICKS = 3
+
+
+@dataclass
+class WepawetReport:
+    """The analysis report for one submitted advertisement."""
+
+    sample_id: str
+    features: BehaviourFeatures
+    suspicious_redirection: bool
+    redirection_reasons: tuple[str, ...]
+    driveby_heuristic: bool
+    heuristic_reasons: tuple[str, ...]
+    model_detection: bool
+    model_score: float
+    downloads: list[Download] = field(default_factory=list)
+    contacted_domains: tuple[str, ...] = ()
+
+    @property
+    def flagged(self) -> bool:
+        return self.suspicious_redirection or self.driveby_heuristic or self.model_detection
+
+
+class Wepawet:
+    """Honeyclient oracle.
+
+    Parameters
+    ----------
+    client:
+        The simulated web's HTTP client — the sandbox origin is mounted on
+        it so creative assets resolve against the same world.
+    model:
+        Anomaly model; defaults to the pretrained drive-by model.
+    benign_destinations:
+        Popular benign sites; a redirect that *ends* on one of these from an
+        ad is a cloaking tell (real users get the exploit, analysts get
+        bounced to a search engine).
+    """
+
+    def __init__(
+        self,
+        client: HttpClient,
+        resolver: DnsResolver,
+        model: Optional[AnomalyModel] = None,
+        benign_destinations: frozenset[str] = DEFAULT_BENIGN_DESTINATIONS,
+        step_budget: int = 100_000,
+    ) -> None:
+        self.client = client
+        self.resolver = resolver
+        self.model = model or pretrained_driveby_model()
+        self.benign_destinations = benign_destinations
+        # The sample registry is shared per simulated web: several Wepawet
+        # instances (e.g. a multi-profile matrix) mount one sandbox server,
+        # and whichever instance mounted first must still serve the others'
+        # submissions.
+        self._samples: dict[str, str] = self._shared_samples(client)
+        self._mount_sandbox()
+        self.browser = Browser(client, plugin_profile=vulnerable_profile(),
+                               step_budget=step_budget)
+
+    @staticmethod
+    def _shared_samples(client: HttpClient) -> dict[str, str]:
+        registry = getattr(client, "_wepawet_samples", None)
+        if registry is None:
+            registry = {}
+            client._wepawet_samples = registry  # type: ignore[attr-defined]
+        return registry
+
+    def _next_sample_id(self) -> str:
+        counter = getattr(self.client, "_wepawet_counter", 0) + 1
+        self.client._wepawet_counter = counter  # type: ignore[attr-defined]
+        return f"wpw-{counter:06d}"
+
+    def _mount_sandbox(self) -> None:
+        if not self.resolver.exists(SANDBOX_DOMAIN):
+            self.resolver.register(SANDBOX_DOMAIN)
+            server = WebServer()
+            server.route("/sample/*", self._serve_sample)
+            server.route("/harness/*", self._serve_harness)
+            self.client.mount(SANDBOX_DOMAIN, server)
+
+    def _serve_sample(self, request) -> HttpResponse:
+        html = self._samples.get(request.url.path)
+        if html is None:
+            return HttpResponse.not_found()
+        return HttpResponse.html(html)
+
+    def _serve_harness(self, request) -> HttpResponse:
+        # Render the sample the way a publisher page would: inside an
+        # iframe.  Link-hijacking behaviour (top.location from a subframe)
+        # only manifests under this embedding.
+        sample_id = request.url.path.rsplit("/", 1)[-1]
+        return HttpResponse.html(
+            "<html><body>"
+            f'<iframe id="sample" src="http://{SANDBOX_DOMAIN}/sample/{sample_id}">'
+            "</iframe></body></html>"
+        )
+
+    # -- analysis --------------------------------------------------------------
+
+    def analyze_html(self, html: str) -> WepawetReport:
+        """Submit an ad document and analyse its behaviour."""
+        sample_id = self._next_sample_id()
+        path = f"/sample/{sample_id}"
+        self._samples[path] = html
+        try:
+            load = self.browser.load(f"http://{SANDBOX_DOMAIN}/harness/{sample_id}")
+            self._click_links(load)
+            return self._build_report(sample_id, load)
+        finally:
+            del self._samples[path]
+
+    def _click_links(self, load: PageLoad) -> None:
+        """Click a bounded number of anchors, as a lured user would."""
+        if load.page is None:
+            return
+        clicked = 0
+        for frame in load.page.all_frames():
+            for anchor in frame.document.find_all("a"):
+                if clicked >= MAX_CLICKS:
+                    return
+                if anchor.get("href"):
+                    self.browser.click(load, frame, anchor)
+                    clicked += 1
+
+    def _build_report(self, sample_id: str, load: PageLoad) -> WepawetReport:
+        features = extract_features(load)
+        redirection_reasons = self._redirection_reasons(load)
+        heuristic_reasons = self._heuristic_reasons(load)
+        score = self.model.score(features.to_vector())
+        model_hit = score > self.model.threshold
+        contacted = tuple(
+            d for d in load.har.registered_domains()
+            if d != etld_plus_one(SANDBOX_DOMAIN)
+        )
+        return WepawetReport(
+            sample_id=sample_id,
+            features=features,
+            suspicious_redirection=bool(redirection_reasons),
+            redirection_reasons=tuple(redirection_reasons),
+            driveby_heuristic=bool(heuristic_reasons),
+            heuristic_reasons=tuple(heuristic_reasons),
+            model_detection=model_hit,
+            model_score=score,
+            downloads=list(load.downloads),
+            contacted_domains=contacted,
+        )
+
+    def _redirection_reasons(self, load: PageLoad) -> list[str]:
+        reasons = []
+        if load.events.count(ev.NX_REDIRECT) > 0:
+            reasons.append("redirect_to_nx_domain")
+        if any(e.data.get("cross_frame") for e in load.events.of_kind(ev.TOP_NAVIGATION)):
+            reasons.append("cross_frame_top_navigation")
+        if self._cloaking_bounce(load):
+            reasons.append("redirect_to_benign_destination")
+        return reasons
+
+    def _cloaking_bounce(self, load: PageLoad) -> bool:
+        """Did a redirect chain end on a popular benign site?
+
+        Benign ads link *to advertiser landing pages*; an ad whose active
+        redirect lands the visitor on Google/Bing is hiding something.
+        """
+        for entry in load.har.entries:
+            if entry.referer is None:
+                continue
+            if entry.registered_domain in self.benign_destinations:
+                return True
+        return False
+
+    def _heuristic_reasons(self, load: PageLoad) -> list[str]:
+        reasons = []
+        if load.events.count(ev.EXPLOIT_SUCCESS) > 0:
+            reasons.append("plugin_exploited")
+        else:
+            for event in load.events.of_kind(ev.EXPLOIT_ATTEMPT):
+                cve = event.data.get("cve", "")
+                if self.browser.plugin_profile.attempt_exploit(cve).succeeded:
+                    reasons.append("exploit_attempt_on_installed_plugin")
+                    break
+        if any(d.initiated_by == "exploit" for d in load.downloads):
+            reasons.append("silent_executable_drop")
+        return reasons

@@ -1,0 +1,11 @@
+"""Utility helpers shared across the reproduction.
+
+Everything in the project is deterministic: all randomness flows through
+seeded :class:`random.Random` instances created by :func:`repro.util.rand.rng`
+or forked with :func:`repro.util.rand.fork`.
+"""
+
+from repro.util.ids import IdMinter
+from repro.util.rand import fork, rng, weighted_choice, zipf_weights
+
+__all__ = ["IdMinter", "fork", "rng", "weighted_choice", "zipf_weights"]

@@ -1,0 +1,34 @@
+"""Stable identifier minting.
+
+Entities across the simulation (ad impressions, creatives, binary samples)
+need short unique identifiers that are stable across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+
+class IdMinter:
+    """Mint sequential identifiers with a fixed prefix.
+
+    >>> minter = IdMinter("imp")
+    >>> minter.mint()
+    'imp-000001'
+    >>> minter.mint()
+    'imp-000002'
+    """
+
+    def __init__(self, prefix: str, width: int = 6) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self.prefix = prefix
+        self.width = width
+        self._counter = 0
+
+    def mint(self) -> str:
+        self._counter += 1
+        return f"{self.prefix}-{self._counter:0{self.width}d}"
+
+    @property
+    def count(self) -> int:
+        """Number of identifiers minted so far."""
+        return self._counter

@@ -1,0 +1,41 @@
+"""Web substrate: URLs, DNS, HTTP, HTML parsing and a minimal DOM.
+
+These modules give the crawler and the honeyclient real web objects to
+operate on: the simulated ad ecosystem serves HTML documents over a
+simulated HTTP layer, and the measurement pipeline re-parses everything,
+exactly as the paper's Selenium-based crawler did against the live web.
+"""
+
+from repro.web.dns import DnsResolver, DnsError, NxDomainError
+from repro.web.dom import Document, Element, TextNode
+from repro.web.html import parse_html
+from repro.web.http import (
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    RedirectLoopError,
+    WebServer,
+)
+from repro.web.url import Url, etld_plus_one, parse_url, registered_domain, same_origin
+
+__all__ = [
+    "DnsError",
+    "DnsResolver",
+    "Document",
+    "Element",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "NxDomainError",
+    "RedirectLoopError",
+    "TextNode",
+    "Url",
+    "WebServer",
+    "etld_plus_one",
+    "parse_html",
+    "parse_url",
+    "registered_domain",
+    "same_origin",
+]

@@ -1,0 +1,162 @@
+"""HTTP cookies.
+
+Ad networks identify browsers across sites with third-party cookies; the
+simulated ad servers set a ``uid`` cookie on every ad request, and the
+crawler's cookie jar determines whether a repeat visit looks like the same
+"user" — which is also what makes tracking measurable
+(:mod:`repro.analysis.tracking`).
+
+Implements the practically-relevant subset of RFC 6265: ``Set-Cookie``
+parsing (Domain/Path/Max-Age/Secure/HttpOnly), host-only vs domain
+cookies, domain-match and path-match rules, and logical-clock expiry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.web.url import Url
+
+
+@dataclass
+class Cookie:
+    """One stored cookie."""
+
+    name: str
+    value: str
+    domain: str           # without leading dot
+    path: str
+    host_only: bool       # True when no Domain attribute was given
+    secure: bool = False
+    http_only: bool = False
+    expires_at: Optional[int] = None  # logical time; None = session cookie
+
+    def matches_domain(self, host: str) -> bool:
+        host = host.lower()
+        if self.host_only:
+            return host == self.domain
+        return host == self.domain or host.endswith("." + self.domain)
+
+    def matches_path(self, path: str) -> bool:
+        if self.path == "/" or path == self.path:
+            return True
+        if path.startswith(self.path):
+            return self.path.endswith("/") or path[len(self.path)] == "/"
+        return False
+
+    def expired(self, now: int) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+def parse_set_cookie(header: str, request_url: Url, now: int = 0) -> Optional[Cookie]:
+    """Parse one ``Set-Cookie`` header value in the context of a request."""
+    parts = [part.strip() for part in header.split(";")]
+    if not parts or "=" not in parts[0]:
+        return None
+    name, value = parts[0].split("=", 1)
+    name = name.strip()
+    if not name:
+        return None
+    cookie = Cookie(
+        name=name,
+        value=value.strip(),
+        domain=request_url.host,
+        path=_default_path(request_url.path),
+        host_only=True,
+    )
+    for attribute in parts[1:]:
+        if "=" in attribute:
+            attr_name, attr_value = attribute.split("=", 1)
+            attr_name = attr_name.strip().lower()
+            attr_value = attr_value.strip()
+        else:
+            attr_name, attr_value = attribute.strip().lower(), ""
+        if attr_name == "domain" and attr_value:
+            domain = attr_value.lstrip(".").lower()
+            # A server may only set cookies for its own registrable scope.
+            if request_url.host == domain or request_url.host.endswith("." + domain):
+                cookie.domain = domain
+                cookie.host_only = False
+        elif attr_name == "path" and attr_value.startswith("/"):
+            cookie.path = attr_value
+        elif attr_name == "max-age":
+            try:
+                cookie.expires_at = now + int(attr_value)
+            except ValueError:
+                pass
+        elif attr_name == "secure":
+            cookie.secure = True
+        elif attr_name == "httponly":
+            cookie.http_only = True
+    return cookie
+
+
+def _default_path(request_path: str) -> str:
+    if not request_path.startswith("/") or request_path == "/":
+        return "/"
+    head = request_path.rsplit("/", 1)[0]
+    return head or "/"
+
+
+class CookieJar:
+    """Browser-side cookie storage with a logical clock."""
+
+    def __init__(self) -> None:
+        self._cookies: dict[tuple[str, str, str], Cookie] = {}
+        self.now = 0
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance the logical clock (Max-Age is in these units)."""
+        self.now += steps
+
+    def store(self, cookie: Cookie) -> None:
+        key = (cookie.domain, cookie.path, cookie.name)
+        if cookie.expired(self.now):
+            self._cookies.pop(key, None)  # immediate expiry deletes
+            return
+        self._cookies[key] = cookie
+
+    def ingest_response(self, request_url: Url, set_cookie_headers: Iterable[str]) -> int:
+        """Store every valid cookie from a response; returns how many."""
+        stored = 0
+        for header in set_cookie_headers:
+            cookie = parse_set_cookie(header, request_url, now=self.now)
+            if cookie is not None:
+                self.store(cookie)
+                stored += 1
+        return stored
+
+    def cookies_for(self, url: Url) -> list[Cookie]:
+        """Cookies applicable to a request for ``url`` (longest path first)."""
+        matching = [
+            cookie for cookie in self._cookies.values()
+            if not cookie.expired(self.now)
+            and cookie.matches_domain(url.host)
+            and cookie.matches_path(url.path)
+            and (not cookie.secure or url.scheme == "https")
+        ]
+        matching.sort(key=lambda c: (-len(c.path), c.name))
+        return matching
+
+    def header_for(self, url: Url) -> str:
+        """The ``Cookie`` header value for a request (empty when none)."""
+        return "; ".join(f"{c.name}={c.value}" for c in self.cookies_for(url))
+
+    def domains(self) -> set[str]:
+        """All domains currently holding unexpired cookies."""
+        return {c.domain for c in self._cookies.values() if not c.expired(self.now)}
+
+    def cookies_for_domain(self, domain: str) -> list[Cookie]:
+        """All unexpired cookies scoped to exactly ``domain``."""
+        return [c for c in self._cookies.values()
+                if c.domain == domain and not c.expired(self.now)]
+
+    def get(self, domain: str, name: str, path: str = "/") -> Optional[Cookie]:
+        return self._cookies.get((domain, path, name))
+
+    def clear(self) -> None:
+        self._cookies.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for c in self._cookies.values() if not c.expired(self.now))

@@ -1,0 +1,102 @@
+"""Simulated DNS.
+
+The honeyclient heuristics in the paper flag redirects to NX domains as a
+cloaking signal, so the simulated web needs a resolver that can answer
+"does this domain exist?" and can model takedowns/sinkholes over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class DnsError(Exception):
+    """Base class for resolution failures."""
+
+
+class NxDomainError(DnsError):
+    """The queried name does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"NXDOMAIN: {name}")
+        self.name = name
+
+
+@dataclass
+class DnsRecord:
+    """A registered name with its (fake) address and status flags."""
+
+    name: str
+    address: str
+    sinkholed: bool = False
+
+
+class DnsResolver:
+    """Registry-backed resolver for the simulated web.
+
+    A name resolves if its registered domain was registered (subdomains of a
+    registered domain resolve implicitly, matching how the simulated ad hosts
+    spread across subdomains).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, DnsRecord] = {}
+        self._next_octet = 1
+        self.queries: list[str] = []
+
+    def register(self, domain: str, *, sinkholed: bool = False) -> DnsRecord:
+        """Register a domain, assigning it a unique fake address."""
+        domain = domain.lower().rstrip(".")
+        if not domain or "." not in domain:
+            raise ValueError(f"refusing to register bare label: {domain!r}")
+        existing = self._records.get(domain)
+        if existing is not None:
+            return existing
+        address = self._mint_address()
+        record = DnsRecord(domain, address, sinkholed=sinkholed)
+        self._records[domain] = record
+        return record
+
+    def deregister(self, domain: str) -> None:
+        """Remove a domain (models a takedown); future lookups raise NXDOMAIN."""
+        self._records.pop(domain.lower().rstrip("."), None)
+
+    def sinkhole(self, domain: str) -> None:
+        """Mark a domain as sinkholed (resolves, but flagged)."""
+        record = self._find(domain)
+        if record is None:
+            raise NxDomainError(domain)
+        record.sinkholed = True
+
+    def resolve(self, name: str) -> DnsRecord:
+        """Resolve ``name``, recording the query.  Raises NXDOMAIN if unknown."""
+        name = name.lower().rstrip(".")
+        self.queries.append(name)
+        record = self._find(name)
+        if record is None:
+            raise NxDomainError(name)
+        return record
+
+    def exists(self, name: str) -> bool:
+        """Check existence without recording a query."""
+        return self._find(name.lower().rstrip(".")) is not None
+
+    def registered_names(self) -> list[str]:
+        """All explicitly registered names (not implicit subdomains)."""
+        return sorted(self._records)
+
+    def _find(self, name: str) -> DnsRecord | None:
+        # Exact match first, then walk up parent domains so that a registered
+        # domain answers for all of its subdomains.
+        labels = name.split(".")
+        for start in range(len(labels) - 1):
+            candidate = ".".join(labels[start:])
+            record = self._records.get(candidate)
+            if record is not None:
+                return record
+        return None
+
+    def _mint_address(self) -> str:
+        n = self._next_octet
+        self._next_octet += 1
+        return f"10.{(n >> 16) & 0xFF}.{(n >> 8) & 0xFF}.{n & 0xFF}"

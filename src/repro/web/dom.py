@@ -1,0 +1,215 @@
+"""A minimal Document Object Model.
+
+The crawler extracts ad iframes from parsed documents, the honeyclient lets
+ad scripts mutate the document (``document.write``, ``createElement``), and
+the sandbox audit (§4.4 of the paper) inspects iframe attributes — all of
+which need a real mutable tree, not string matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+VOID_ELEMENTS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"}
+)
+
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class Node:
+    """Base class for DOM nodes."""
+
+    parent: Optional["Element"]
+
+    def __init__(self) -> None:
+        self.parent = None
+
+    def detach(self) -> None:
+        """Remove this node from its parent, if any."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+
+
+class TextNode(Node):
+    """A run of character data."""
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def __repr__(self) -> str:
+        preview = self.text if len(self.text) <= 30 else self.text[:27] + "..."
+        return f"TextNode({preview!r})"
+
+
+class CommentNode(Node):
+    """An HTML comment."""
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"CommentNode({self.text!r})"
+
+
+class Element(Node):
+    """An HTML element with attributes and children."""
+
+    def __init__(self, tag: str, attributes: Optional[dict[str, str]] = None) -> None:
+        super().__init__()
+        self.tag = tag.lower()
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+
+    def __repr__(self) -> str:
+        return f"<{self.tag} {self.attributes}>" if self.attributes else f"<{self.tag}>"
+
+    # -- attributes ---------------------------------------------------------
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.attributes.get(name.lower(), default)
+
+    def set(self, name: str, value: str) -> None:
+        self.attributes[name.lower()] = value
+
+    def has_attribute(self, name: str) -> bool:
+        return name.lower() in self.attributes
+
+    @property
+    def id(self) -> str:
+        return self.get("id")
+
+    # -- tree manipulation --------------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        node.detach()
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def append_text(self, text: str) -> TextNode:
+        node = TextNode(text)
+        return self.append(node)  # type: ignore[return-value]
+
+    # -- traversal ----------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over element descendants, self first."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find_all(self, tag: str) -> list["Element"]:
+        tag = tag.lower()
+        return [el for el in self.iter() if el.tag == tag]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        for el in self.iter():
+            if el.tag == tag.lower():
+                return el
+        return None
+
+    def get_element_by_id(self, element_id: str) -> Optional["Element"]:
+        for el in self.iter():
+            if el.get("id") == element_id:
+                return el
+        return None
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        parts: list[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: list[str]) -> None:
+        for child in self.children:
+            if isinstance(child, TextNode):
+                parts.append(child.text)
+            elif isinstance(child, Element):
+                child._collect_text(parts)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_html(self) -> str:
+        """Serialize this element (and its subtree) back to markup."""
+        out: list[str] = []
+        self._serialize(out)
+        return "".join(out)
+
+    def _serialize(self, out: list[str]) -> None:
+        attrs = "".join(
+            f' {name}="{_escape_attr(value)}"' if value != "" else f" {name}"
+            for name, value in self.attributes.items()
+        )
+        out.append(f"<{self.tag}{attrs}>")
+        if self.tag in VOID_ELEMENTS:
+            return
+        for child in self.children:
+            if isinstance(child, TextNode):
+                if self.tag in RAW_TEXT_ELEMENTS:
+                    out.append(child.text)
+                else:
+                    out.append(_escape_text(child.text))
+            elif isinstance(child, CommentNode):
+                out.append(f"<!--{child.text}-->")
+            elif isinstance(child, Element):
+                child._serialize(out)
+        out.append(f"</{self.tag}>")
+
+
+class Document(Element):
+    """The root of a parsed HTML document."""
+
+    def __init__(self) -> None:
+        super().__init__("#document")
+
+    @property
+    def root(self) -> Optional[Element]:
+        """The ``<html>`` element, if present."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == "html":
+                return child
+        return None
+
+    @property
+    def body(self) -> Optional[Element]:
+        root = self.root
+        return root.find("body") if root is not None else self.find("body")
+
+    @property
+    def head(self) -> Optional[Element]:
+        root = self.root
+        return root.find("head") if root is not None else self.find("head")
+
+    def scripts(self) -> list[Element]:
+        """All ``<script>`` elements in document order."""
+        return self.find_all("script")
+
+    def iframes(self) -> list[Element]:
+        """All ``<iframe>`` elements in document order."""
+        return self.find_all("iframe")
+
+    def to_html(self) -> str:
+        out: list[str] = []
+        for child in self.children:
+            if isinstance(child, Element):
+                child._serialize(out)
+            elif isinstance(child, TextNode):
+                out.append(_escape_text(child.text))
+            elif isinstance(child, CommentNode):
+                out.append(f"<!--{child.text}-->")
+        return "".join(out)
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")

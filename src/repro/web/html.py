@@ -1,0 +1,193 @@
+"""HTML tokenizer and tree builder.
+
+A pragmatic from-scratch parser covering the HTML the simulated ad
+ecosystem emits (and realistic sloppiness: unquoted attributes, unclosed
+tags, raw-text script bodies, comments, doctype).  It deliberately does not
+attempt the full HTML5 tree-construction algorithm; the subset here is the
+one the crawler, the honeyclient and the tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.web.dom import (
+    CommentNode,
+    Document,
+    Element,
+    RAW_TEXT_ELEMENTS,
+    TextNode,
+    VOID_ELEMENTS,
+)
+
+# Elements whose open tag implicitly closes a previous sibling of the same tag.
+IMPLICIT_CLOSERS = frozenset({"li", "p", "td", "tr", "option"})
+
+
+@dataclass
+class Tag:
+    """A parsed start/end tag token."""
+
+    name: str
+    attributes: dict[str, str]
+    closing: bool
+    self_closing: bool
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", '"')
+        .replace("&#39;", "'")
+        .replace("&amp;", "&")
+    )
+
+
+class _Tokenizer:
+    """Streaming tokenizer over the markup string."""
+
+    def __init__(self, markup: str) -> None:
+        self.markup = markup
+        self.pos = 0
+
+    def tokens(self) -> Iterator[object]:
+        """Yield TextNode / CommentNode / Tag tokens."""
+        while self.pos < len(self.markup):
+            lt = self.markup.find("<", self.pos)
+            if lt == -1:
+                yield TextNode(_unescape(self.markup[self.pos:]))
+                return
+            if lt > self.pos:
+                yield TextNode(_unescape(self.markup[self.pos:lt]))
+            if self.markup.startswith("<!--", lt):
+                end = self.markup.find("-->", lt + 4)
+                if end == -1:
+                    yield CommentNode(self.markup[lt + 4:])
+                    return
+                yield CommentNode(self.markup[lt + 4:end])
+                self.pos = end + 3
+                continue
+            if self.markup.startswith("<!", lt):  # doctype etc.
+                end = self.markup.find(">", lt)
+                self.pos = len(self.markup) if end == -1 else end + 1
+                continue
+            tag = self._read_tag(lt)
+            if tag is None:
+                # A stray '<' that does not start a tag: emit as text.
+                yield TextNode("<")
+                self.pos = lt + 1
+                continue
+            yield tag
+            if not tag.closing and tag.name in RAW_TEXT_ELEMENTS and not tag.self_closing:
+                raw = self._read_raw_text(tag.name)
+                if raw:
+                    yield TextNode(raw)
+                yield Tag(tag.name, {}, closing=True, self_closing=False)
+
+    def _read_tag(self, lt: int) -> Optional[Tag]:
+        pos = lt + 1
+        closing = False
+        if pos < len(self.markup) and self.markup[pos] == "/":
+            closing = True
+            pos += 1
+        name_start = pos
+        while pos < len(self.markup) and (self.markup[pos].isalnum() or self.markup[pos] in "-_"):
+            pos += 1
+        name = self.markup[name_start:pos].lower()
+        if not name:
+            return None
+        attributes: dict[str, str] = {}
+        self_closing = False
+        while pos < len(self.markup):
+            while pos < len(self.markup) and self.markup[pos].isspace():
+                pos += 1
+            if pos >= len(self.markup):
+                break
+            ch = self.markup[pos]
+            if ch == ">":
+                pos += 1
+                break
+            if ch == "/":
+                self_closing = True
+                pos += 1
+                continue
+            attr_start = pos
+            while pos < len(self.markup) and self.markup[pos] not in "=/> \t\n\r":
+                pos += 1
+            attr_name = self.markup[attr_start:pos].lower()
+            value = ""
+            while pos < len(self.markup) and self.markup[pos].isspace():
+                pos += 1
+            if pos < len(self.markup) and self.markup[pos] == "=":
+                pos += 1
+                while pos < len(self.markup) and self.markup[pos].isspace():
+                    pos += 1
+                if pos < len(self.markup) and self.markup[pos] in "\"'":
+                    quote = self.markup[pos]
+                    end = self.markup.find(quote, pos + 1)
+                    if end == -1:
+                        end = len(self.markup)
+                    value = self.markup[pos + 1:end]
+                    pos = min(end + 1, len(self.markup))
+                else:
+                    val_start = pos
+                    while pos < len(self.markup) and self.markup[pos] not in "/> \t\n\r":
+                        pos += 1
+                    value = self.markup[val_start:pos]
+            if attr_name:
+                attributes[attr_name] = _unescape(value)
+        self.pos = pos
+        return Tag(name, attributes, closing=closing, self_closing=self_closing)
+
+    def _read_raw_text(self, tag_name: str) -> str:
+        """Consume raw text until the matching close tag (e.g. </script>)."""
+        close = f"</{tag_name}"
+        lower = self.markup.lower()
+        idx = lower.find(close, self.pos)
+        if idx == -1:
+            raw = self.markup[self.pos:]
+            self.pos = len(self.markup)
+            return raw
+        raw = self.markup[self.pos:idx]
+        end = self.markup.find(">", idx)
+        self.pos = len(self.markup) if end == -1 else end + 1
+        return raw
+
+
+def parse_html(markup: str) -> Document:
+    """Parse ``markup`` into a :class:`Document`."""
+    document = Document()
+    stack: list[Element] = [document]
+    for token in _Tokenizer(markup).tokens():
+        if isinstance(token, (TextNode, CommentNode)):
+            stack[-1].append(token)
+            continue
+        tag: Tag = token  # type: ignore[assignment]
+        if tag.closing:
+            _close(stack, tag.name)
+            continue
+        if tag.name in IMPLICIT_CLOSERS and stack[-1].tag == tag.name:
+            stack.pop()
+        element = Element(tag.name, tag.attributes)
+        stack[-1].append(element)
+        if tag.self_closing or tag.name in VOID_ELEMENTS:
+            continue
+        stack.append(element)
+    return document
+
+
+def _close(stack: list[Element], name: str) -> None:
+    """Pop the stack down to (and including) the innermost open ``name``."""
+    for depth in range(len(stack) - 1, 0, -1):
+        if stack[depth].tag == name:
+            del stack[depth:]
+            return
+    # Unmatched close tag: ignore, like browsers do.
+
+
+def parse_fragment(markup: str) -> list[Element]:
+    """Parse a fragment and return its top-level elements."""
+    document = parse_html(markup)
+    return [child for child in document.children if isinstance(child, Element)]

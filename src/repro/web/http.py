@@ -1,0 +1,256 @@
+"""Simulated HTTP layer.
+
+The crawler and honeyclient issue requests through :class:`HttpClient`,
+which resolves DNS, dispatches to registered handlers (the simulated web
+servers), follows redirects, and lets observers (HAR capture, oracles)
+inspect every request/response pair — the paper captured all HTTP traffic
+during crawling for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.web.dns import DnsResolver, NxDomainError
+from repro.web.url import Url, parse_url
+
+MAX_REDIRECTS = 32
+
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    451: "Unavailable For Legal Reasons",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Base class for transport-level failures (not 4xx/5xx responses)."""
+
+
+class RedirectLoopError(HttpError):
+    """Too many consecutive redirects."""
+
+
+class ConnectionFailed(HttpError):
+    """No server is listening for the requested host."""
+
+
+@dataclass
+class HttpRequest:
+    """An outgoing request."""
+
+    url: Url
+    method: str = "GET"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    referer: Optional[Url] = None
+
+    @property
+    def host(self) -> str:
+        return self.url.host
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    """A server response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    url: Optional[Url] = None
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_STATUSES and "location" in self.headers
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "application/octet-stream")
+
+    def text(self, encoding: str = "utf-8") -> str:
+        return self.body.decode(encoding, errors="replace")
+
+    @staticmethod
+    def html(markup: str, status: int = 200, **headers: str) -> "HttpResponse":
+        hdrs = {"content-type": "text/html; charset=utf-8"}
+        hdrs.update({k.replace("_", "-").lower(): v for k, v in headers.items()})
+        return HttpResponse(status, hdrs, markup.encode("utf-8"))
+
+    @staticmethod
+    def redirect(location: str, status: int = 302) -> "HttpResponse":
+        if status not in REDIRECT_STATUSES:
+            raise ValueError(f"not a redirect status: {status}")
+        return HttpResponse(status, {"location": location})
+
+    @staticmethod
+    def binary(data: bytes, content_type: str = "application/octet-stream") -> "HttpResponse":
+        return HttpResponse(200, {"content-type": content_type}, data)
+
+    @staticmethod
+    def not_found() -> "HttpResponse":
+        return HttpResponse(404, {"content-type": "text/plain"}, b"not found")
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class WebServer:
+    """A simulated origin server: path-pattern handlers for one or more hosts."""
+
+    def __init__(self) -> None:
+        self._exact: dict[str, Handler] = {}
+        self._prefixes: list[tuple[str, Handler]] = []
+        self._fallback: Optional[Handler] = None
+
+    def route(self, path: str, handler: Handler) -> None:
+        """Register a handler.  A trailing ``*`` makes it a prefix route."""
+        if path.endswith("*"):
+            self._prefixes.append((path[:-1], handler))
+            self._prefixes.sort(key=lambda item: len(item[0]), reverse=True)
+        else:
+            self._exact[path] = handler
+
+    def set_fallback(self, handler: Handler) -> None:
+        self._fallback = handler
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        handler = self._exact.get(request.url.path)
+        if handler is None:
+            for prefix, prefix_handler in self._prefixes:
+                if request.url.path.startswith(prefix):
+                    handler = prefix_handler
+                    break
+        if handler is None:
+            handler = self._fallback
+        if handler is None:
+            return HttpResponse.not_found()
+        return handler(request)
+
+
+@dataclass
+class Exchange:
+    """One observed request/response pair."""
+
+    request: HttpRequest
+    response: HttpResponse
+
+
+Observer = Callable[[Exchange], None]
+
+
+class HttpClient:
+    """Client that routes requests to simulated servers and follows redirects."""
+
+    def __init__(self, resolver: DnsResolver) -> None:
+        self.resolver = resolver
+        self._servers: dict[str, WebServer] = {}
+        self._observers: list[Observer] = []
+        # Optional browser-side cookie jar; when set, every round trip sends
+        # matching cookies and ingests Set-Cookie headers.
+        self.cookie_jar = None  # type: ignore[assignment]
+
+    def mount(self, domain: str, server: WebServer) -> None:
+        """Attach ``server`` to a registered domain (covers its subdomains)."""
+        self._servers[domain.lower()] = server
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    def fetch(
+        self,
+        url: Url | str,
+        *,
+        referer: Optional[Url] = None,
+        follow_redirects: bool = True,
+        headers: Optional[dict[str, str]] = None,
+    ) -> tuple[HttpResponse, list[Exchange]]:
+        """Fetch ``url``, following redirects.
+
+        Returns the final response plus the full chain of exchanges (each
+        redirect hop is one exchange).  Raises :class:`NxDomainError` /
+        :class:`ConnectionFailed` for transport failures on the *first* hop;
+        failures on later hops terminate the chain with a synthetic 502 so
+        callers can still see the partial chain (mirroring how a browser
+        surfaces a broken redirect).
+        """
+        current = parse_url(url) if isinstance(url, str) else url
+        chain: list[Exchange] = []
+        for hop in range(MAX_REDIRECTS + 1):
+            try:
+                exchange = self._round_trip(current, referer, headers or {})
+            except (NxDomainError, ConnectionFailed):
+                if not chain:
+                    raise
+                synthetic = HttpResponse(502, {"x-failure": "nxdomain"}, b"", url=current)
+                broken = Exchange(HttpRequest(current, referer=referer), synthetic)
+                chain.append(broken)
+                self._notify(broken)
+                return synthetic, chain
+            chain.append(exchange)
+            self._notify(exchange)
+            response = exchange.response
+            if not (follow_redirects and response.is_redirect):
+                return response, chain
+            referer = current
+            current = current.resolve(response.headers["location"])
+        raise RedirectLoopError(f"more than {MAX_REDIRECTS} redirects starting at {url}")
+
+    def _round_trip(self, url: Url, referer: Optional[Url], headers: dict[str, str]) -> Exchange:
+        record = self.resolver.resolve(url.host)
+        server = self._find_server(url.host)
+        request = HttpRequest(url, headers=dict(headers), referer=referer)
+        if self.cookie_jar is not None:
+            cookie_header = self.cookie_jar.header_for(url)
+            if cookie_header:
+                request.headers["cookie"] = cookie_header
+        if server is None:
+            raise ConnectionFailed(f"no server for {url.host} ({record.address})")
+        if record.sinkholed:
+            response = HttpResponse(451, {"x-sinkhole": "1"}, b"sinkholed", url=url)
+        else:
+            response = server.handle(request)
+            response.url = url
+        if self.cookie_jar is not None and "set-cookie" in response.headers:
+            self.cookie_jar.ingest_response(url, [response.headers["set-cookie"]])
+        return Exchange(request, response)
+
+    def _find_server(self, host: str) -> Optional[WebServer]:
+        labels = host.split(".")
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            server = self._servers.get(candidate)
+            if server is not None:
+                return server
+        return None
+
+    def _notify(self, exchange: Exchange) -> None:
+        for observer in list(self._observers):
+            observer(exchange)

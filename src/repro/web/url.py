@@ -1,0 +1,189 @@
+"""URL parsing, normalisation, and origin comparison.
+
+Implemented from scratch (rather than :mod:`urllib.parse`) because the
+filter-list engine and the origin checks need byte-level control over the
+components, and because the paper's pipeline depends on correct eTLD+1
+("registered domain") grouping when attributing advertisements to ad
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_PORTS = {"http": 80, "https": 443}
+
+# A small public-suffix list sufficient for the simulated web.  Multi-label
+# suffixes must be checked before their parent label.
+PUBLIC_SUFFIXES = frozenset(
+    {
+        "com", "net", "org", "info", "biz", "edu", "gov", "io", "tv", "cc",
+        "de", "uk", "fr", "ru", "cn", "jp", "br", "in", "it", "nl", "pl",
+        "es", "ca", "au", "us", "eu", "ws", "me",
+        "co.uk", "org.uk", "ac.uk", "com.cn", "com.br", "com.au", "co.jp",
+        "net.ru", "org.ru",
+    }
+)
+
+
+class UrlError(ValueError):
+    """Raised when a URL cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed absolute URL."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    def __str__(self) -> str:
+        port = "" if DEFAULT_PORTS.get(self.scheme) == self.port else f":{self.port}"
+        query = f"?{self.query}" if self.query else ""
+        fragment = f"#{self.fragment}" if self.fragment else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}{query}{fragment}"
+
+    @property
+    def origin(self) -> tuple[str, str, int]:
+        """The (scheme, host, port) triple defining the security origin."""
+        return (self.scheme, self.host, self.port)
+
+    @property
+    def registered_domain(self) -> str:
+        """The eTLD+1 of this URL's host."""
+        return etld_plus_one(self.host)
+
+    @property
+    def tld(self) -> str:
+        """The final DNS label of the host (e.g. ``com``)."""
+        return self.host.rsplit(".", 1)[-1]
+
+    def resolve(self, reference: str) -> "Url":
+        """Resolve a (possibly relative) ``reference`` against this URL."""
+        reference = reference.strip()
+        if not reference:
+            return self
+        if "://" in reference:
+            return parse_url(reference)
+        if reference.startswith("//"):
+            return parse_url(f"{self.scheme}:{reference}")
+        if reference.startswith("/"):
+            path, query, fragment = _split_path(reference)
+            return Url(self.scheme, self.host, self.port, path, query, fragment)
+        if reference.startswith("#"):
+            return Url(self.scheme, self.host, self.port, self.path, self.query, reference[1:])
+        base_dir = self.path.rsplit("/", 1)[0]
+        path, query, fragment = _split_path(f"{base_dir}/{reference}")
+        return Url(self.scheme, self.host, self.port, _normalize_path(path), query, fragment)
+
+
+def _split_path(rest: str) -> tuple[str, str, str]:
+    fragment = ""
+    query = ""
+    if "#" in rest:
+        rest, fragment = rest.split("#", 1)
+    if "?" in rest:
+        rest, query = rest.split("?", 1)
+    return rest or "/", query, fragment
+
+
+def _normalize_path(path: str) -> str:
+    """Collapse ``.`` and ``..`` segments."""
+    segments: list[str] = []
+    for segment in path.split("/"):
+        if segment == "." or segment == "":
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def parse_url(raw: str) -> Url:
+    """Parse an absolute URL string into a :class:`Url`.
+
+    Raises :class:`UrlError` for anything that is not an absolute http(s) URL.
+    """
+    raw = raw.strip()
+    if "://" not in raw:
+        raise UrlError(f"not an absolute URL: {raw!r}")
+    scheme, rest = raw.split("://", 1)
+    scheme = scheme.lower()
+    if scheme not in DEFAULT_PORTS:
+        raise UrlError(f"unsupported scheme: {scheme!r}")
+    if "/" in rest:
+        netloc, path_rest = rest.split("/", 1)
+        path_rest = "/" + path_rest
+    else:
+        for sep in ("?", "#"):
+            if sep in rest:
+                netloc, tail = rest.split(sep, 1)
+                path_rest = sep + tail
+                break
+        else:
+            netloc, path_rest = rest, "/"
+    if "@" in netloc:
+        netloc = netloc.rsplit("@", 1)[1]
+    if ":" in netloc:
+        host, port_str = netloc.rsplit(":", 1)
+        try:
+            port = int(port_str)
+        except ValueError as exc:
+            raise UrlError(f"bad port in URL: {raw!r}") from exc
+        if not 0 < port < 65536:
+            raise UrlError(f"port out of range in URL: {raw!r}")
+    else:
+        host, port = netloc, DEFAULT_PORTS[scheme]
+    host = host.lower().rstrip(".")
+    if not host or any(ch in host for ch in " /\\"):
+        raise UrlError(f"bad host in URL: {raw!r}")
+    path, query, fragment = _split_path(path_rest)
+    return Url(scheme, host, port, path, query, fragment)
+
+
+def etld_plus_one(host: str) -> str:
+    """Return the registered domain (eTLD+1) for ``host``.
+
+    ``ads.tracker.co.uk`` -> ``tracker.co.uk``; ``example.com`` ->
+    ``example.com``.  A host that *is* a public suffix, or a single label,
+    is returned unchanged.
+    """
+    host = host.lower().rstrip(".")
+    labels = host.split(".")
+    if len(labels) < 2:
+        return host
+    # Find the longest public suffix that matches the tail of the host.
+    for take in (3, 2, 1):
+        if len(labels) > take:
+            candidate = ".".join(labels[-take:])
+            if candidate in PUBLIC_SUFFIXES:
+                return ".".join(labels[-(take + 1):])
+    if host in PUBLIC_SUFFIXES:
+        return host
+    return ".".join(labels[-2:])
+
+
+def registered_domain(url: Url | str) -> str:
+    """eTLD+1 for a URL or URL string."""
+    if isinstance(url, str):
+        url = parse_url(url)
+    return url.registered_domain
+
+
+def same_origin(a: Url, b: Url) -> bool:
+    """Same-Origin Policy comparison (scheme, host, port)."""
+    return a.origin == b.origin
+
+
+def same_site(a: Url, b: Url) -> bool:
+    """Looser comparison used for third-party checks: same eTLD+1."""
+    return a.registered_domain == b.registered_domain

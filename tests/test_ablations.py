@@ -1,0 +1,112 @@
+"""Tests for the design-choice ablations and the overlap analysis."""
+
+import pytest
+
+from repro.adnet.ablations import apply_uniform_filtering, forbid_resale
+from repro.analysis.overlap import analyze_overlap
+from repro.core.study import Study, StudyConfig, run_study
+from repro.datasets.world import WorldParams, build_world
+
+PARAMS = WorldParams(n_top_sites=10, n_bottom_sites=10, n_other_sites=10,
+                     n_feed_sites=4)
+CONFIG = StudyConfig(seed=111, days=2, refreshes_per_visit=3,
+                     world_params=PARAMS)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_study(CONFIG)
+
+
+class TestUniformFiltering:
+    def test_shrinks_malicious_inventory(self):
+        world = build_world(CONFIG.seed, PARAMS)
+        before = sum(len(n.malicious_inventory()) for n in world.networks)
+        survivors = apply_uniform_filtering(world, quality=0.99)
+        after = sum(len(n.malicious_inventory()) for n in world.networks)
+        # Detectability caps what even perfect discipline catches (scam
+        # screening tops out at 0.9), so a residue survives.
+        assert after < before * 0.35
+        assert survivors >= 0
+
+    def test_benign_inventory_untouched(self):
+        world = build_world(CONFIG.seed, PARAMS)
+        before = {n.network_id: sum(1 for c in n.inventory if not c.is_malicious)
+                  for n in world.networks}
+        apply_uniform_filtering(world, quality=0.99)
+        after = {n.network_id: sum(1 for c in n.inventory if not c.is_malicious)
+                 for n in world.networks}
+        assert before == after
+
+    def test_evasive_campaigns_hardest_to_purge(self):
+        world = build_world(CONFIG.seed, PARAMS)
+        apply_uniform_filtering(world, quality=0.99)
+        surviving_kinds = {c.kind for n in world.networks
+                           for c in n.malicious_inventory()}
+        if surviving_kinds:
+            assert "evasive" in surviving_kinds
+
+    def test_reduces_incidents_end_to_end(self, baseline):
+        world = build_world(CONFIG.seed, PARAMS)
+        apply_uniform_filtering(world, quality=0.99)
+        filtered = Study(CONFIG, world=world).run()
+        assert filtered.n_incidents < baseline.n_incidents
+
+    def test_invalid_quality(self):
+        world = build_world(CONFIG.seed, PARAMS)
+        with pytest.raises(ValueError):
+            apply_uniform_filtering(world, quality=1.5)
+
+
+class TestForbidResale:
+    def test_all_chains_length_one(self):
+        world = build_world(CONFIG.seed, PARAMS)
+        forbid_resale(world)
+        study = Study(CONFIG, world=world)
+        results = study.crawl()
+        lengths = {i.chain_length for i in results.corpus.impressions()}
+        assert lengths <= {1}
+
+    def test_major_primary_publishers_protected(self, baseline):
+        """Without resale, sites on major exchanges see (almost) no
+        malvertising — the reach arbitration grants attackers."""
+        from repro.analysis.exposure import analyze_exposure
+
+        world = build_world(CONFIG.seed, PARAMS)
+        forbid_resale(world)
+        no_resale = Study(CONFIG, world=world).run()
+        base_exposure = analyze_exposure(baseline)
+        ablated_exposure = analyze_exposure(no_resale)
+        assert ablated_exposure.major_tier_exposed <= base_exposure.major_tier_exposed
+
+    def test_malicious_reach_shrinks(self, baseline):
+        world = build_world(CONFIG.seed, PARAMS)
+        forbid_resale(world)
+        no_resale = Study(CONFIG, world=world).run()
+
+        def exposed_sites(results):
+            sites = set()
+            for record in results.malicious_records():
+                sites.update(record.publisher_domains)
+            return sites
+
+        assert len(exposed_sites(no_resale)) <= len(exposed_sites(baseline))
+
+
+class TestOverlap:
+    def test_spread_counts_cover_corpus(self, baseline):
+        stats = analyze_overlap(baseline)
+        assert len(stats.malicious_spread) + len(stats.benign_spread) == \
+            baseline.corpus.unique_ads
+
+    def test_malicious_ads_spread_wider(self, baseline):
+        stats = analyze_overlap(baseline)
+        if stats.malicious_spread:
+            assert stats.mean_malicious_spread >= stats.mean_benign_spread
+
+    def test_multi_network_spread_exists(self, baseline):
+        stats = analyze_overlap(baseline)
+        assert stats.multi_network_malicious >= 1
+
+    def test_render(self, baseline):
+        assert "cross-network spread" in analyze_overlap(baseline).render()

@@ -1,0 +1,176 @@
+"""Tests for the HTTP-level ad ecosystem."""
+
+import collections
+
+import pytest
+
+from repro.adnet.entities import CampaignKind
+from repro.browser.browser import Browser
+from repro.datasets.world import WorldParams, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    params = WorldParams(n_top_sites=10, n_bottom_sites=10, n_other_sites=10,
+                         n_feed_sites=4)
+    return build_world(seed=42, params=params)
+
+
+@pytest.fixture(scope="module")
+def browser(world):
+    return Browser(world.client)
+
+
+class TestRegistration:
+    def test_all_network_domains_resolve(self, world):
+        for network in world.networks:
+            assert world.resolver.exists(network.domain)
+            assert world.resolver.exists(network.serve_host)
+
+    def test_all_campaign_domains_resolve(self, world):
+        for campaign in world.campaigns:
+            for domain in campaign.domains:
+                assert world.resolver.exists(domain)
+
+    def test_all_publisher_domains_resolve(self, world):
+        for publisher in world.publishers:
+            assert world.resolver.exists(publisher.domain)
+
+    def test_register_all_idempotent(self, world):
+        world.ecosystem.register_all()  # second call must not raise
+
+    def test_network_for_domain(self, world):
+        network = world.networks[0]
+        assert world.ecosystem.network_for_domain(network.domain) is network
+        assert world.ecosystem.network_for_domain(network.serve_host) is network
+        assert world.ecosystem.network_for_domain("unrelated.com") is None
+
+
+class TestPublisherPages:
+    def test_page_contains_ad_slots(self, world, browser):
+        publisher = next(p for p in world.publishers if p.serves_ads)
+        load = browser.load(publisher.url)
+        assert load.ok
+        slots = [f for f in load.page.iframes()
+                 if (f.element.get("id") or "").startswith("ad-slot")]
+        assert len(slots) == publisher.n_slots
+
+    def test_adless_publisher_has_no_ad_slots(self, world, browser):
+        adless = next((p for p in world.publishers if not p.serves_ads), None)
+        if adless is None:
+            pytest.skip("this seed produced no ad-free publishers")
+        load = browser.load(adless.url)
+        assert load.ok
+        ids = [f.element.get("id") or "" for f in load.page.iframes()]
+        assert not any(i.startswith("ad-slot") for i in ids)
+
+    def test_no_publisher_uses_sandbox(self, world, browser):
+        # §4.4: none of the crawled sites protect their ad iframes.
+        publisher = next(p for p in world.publishers if p.serves_ads)
+        load = browser.load(publisher.url)
+        for frame in load.page.iframes():
+            assert not frame.element.has_attribute("sandbox")
+
+    def test_impression_ids_unique(self, world, browser):
+        publisher = next(p for p in world.publishers if p.serves_ads and p.n_slots >= 2)
+        load = browser.load(publisher.url)
+        imps = [f.element.get("src").split("imp=")[1].split("&")[0]
+                for f in load.page.iframes()
+                if "imp=" in (f.element.get("src") or "")]
+        assert len(imps) == len(set(imps))
+
+
+class TestAdServing:
+    def test_adserve_eventually_serves_html(self, world):
+        imp = world.ecosystem._mint_impression()
+        network = world.networks[0]
+        url = f"http://{network.serve_host}/adserve?pub=x.com&slot=0&imp={imp}&hop=0"
+        response, chain = world.client.fetch(url)
+        assert response.ok
+        assert "ad-creative" in response.text() or "adimg" in response.text()
+
+    def test_served_log_records_chain(self, world):
+        imp = world.ecosystem._mint_impression()
+        network = world.networks[0]
+        url = f"http://{network.serve_host}/adserve?pub=x.com&slot=0&imp={imp}&hop=0"
+        _, chain = world.client.fetch(url)
+        entry = next(s for s in world.ecosystem.served_log if s.imp_id == imp)
+        assert entry.chain_length == len(chain)
+        assert entry.chain[0] == network.network_id
+
+    def test_serving_is_deterministic_per_impression(self, world):
+        imp = world.ecosystem._mint_impression()
+        network = world.networks[1]
+        url = f"http://{network.serve_host}/adserve?pub=x.com&slot=0&imp={imp}&hop=0"
+        first, _ = world.client.fetch(url)
+        second, _ = world.client.fetch(url)
+        assert first.body == second.body
+
+    def test_chain_respects_max_hops(self, world):
+        for _ in range(150):
+            imp = world.ecosystem._mint_impression()
+            shady = next(n for n in world.networks if n.tier == "shady")
+            url = f"http://{shady.serve_host}/adserve?pub=x.com&slot=0&imp={imp}&hop=0"
+            world.client.fetch(url)
+        assert all(s.chain_length <= 31 for s in world.ecosystem.served_log)
+
+
+class TestCampaignInfrastructure:
+    def test_driveby_swf_is_weaponised(self, world):
+        campaign = next((c for c in world.campaigns if c.kind == CampaignKind.DRIVEBY), None)
+        assert campaign is not None, "world must contain a driveby campaign"
+        url = f"http://{campaign.serving_domain}/adswf/{campaign.campaign_id}-0.swf"
+        response, _ = world.client.fetch(url)
+        from repro.malware.samples import parse_flash_container
+
+        info = parse_flash_container(response.body)
+        assert info.exploit_cve == campaign.exploit_cve
+        assert campaign.payload_domain in info.payload_url
+
+    def test_payload_exe_carries_family(self, world):
+        campaign = next(c for c in world.campaigns
+                        if c.kind == CampaignKind.DECEPTIVE)
+        url = f"http://{campaign.payload_domain}/download/flash-update-0.exe"
+        response, _ = world.client.fetch(url)
+        from repro.malware.packer import unpack_executable
+        from repro.malware.samples import parse_executable
+
+        data = unpack_executable(response.body) or response.body
+        assert parse_executable(data).family == campaign.malware_family
+
+    def test_cloaking_redirector_rotates(self, world):
+        campaign = next(c for c in world.campaigns
+                        if c.kind == CampaignKind.CLOAK_REDIRECT)
+        destinations = set()
+        for _ in range(30):
+            response, _ = world.client.fetch(
+                f"http://{campaign.serving_domain}/go/{campaign.campaign_id}?v=0",
+                follow_redirects=False)
+            destinations.add(response.headers.get("location", "").split("/")[2].split(".")[-2:][0]
+                             if response.headers.get("location") else "")
+        assert len(destinations) >= 2  # bounces to different places
+
+    def test_landing_page_served(self, world):
+        campaign = world.campaigns[0]
+        response, _ = world.client.fetch(f"http://{campaign.landing_domain}/offer?c=x")
+        assert response.ok
+
+
+class TestInventoryShape:
+    def test_major_networks_hold_little_malicious_inventory(self, world):
+        majors = [n for n in world.networks if n.tier == "major"]
+        shadies = [n for n in world.networks if n.tier == "shady"]
+        major_mal = sum(len(n.malicious_inventory()) for n in majors) / len(majors)
+        shady_mal = sum(len(n.malicious_inventory()) for n in shadies) / len(shadies)
+        assert shady_mal > 3 * major_mal
+
+    def test_weak_mid_network_is_an_outlier(self, world):
+        mids = [n for n in world.networks if n.tier == "mid"]
+        weakest = min(mids, key=lambda n: n.filter_quality)
+        others = [n for n in mids if n is not weakest]
+        assert len(weakest.malicious_inventory()) > max(
+            len(n.malicious_inventory()) for n in others)
+
+    def test_every_malicious_kind_present(self, world):
+        kinds = {c.kind for c in world.malicious_campaigns()}
+        assert kinds == set(CampaignKind.MALICIOUS)

@@ -1,0 +1,182 @@
+"""Tests for ad ecosystem entities and filtering."""
+
+import pytest
+
+from repro.adnet.arbitration import (
+    ArbitrationPolicy,
+    default_partner_tiers,
+    default_resale_propensity,
+)
+from repro.adnet.entities import AdNetwork, Advertiser, Campaign, CampaignKind, NetworkTier, Publisher
+from repro.adnet.filtering import build_inventories, screen_campaign, submits_campaign
+from repro.util.rand import rng
+
+
+def make_network(tier=NetworkTier.SHADY, quality=0.1, **kwargs):
+    defaults = dict(
+        network_id=kwargs.pop("network_id", "net-t"),
+        name="testnet", tier=tier, domain="testnet-ads.com",
+        market_share=1.0, filter_quality=quality,
+        resale_propensity=default_resale_propensity(tier),
+    )
+    defaults.update(kwargs)
+    return AdNetwork(**defaults)
+
+
+def make_campaign(kind=CampaignKind.BENIGN, campaign_id="cmp-1", bid=1.0):
+    return Campaign(
+        campaign_id=campaign_id,
+        advertiser=Advertiser("adv-1", "test"),
+        kind=kind,
+        landing_domain="brand.com",
+        serving_domain="static.brand.com",
+        bid=bid,
+    )
+
+
+class TestCampaign:
+    def test_benign_not_malicious(self):
+        assert not make_campaign().is_malicious
+
+    def test_all_malicious_kinds(self):
+        for kind in CampaignKind.MALICIOUS:
+            assert CampaignKind.is_malicious(kind)
+
+    def test_domains_deduplicated_sorted(self):
+        campaign = Campaign("c", Advertiser("a", "a"), CampaignKind.DRIVEBY,
+                            "land.com", "land.com", payload_domain="dl.net")
+        assert campaign.domains == ["dl.net", "land.com"]
+
+
+class TestPublisher:
+    def test_tld(self):
+        pub = Publisher("site.co.uk", 1, "news", 2)
+        assert pub.tld == "uk"
+
+    def test_serves_ads_requires_network_and_slots(self):
+        assert not Publisher("a.com", 1, "news", 0, make_network()).serves_ads
+        assert not Publisher("a.com", 1, "news", 2, None).serves_ads
+        assert Publisher("a.com", 1, "news", 2, make_network()).serves_ads
+
+    def test_url(self):
+        assert Publisher("a.com", 1, "news", 1).url == "http://www.a.com/"
+
+
+class TestScreening:
+    def test_benign_always_accepted(self):
+        network = make_network(quality=1.0)
+        assert screen_campaign(network, make_campaign())
+
+    def test_perfect_filter_blocks_detectable_malicious(self):
+        network = make_network(quality=1.0)
+        blocked = sum(
+            not screen_campaign(network, make_campaign(CampaignKind.DRIVEBY, f"c{i}"))
+            for i in range(50)
+        )
+        assert blocked == 50  # driveby detectability is 1.0
+
+    def test_zero_filter_accepts_everything(self):
+        network = make_network(quality=0.0)
+        for kind in CampaignKind.MALICIOUS:
+            assert screen_campaign(network, make_campaign(kind))
+
+    def test_screening_deterministic(self):
+        network = make_network(quality=0.5)
+        campaign = make_campaign(CampaignKind.SCAM, "cmp-x")
+        assert screen_campaign(network, campaign) == screen_campaign(network, campaign)
+
+    def test_evasive_harder_to_catch(self):
+        network = make_network(quality=0.9, network_id="net-e")
+        evasive_accepted = sum(
+            screen_campaign(network, make_campaign(CampaignKind.EVASIVE, f"e{i}"))
+            for i in range(200)
+        )
+        scam_accepted = sum(
+            screen_campaign(network, make_campaign(CampaignKind.SCAM, f"s{i}"))
+            for i in range(200)
+        )
+        assert evasive_accepted > scam_accepted
+
+    def test_malicious_submit_everywhere(self):
+        network = make_network(tier=NetworkTier.MAJOR)
+        assert submits_campaign(network, make_campaign(CampaignKind.SCAM))
+
+    def test_benign_submission_skewed_by_tier(self):
+        major = make_network(tier=NetworkTier.MAJOR, network_id="net-major")
+        shady = make_network(tier=NetworkTier.SHADY, network_id="net-shady")
+        campaigns = [make_campaign(campaign_id=f"b{i}") for i in range(300)]
+        to_major = sum(submits_campaign(major, c) for c in campaigns)
+        to_shady = sum(submits_campaign(shady, c) for c in campaigns)
+        assert to_major > 2 * to_shady
+
+    def test_build_inventories(self):
+        networks = [make_network(tier=NetworkTier.SHADY, quality=0.0, network_id="n1")]
+        campaigns = [make_campaign(campaign_id=f"c{i}") for i in range(10)]
+        campaigns.append(make_campaign(CampaignKind.SCAM, "evil"))
+        build_inventories(networks, campaigns)
+        assert any(c.campaign_id == "evil" for c in networks[0].inventory)
+
+
+class TestArbitrationPolicy:
+    def test_never_resells_past_max_hops(self):
+        policy = ArbitrationPolicy()
+        network = make_network()
+        assert not policy.wants_resale(network, policy.max_hops, rng(0))
+
+    def test_resale_rate_approximates_propensity(self):
+        policy = ArbitrationPolicy()
+        network = make_network(tier=NetworkTier.SHADY)
+        rand = rng(1)
+        rate = sum(policy.wants_resale(network, 1, rand) for _ in range(2000)) / 2000
+        assert abs(rate - network.resale_propensity) < 0.05
+
+    def test_pick_partner_none_without_partners(self):
+        assert ArbitrationPolicy().pick_partner(make_network(), rng(0)) is None
+
+    def test_pick_partner_uses_weights(self):
+        network = make_network()
+        a = make_network(network_id="a")
+        b = make_network(network_id="b")
+        network.partners = [a, b]
+        network.partner_weights = [0.0, 1.0]
+        policy = ArbitrationPolicy()
+        rand = rng(2)
+        assert all(policy.pick_partner(network, rand) is b for _ in range(50))
+
+    def test_pick_campaign_empty_inventory(self):
+        assert ArbitrationPolicy().pick_campaign(make_network(), rng(0)) is None
+
+    def test_remnant_hops_prefer_malicious(self):
+        network = make_network()
+        benign = make_campaign(campaign_id="b", bid=2.0)
+        evil = make_campaign(CampaignKind.SCAM, "m", bid=2.0)
+        network.inventory = [benign, evil]
+        policy = ArbitrationPolicy()
+        rand = rng(3)
+        shallow = sum(policy.pick_campaign(network, rand, hop=0) is evil
+                      for _ in range(500))
+        deep = sum(policy.pick_campaign(network, rand, hop=20) is evil
+                   for _ in range(500))
+        assert deep > shallow * 1.3
+
+    def test_top_site_boost(self):
+        network = make_network()
+        benign = make_campaign(campaign_id="b", bid=2.0)
+        evil = make_campaign(CampaignKind.SCAM, "m", bid=2.0)
+        network.inventory = [benign, evil]
+        policy = ArbitrationPolicy(malicious_top_site_boost=3.0)
+        rand = rng(4)
+        plain = sum(policy.pick_campaign(network, rand, top_cluster_site=False) is evil
+                    for _ in range(600))
+        boosted = sum(policy.pick_campaign(network, rand, top_cluster_site=True) is evil
+                      for _ in range(600))
+        assert boosted > plain
+
+    def test_partner_tier_tables_are_distributions(self):
+        for tier in NetworkTier.ALL:
+            weights = default_partner_tiers(tier)
+            assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+    def test_shady_resells_mostly_to_shady(self):
+        weights = default_partner_tiers(NetworkTier.SHADY)
+        assert weights[NetworkTier.SHADY] > 0.8

@@ -1,0 +1,90 @@
+"""Tests for the Date and JSON builtins."""
+
+import pytest
+
+from repro.adscript.errors import ScriptRuntimeError
+from repro.adscript.interpreter import Interpreter
+
+
+def run(source, **kwargs):
+    return Interpreter(**kwargs).run(source)
+
+
+class TestDate:
+    def test_new_date_gettime_is_numeric(self):
+        assert run("new Date().getTime() > 0;") is True
+
+    def test_time_is_monotone(self):
+        assert run("var a = new Date().getTime(); var b = new Date().getTime(); b > a;") is True
+
+    def test_date_now_static(self):
+        assert run("Date.now() > 0;") is True
+
+    def test_deterministic_across_runs(self):
+        assert run("new Date().getTime();") == run("new Date().getTime();")
+
+    def test_explicit_timestamp(self):
+        assert run("new Date(123456).getTime();") == 123456.0
+
+    def test_year_is_2014(self):
+        assert run("new Date().getFullYear();") == 2014.0
+
+    def test_component_getters_in_range(self):
+        assert 0 <= run("new Date().getMonth();") <= 11
+        assert 1 <= run("new Date().getDate();") <= 28
+        assert 0 <= run("new Date().getHours();") <= 23
+        assert 0 <= run("new Date().getDay();") <= 6
+
+    def test_cache_buster_idiom(self):
+        # The pattern ad scripts actually use Date for.
+        source = """
+        var cb = '/adimg/banner.png?cb=' + new Date().getTime();
+        cb.indexOf('?cb=') > 0;
+        """
+        assert run(source) is True
+
+    def test_host_time_overridable(self):
+        interp = Interpreter()
+        interp.host_time = lambda: 42.0
+        assert interp.run("new Date().getTime();") == 42.0
+
+
+class TestJson:
+    def test_stringify_primitives(self):
+        assert run("JSON.stringify(1);") == "1"
+        assert run("JSON.stringify('x');") == '"x"'
+        assert run("JSON.stringify(true);") == "true"
+        assert run("JSON.stringify(null);") == "null"
+
+    def test_stringify_structures(self):
+        assert run("JSON.stringify([1, 'a', false]);") == '[1,"a",false]'
+        assert run("JSON.stringify({a: 1, b: [2]});") == '{"a":1,"b":[2]}'
+
+    def test_stringify_escapes(self):
+        assert run("JSON.stringify('a\"b');") == '"a\\"b"'
+
+    def test_parse_round_trip(self):
+        source = """
+        var obj = JSON.parse('{"k": [1, 2, {"deep": true}]}');
+        obj.k[2].deep;
+        """
+        assert run(source) is True
+
+    def test_parse_numbers(self):
+        assert run("JSON.parse('[1.5, 2]')[0];") == 1.5
+
+    def test_parse_invalid_raises_catchable(self):
+        source = """
+        var r = 'no';
+        try { JSON.parse('{nope'); } catch (e) { r = 'caught'; }
+        r;
+        """
+        assert run(source) == "caught"
+
+    def test_stringify_parse_identity(self):
+        source = """
+        var a = {x: 1, y: ['z', null]};
+        var b = JSON.parse(JSON.stringify(a));
+        b.y[0];
+        """
+        assert run(source) == "z"

@@ -1,0 +1,127 @@
+"""Tests for do-while and switch statements in AdScript."""
+
+import pytest
+
+from repro.adscript.errors import ParseError
+from repro.adscript.interpreter import Interpreter
+
+
+def run(source):
+    return Interpreter().run(source)
+
+
+class TestDoWhile:
+    def test_executes_at_least_once(self):
+        assert run("var n = 0; do { n++; } while (false); n;") == 1.0
+
+    def test_loops_until_false(self):
+        assert run("var n = 0; do { n++; } while (n < 5); n;") == 5.0
+
+    def test_break_inside(self):
+        assert run("var n = 0; do { n++; if (n >= 3) break; } while (true); n;") == 3.0
+
+    def test_continue_still_checks_condition(self):
+        source = """
+        var n = 0, sum = 0;
+        do { n++; if (n % 2) continue; sum += n; } while (n < 6);
+        sum;
+        """
+        assert run(source) == 2 + 4 + 6
+
+    def test_single_statement_body(self):
+        assert run("var n = 0; do n++; while (n < 2); n;") == 2.0
+
+    def test_missing_while_raises(self):
+        with pytest.raises(ParseError):
+            run("do { x(); } until (true);")
+
+
+class TestSwitch:
+    def test_matching_case(self):
+        source = """
+        var r = '';
+        switch (2) { case 1: r = 'one'; break; case 2: r = 'two'; break; }
+        r;
+        """
+        assert run(source) == "two"
+
+    def test_fallthrough_without_break(self):
+        source = """
+        var r = '';
+        switch (1) { case 1: r += 'a'; case 2: r += 'b'; case 3: r += 'c'; }
+        r;
+        """
+        assert run(source) == "abc"
+
+    def test_default_clause(self):
+        source = """
+        var r = '';
+        switch (99) { case 1: r = 'one'; break; default: r = 'other'; }
+        r;
+        """
+        assert run(source) == "other"
+
+    def test_default_fallthrough(self):
+        source = """
+        var r = '';
+        switch (99) { default: r += 'd'; case 1: r += 'one'; }
+        r;
+        """
+        assert run(source) == "done"
+
+    def test_strict_matching(self):
+        # switch uses === semantics: '1' must not match 1.
+        source = """
+        var r = 'none';
+        switch ('1') { case 1: r = 'number'; break; }
+        r;
+        """
+        assert run(source) == "none"
+
+    def test_no_match_no_default(self):
+        assert run("var r = 'x'; switch (5) { case 1: r = 'y'; } r;") == "x"
+
+    def test_case_expressions_evaluated(self):
+        source = """
+        var r = '';
+        switch (4) { case 2 + 2: r = 'sum'; break; }
+        r;
+        """
+        assert run(source) == "sum"
+
+    def test_switch_in_function_with_return(self):
+        source = """
+        function name(code) {
+            switch (code) {
+                case 200: return 'ok';
+                case 404: return 'missing';
+                default: return 'other';
+            }
+        }
+        name(404);
+        """
+        assert run(source) == "missing"
+
+    def test_malformed_switch(self):
+        with pytest.raises(ParseError):
+            run("switch (x) { what: 1; }")
+
+    def test_unterminated_switch(self):
+        with pytest.raises(ParseError):
+            run("switch (x) { case 1: f();")
+
+    def test_realistic_ad_rotation(self):
+        # The pattern real ad rotators use: pick a creative by bucket.
+        source = """
+        function pick(bucket) {
+            var url;
+            switch (bucket % 3) {
+                case 0: url = '/adimg/a.png'; break;
+                case 1: url = '/adimg/b.png'; break;
+                default: url = '/adimg/c.png';
+            }
+            return url;
+        }
+        pick(7);
+        """
+        assert run(source) == "/adimg/b.png"

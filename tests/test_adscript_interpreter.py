@@ -1,0 +1,400 @@
+"""Tests for the AdScript interpreter."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adscript.errors import BudgetExceededError, ScriptRuntimeError, ThrowSignal
+from repro.adscript.interpreter import Interpreter
+from repro.adscript.values import JSArray, JSObject, UNDEFINED, NativeFunction
+
+
+def run(source, **kwargs):
+    return Interpreter(**kwargs).run(source)
+
+
+class TestLiteralsAndArithmetic:
+    def test_number(self):
+        assert run("42;") == 42.0
+
+    def test_string_concat(self):
+        assert run("'a' + 'b';") == "ab"
+
+    def test_number_plus_string_coerces(self):
+        assert run("1 + '2';") == "12"
+
+    def test_string_minus_number_coerces(self):
+        assert run("'10' - 3;") == 7.0
+
+    def test_precedence(self):
+        assert run("2 + 3 * 4;") == 14.0
+
+    def test_parens(self):
+        assert run("(2 + 3) * 4;") == 20.0
+
+    def test_division_by_zero_is_infinity(self):
+        assert run("1 / 0;") == math.inf
+        assert math.isnan(run("0 / 0;"))
+
+    def test_modulo(self):
+        assert run("7 % 3;") == 1.0
+
+    def test_unary_minus(self):
+        assert run("-(3);") == -3.0
+
+    def test_bitwise(self):
+        assert run("(5 & 3) + (5 | 3) + (5 ^ 3);") == 1 + 7 + 6
+
+    def test_shifts(self):
+        assert run("1 << 4;") == 16.0
+        assert run("-8 >> 1;") == -4.0
+        assert run("16 >>> 2;") == 4.0
+
+    def test_hex_literal(self):
+        assert run("0xFF;") == 255.0
+
+
+class TestEqualityAndComparison:
+    def test_loose_equality_coerces(self):
+        assert run("1 == '1';") is True
+        assert run("0 == false;") is True
+        assert run("null == undefined;") is True
+
+    def test_strict_equality(self):
+        assert run("1 === '1';") is False
+        assert run("1 === 1;") is True
+
+    def test_nan_never_equal(self):
+        assert run("NaN == NaN;") is False
+
+    def test_string_comparison_lexicographic(self):
+        assert run("'apple' < 'banana';") is True
+
+    def test_comparison_with_nan_false(self):
+        assert run("NaN < 1;") is False
+        assert run("NaN >= 1;") is False
+
+
+class TestVariablesAndScope:
+    def test_var_and_assignment(self):
+        assert run("var x = 1; x = x + 2; x;") == 3.0
+
+    def test_compound_assignment(self):
+        assert run("var x = 10; x -= 4; x *= 2; x;") == 12.0
+
+    def test_undeclared_read_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("missing;")
+
+    def test_undeclared_assignment_creates_global(self):
+        assert run("function f() { leaked = 9; } f(); leaked;") == 9.0
+
+    def test_typeof_undeclared_is_undefined(self):
+        assert run("typeof missing;") == "undefined"
+
+    def test_closures_capture_environment(self):
+        source = """
+        function counter() {
+            var n = 0;
+            return function () { n = n + 1; return n; };
+        }
+        var c = counter();
+        c(); c(); c();
+        """
+        assert run(source) == 3.0
+
+    def test_function_scope_not_block_scope(self):
+        assert run("var x = 1; { var x = 2; } x;") == 2.0
+
+    def test_increment_decrement(self):
+        assert run("var i = 5; i++; ++i; i--; i;") == 6.0
+
+    def test_postfix_returns_old_value(self):
+        assert run("var i = 5; i++;") == 5.0
+
+    def test_prefix_returns_new_value(self):
+        assert run("var i = 5; ++i;") == 6.0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("var r; if (1 < 2) r = 'yes'; else r = 'no'; r;") == "yes"
+
+    def test_while_loop(self):
+        assert run("var s = 0, i = 0; while (i < 5) { s += i; i++; } s;") == 10.0
+
+    def test_for_loop(self):
+        assert run("var s = 0; for (var i = 1; i <= 4; i++) s += i; s;") == 10.0
+
+    def test_break(self):
+        assert run("var i = 0; while (true) { i++; if (i >= 3) break; } i;") == 3.0
+
+    def test_continue(self):
+        assert run("var s = 0; for (var i = 0; i < 5; i++) { if (i % 2) continue; s += i; } s;") == 6.0
+
+    def test_for_in_over_object(self):
+        source = "var keys = []; var o = {a: 1, b: 2}; for (var k in o) keys.push(k); keys.join(',');"
+        assert run(source) == "a,b"
+
+    def test_for_in_over_array_indices(self):
+        assert run("var s = ''; for (var i in [9, 8]) s += i; s;") == "01"
+
+    def test_ternary(self):
+        assert run("5 > 3 ? 'big' : 'small';") == "big"
+
+    def test_short_circuit_and(self):
+        assert run("var called = false; function f() { called = true; } false && f(); called;") is False
+
+    def test_short_circuit_or_returns_value(self):
+        assert run("'fallback' || 'other';") == "fallback"
+        assert run("'' || 'other';") == "other"
+
+
+class TestFunctions:
+    def test_declaration_and_call(self):
+        assert run("function add(a, b) { return a + b; } add(2, 3);") == 5.0
+
+    def test_hoisting(self):
+        assert run("var r = f(); function f() { return 7; } r;") == 7.0
+
+    def test_recursion(self):
+        assert run("function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } fib(10);") == 55.0
+
+    def test_missing_args_are_undefined(self):
+        assert run("function f(a, b) { return typeof b; } f(1);") == "undefined"
+
+    def test_arguments_object(self):
+        assert run("function f() { return arguments.length; } f(1, 2, 3);") == 3.0
+
+    def test_function_expression(self):
+        assert run("var f = function (x) { return x * 2; }; f(4);") == 8.0
+
+    def test_named_function_expression_self_reference(self):
+        assert run("var f = function fact(n) { return n < 2 ? 1 : n * fact(n - 1); }; f(5);") == 120.0
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("var x = 3; x();")
+
+    def test_new_with_user_constructor(self):
+        assert run("function T(v) { this.v = v; } var t = new T(9); t.v;") == 9.0
+
+
+class TestObjectsAndArrays:
+    def test_object_literal_access(self):
+        assert run("var o = {a: 1}; o.a;") == 1.0
+
+    def test_object_set(self):
+        assert run("var o = {}; o.x = 5; o['y'] = 6; o.x + o.y;") == 11.0
+
+    def test_computed_access(self):
+        assert run("var o = {ab: 3}; o['a' + 'b'];") == 3.0
+
+    def test_missing_property_is_undefined(self):
+        assert run("var o = {}; typeof o.nope;") == "undefined"
+
+    def test_read_of_undefined_property_chain_raises(self):
+        with pytest.raises(ScriptRuntimeError):
+            run("var o = {}; o.a.b;")
+
+    def test_delete(self):
+        assert run("var o = {a: 1}; delete o.a; typeof o.a;") == "undefined"
+
+    def test_in_operator(self):
+        assert run("'a' in {a: 1};") is True
+        assert run("'b' in {a: 1};") is False
+
+    def test_array_length_and_index(self):
+        assert run("var a = [10, 20, 30]; a.length + a[1];") == 23.0
+
+    def test_array_out_of_range_undefined(self):
+        assert run("typeof [1][5];") == "undefined"
+
+    def test_array_write_extends(self):
+        assert run("var a = []; a[3] = 1; a.length;") == 4.0
+
+    def test_array_push_pop(self):
+        assert run("var a = [1]; a.push(2, 3); a.pop(); a.join('-');") == "1-2"
+
+    def test_array_join_skips_null_undefined(self):
+        assert run("[1, null, 2].join(',');") == "1,,2"
+
+    def test_array_indexof(self):
+        assert run("[5, 6, 7].indexOf(7);") == 2.0
+        assert run("[5].indexOf(9);") == -1.0
+
+    def test_array_slice_concat_reverse(self):
+        assert run("[1,2,3,4].slice(1, 3).concat([9]).reverse().join('');") == "932"
+
+    def test_array_sort_default(self):
+        assert run("[3, 1, 2].sort().join('');") == "123"
+
+    def test_array_sort_comparator(self):
+        assert run("[3, 1, 2].sort(function (a, b) { return b - a; }).join('');") == "321"
+
+    def test_this_in_method(self):
+        assert run("var o = {v: 7, get: function () { return this.v; }}; o.get();") == 7.0
+
+
+class TestStrings:
+    def test_length(self):
+        assert run("'hello'.length;") == 5.0
+
+    def test_char_at_and_code(self):
+        assert run("'abc'.charAt(1);") == "b"
+        assert run("'A'.charCodeAt(0);") == 65.0
+
+    def test_index_of(self):
+        assert run("'hello world'.indexOf('world');") == 6.0
+
+    def test_substring_swaps(self):
+        assert run("'abcdef'.substring(4, 2);") == "cd"
+
+    def test_substr(self):
+        assert run("'abcdef'.substr(2, 3);") == "cde"
+
+    def test_split_join_round_trip(self):
+        assert run("'a,b,c'.split(',').join(';');") == "a;b;c"
+
+    def test_split_empty_separator(self):
+        assert run("'abc'.split('').length;") == 3.0
+
+    def test_replace_first_only(self):
+        assert run("'aaa'.replace('a', 'b');") == "baa"
+
+    def test_case(self):
+        assert run("'MiXeD'.toLowerCase() + 'x'.toUpperCase();") == "mixedX"
+
+    def test_index_into_string(self):
+        assert run("'xyz'[2];") == "z"
+
+
+class TestBuiltins:
+    def test_parse_int(self):
+        assert run("parseInt('42px');") == 42.0
+        assert run("parseInt('0x10');") == 16.0
+        assert run("parseInt('101', 2);") == 5.0
+        assert run("isNaN(parseInt('none'));") is True
+
+    def test_parse_float(self):
+        assert run("parseFloat('3.14abc');") == pytest.approx(3.14)
+
+    def test_string_from_char_code(self):
+        assert run("String.fromCharCode(72, 105);") == "Hi"
+
+    def test_unescape(self):
+        assert run("unescape('%48%69');") == "Hi"
+        assert run("unescape('%u0041');") == "A"
+
+    def test_escape_round_trip(self):
+        assert run("unescape(escape('hello world!'));") == "hello world!"
+
+    def test_math_floor_abs(self):
+        assert run("Math.floor(3.7) + Math.abs(-2);") == 5.0
+
+    def test_math_max_min(self):
+        assert run("Math.max(1, 5, 3) - Math.min(4, 2);") == 3.0
+
+    def test_math_random_is_host_controlled(self):
+        interp = Interpreter()
+        interp.host_random = lambda: 0.25
+        assert interp.run("Math.random();") == 0.25
+
+    def test_eval_executes(self):
+        assert run("eval('1 + 2');") == 3.0
+
+    def test_eval_affects_globals(self):
+        assert run("eval('var hidden = 5;'); hidden;") == 5.0
+
+    def test_eval_records_source(self):
+        interp = Interpreter()
+        seen = []
+        interp.record_eval = seen.append
+        interp.run("eval('var x = 1;');")
+        assert seen == ["var x = 1;"]
+
+    def test_nested_eval_decoding(self):
+        # The classic obfuscation pattern: decode then eval.
+        source = "var code = unescape('%76%61%72%20%79%20%3D%20%37%3B'); eval(code); y;"
+        assert run(source) == 7.0
+
+    def test_array_constructor(self):
+        assert run("new Array(3).length;") == 3.0
+        assert run("Array(1, 2).join('');") == "12"
+
+
+class TestExceptions:
+    def test_try_catch_thrown_value(self):
+        assert run("var r; try { throw 'boom'; } catch (e) { r = e; } r;") == "boom"
+
+    def test_runtime_error_caught(self):
+        assert run("var r = 'no'; try { missing(); } catch (e) { r = 'yes'; } r;") == "yes"
+
+    def test_caught_runtime_error_has_message(self):
+        assert "not defined" in run("var m; try { nope; } catch (e) { m = e.message; } m;")
+
+    def test_finally_runs(self):
+        assert run("var r = ''; try { r += 'a'; } finally { r += 'b'; } r;") == "ab"
+
+    def test_finally_runs_after_catch(self):
+        assert run("var r = ''; try { throw 1; } catch (e) { r += 'c'; } finally { r += 'f'; } r;") == "cf"
+
+    def test_uncaught_throw_propagates(self):
+        with pytest.raises(ThrowSignal):
+            run("throw 42;")
+
+
+class TestBudget:
+    def test_infinite_loop_aborted(self):
+        with pytest.raises(BudgetExceededError):
+            run("while (true) {}", step_budget=10_000)
+
+    def test_budget_counts_steps(self):
+        interp = Interpreter()
+        interp.run("var x = 1;")
+        assert interp.steps > 0
+
+    def test_normal_program_within_budget(self):
+        assert run("var s = 0; for (var i = 0; i < 100; i++) s += i; s;") == 4950.0
+
+
+class TestHostIntegration:
+    def test_define_global_native(self):
+        interp = Interpreter()
+        calls = []
+        interp.define_global("probe", NativeFunction("probe", lambda *a: calls.append(a) or UNDEFINED))
+        interp.run("probe(1, 'two');")
+        assert calls == [(1.0, "two")]
+
+    def test_call_function_from_host(self):
+        interp = Interpreter()
+        interp.run("function double(x) { return x * 2; }")
+        fn = interp.globals.lookup("double")
+        assert interp.call_function(fn, [21.0]) == 42.0
+
+    def test_typeof_function(self):
+        assert run("typeof parseInt;") == "function"
+
+    def test_typeof_values(self):
+        assert run("typeof 'x';") == "string"
+        assert run("typeof 1;") == "number"
+        assert run("typeof true;") == "boolean"
+        assert run("typeof null;") == "object"
+        assert run("typeof {};") == "object"
+
+
+@given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=-1000, max_value=1000))
+def test_property_addition_matches_python(a, b):
+    assert run(f"{a} + {b};") == float(a + b)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters="\\'\""), max_size=30))
+def test_property_string_literal_round_trip(text):
+    assert run(f"'{text}';") == text
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=10))
+def test_property_array_join_matches_python(xs):
+    literal = "[" + ",".join(str(x) for x in xs) + "]"
+    assert run(f"{literal}.join('-');") == "-".join(str(x) for x in xs)

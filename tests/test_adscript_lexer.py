@@ -1,0 +1,112 @@
+"""Tests for the AdScript lexer."""
+
+import pytest
+
+from repro.adscript.errors import LexError
+from repro.adscript.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 10e3 0x1F") == [
+            ("num", "1"), ("num", "2.5"), ("num", ".5"), ("num", "10e3"), ("num", "31"),
+        ]
+
+    def test_exponent_with_sign(self):
+        assert kinds("1e-3")[0] == ("num", "1e-3")
+
+    def test_number_dot_method_not_exponent(self):
+        # '5.toString' style: digit then name
+        assert kinds("5 .x") == [("num", "5"), ("op", "."), ("name", "x")]
+
+    def test_strings_both_quotes(self):
+        assert kinds("'a' \"b\"") == [("str", "a"), ("str", "b")]
+
+    def test_string_escapes(self):
+        assert tokenize(r"'a\nb\t\\'")[0].value == "a\nb\t\\"
+
+    def test_hex_escape(self):
+        assert tokenize(r"'\x41'")[0].value == "A"
+
+    def test_unicode_escape(self):
+        assert tokenize(r"'B'")[0].value == "B"
+
+    def test_unknown_escape_passes_through(self):
+        assert tokenize(r"'\q'")[0].value == "q"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("var x$ _y if") == [
+            ("keyword", "var"), ("name", "x$"), ("name", "_y"), ("keyword", "if"),
+        ]
+
+    def test_operators_maximal_munch(self):
+        assert [v for _, v in kinds("=== == = !== != ! >= >")] == [
+            "===", "==", "=", "!==", "!=", "!", ">=", ">",
+        ]
+
+    def test_increment(self):
+        assert [v for _, v in kinds("i++ + ++j")] == ["i", "++", "+", "++", "j"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // no newline") == [("name", "a")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("name", "a"), ("name", "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestLines:
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_block_comment_advances_lines(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].line == 2
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'never closed")
+
+    def test_string_with_newline(self):
+        with pytest.raises(LexError):
+            tokenize("'line\nbreak'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_malformed_hex_literal(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestTokenHelpers:
+    def test_is_op(self):
+        token = Token("op", "+", 1)
+        assert token.is_op("+", "-")
+        assert not token.is_op("*")
+
+    def test_is_keyword(self):
+        token = Token("keyword", "var", 1)
+        assert token.is_keyword("var")
+        assert not token.is_keyword("if")

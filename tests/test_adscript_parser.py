@@ -1,0 +1,215 @@
+"""Tests for the AdScript parser."""
+
+import pytest
+
+from repro.adscript import ast_nodes as ast
+from repro.adscript.errors import ParseError
+from repro.adscript.parser import parse_program
+
+
+def first(source):
+    return parse_program(source).body[0]
+
+
+class TestStatements:
+    def test_var_single(self):
+        node = first("var x = 1;")
+        assert isinstance(node, ast.VarDeclaration)
+        assert node.declarations[0][0] == "x"
+
+    def test_var_multiple(self):
+        node = first("var a = 1, b, c = 3;")
+        assert [d[0] for d in node.declarations] == ["a", "b", "c"]
+        assert node.declarations[1][1] is None
+
+    def test_if_else(self):
+        node = first("if (x) { a(); } else b();")
+        assert isinstance(node, ast.IfStatement)
+        assert isinstance(node.consequent, ast.Block)
+        assert node.alternate is not None
+
+    def test_if_without_else(self):
+        assert first("if (x) y();").alternate is None
+
+    def test_while(self):
+        node = first("while (x < 3) x++;")
+        assert isinstance(node, ast.WhileStatement)
+
+    def test_for_classic(self):
+        node = first("for (var i = 0; i < 10; i++) f(i);")
+        assert isinstance(node, ast.ForStatement)
+        assert node.init is not None
+        assert node.test is not None
+        assert node.update is not None
+
+    def test_for_empty_clauses(self):
+        node = first("for (;;) break;")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_for_in(self):
+        node = first("for (var k in obj) f(k);")
+        assert isinstance(node, ast.ForInStatement)
+        assert node.var_name == "k"
+
+    def test_function_declaration(self):
+        node = first("function add(a, b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDeclaration)
+        assert node.params == ["a", "b"]
+
+    def test_return_without_value(self):
+        node = first("function f() { return; }")
+        assert isinstance(node.body[0], ast.ReturnStatement)
+        assert node.body[0].argument is None
+
+    def test_try_catch(self):
+        node = first("try { f(); } catch (e) { g(e); }")
+        assert isinstance(node, ast.TryStatement)
+        assert node.catch_param == "e"
+
+    def test_try_finally(self):
+        node = first("try { f(); } finally { g(); }")
+        assert node.finally_block is not None
+
+    def test_try_alone_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("try { f(); }")
+
+    def test_throw(self):
+        assert isinstance(first("throw 'x';"), ast.ThrowStatement)
+
+    def test_empty_statement(self):
+        assert isinstance(first(";"), ast.EmptyStatement)
+
+    def test_missing_semicolons_tolerated(self):
+        program = parse_program("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+
+class TestExpressions:
+    def expr(self, source):
+        node = first(source)
+        assert isinstance(node, ast.ExpressionStatement)
+        return node.expression
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3;")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_left_associativity(self):
+        node = self.expr("1 - 2 - 3;")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_comparison_precedence(self):
+        node = self.expr("a + 1 < b * 2;")
+        assert node.op == "<"
+
+    def test_logical_precedence(self):
+        node = self.expr("a && b || c;")
+        assert node.op == "||"
+        assert node.left.op == "&&"
+
+    def test_ternary(self):
+        node = self.expr("a ? b : c;")
+        assert isinstance(node, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        node = self.expr("a = b = 1;")
+        assert isinstance(node, ast.Assignment)
+        assert isinstance(node.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        assert self.expr("x += 2;").op == "+="
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("1 = 2;")
+
+    def test_member_dot(self):
+        node = self.expr("a.b.c;")
+        assert isinstance(node, ast.Member)
+        assert node.prop.value == "c"
+        assert not node.computed
+
+    def test_member_keyword_property(self):
+        node = self.expr("win.in;")  # property names may be keywords
+        assert node.prop.value == "in"
+
+    def test_member_computed(self):
+        node = self.expr("a[b + 1];")
+        assert node.computed
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, 'two', g());")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+
+    def test_method_call(self):
+        node = self.expr("a.b(1);")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.callee, ast.Member)
+
+    def test_new_expression(self):
+        node = self.expr("new Thing(1);")
+        assert isinstance(node, ast.New)
+
+    def test_new_without_args(self):
+        node = self.expr("new Thing;")
+        assert isinstance(node, ast.New)
+        assert node.args == []
+
+    def test_array_literal(self):
+        node = self.expr("[1, 2, 3];")
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.elements) == 3
+
+    def test_object_literal(self):
+        node = self.expr("({a: 1, 'b': 2});")
+        assert isinstance(node, ast.ObjectLiteral)
+        assert [k for k, _ in node.entries] == ["a", "b"]
+
+    def test_function_expression(self):
+        node = self.expr("(function (x) { return x; });")
+        assert isinstance(node, ast.FunctionExpression)
+
+    def test_typeof(self):
+        node = self.expr("typeof x;")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.op == "typeof"
+
+    def test_postfix_increment(self):
+        node = self.expr("i++;")
+        assert isinstance(node, ast.UpdateExpression)
+        assert not node.prefix
+
+    def test_prefix_increment(self):
+        node = self.expr("++i;")
+        assert node.prefix
+
+    def test_comma_operator(self):
+        node = self.expr("a, b;")
+        assert node.op == ","
+
+    def test_in_operator(self):
+        node = self.expr("'k' in obj;")
+        assert node.op == "in"
+
+
+class TestErrors:
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_program("f(1;")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse_program("if (x) { f();")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("var = 3;")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("var a = 1;\nvar = 2;")
+        assert excinfo.value.line == 2

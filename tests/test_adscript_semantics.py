@@ -1,0 +1,210 @@
+"""Deeper AdScript semantics: scoping, closures, coercion corner cases."""
+
+import math
+
+import pytest
+
+from repro.adscript.errors import ScriptRuntimeError
+from repro.adscript.interpreter import Interpreter
+
+
+def run(source):
+    return Interpreter().run(source)
+
+
+class TestClosures:
+    def test_closures_share_one_binding(self):
+        source = """
+        function pair() {
+            var n = 0;
+            return [function () { n += 1; return n; },
+                    function () { return n; }];
+        }
+        var fns = pair();
+        fns[0](); fns[0]();
+        fns[1]();
+        """
+        assert run(source) == 2.0
+
+    def test_loop_variable_shared_by_closures(self):
+        # Classic var-scoping gotcha: all closures see the final value.
+        source = """
+        var fns = [];
+        for (var i = 0; i < 3; i++) {
+            fns.push(function () { return i; });
+        }
+        fns[0]() + fns[1]() + fns[2]();
+        """
+        assert run(source) == 9.0
+
+    def test_iife_captures_loop_value(self):
+        source = """
+        var fns = [];
+        for (var i = 0; i < 3; i++) {
+            (function (j) { fns.push(function () { return j; }); })(i);
+        }
+        fns[0]() + fns[1]() + fns[2]();
+        """
+        assert run(source) == 3.0
+
+    def test_nested_function_sees_outer_args(self):
+        source = """
+        function outer(x) {
+            function inner() { return x * 2; }
+            return inner();
+        }
+        outer(21);
+        """
+        assert run(source) == 42.0
+
+
+class TestHoisting:
+    def test_function_declarations_hoist_within_function(self):
+        source = """
+        function f() { return g(); function g() { return 5; } }
+        f();
+        """
+        assert run(source) == 5.0
+
+    def test_var_use_before_declaration_is_undefined_like(self):
+        # We approximate var-hoisting: reading before any assignment in the
+        # same function raises (stricter than JS), but typeof still guards.
+        assert run("typeof later;") == "undefined"
+
+    def test_mutual_recursion(self):
+        source = """
+        function even(n) { return n === 0 ? true : odd(n - 1); }
+        function odd(n) { return n === 0 ? false : even(n - 1); }
+        even(10) && odd(7);
+        """
+        assert run(source) is True
+
+
+class TestCoercionCorners:
+    def test_string_number_comparisons(self):
+        assert run("'10' > 9;") is True       # numeric coercion
+        assert run("'10' > '9';") is False    # both strings: lexicographic
+
+    def test_plus_with_arrays(self):
+        assert run("[1, 2] + '';") == "1,2"
+        assert run("[] + [];") == ""
+
+    def test_object_to_string_in_concat(self):
+        assert run("({}) + '!';") == "[object Object]!"
+
+    def test_unary_plus_parses_numbers(self):
+        assert run("+'3.5' + 1;") == 4.5
+
+    def test_nan_propagation(self):
+        assert math.isnan(run("+'nope' * 2;"))
+
+    def test_boolean_arithmetic(self):
+        assert run("true + true;") == 2.0
+
+    def test_undefined_arithmetic_is_nan(self):
+        assert math.isnan(run("undefined + 1;"))
+
+    def test_null_arithmetic_is_zero(self):
+        assert run("null + 1;") == 1.0
+
+    def test_empty_string_is_zero(self):
+        assert run("'' * 5;") == 0.0
+
+
+class TestForLoopCorners:
+    def test_comma_in_update(self):
+        source = """
+        var a = 0, b = 0;
+        for (var i = 0; i < 3; i++, a++) { b += 1; }
+        a + b;
+        """
+        assert run(source) == 6.0
+
+    def test_multiple_declarations_in_init(self):
+        assert run("var s = 0; for (var i = 0, j = 10; i < j; i++, j--) s++; s;") == 5.0
+
+    def test_nested_loops_break_inner_only(self):
+        source = """
+        var count = 0;
+        for (var i = 0; i < 3; i++) {
+            for (var j = 0; j < 10; j++) {
+                if (j === 1) break;
+                count++;
+            }
+        }
+        count;
+        """
+        assert run(source) == 3.0
+
+
+class TestTryFinallyCorners:
+    def test_finally_runs_on_return(self):
+        source = """
+        var log = '';
+        function f() {
+            try { return 'r'; } finally { log += 'f'; }
+        }
+        f() + log;
+        """
+        assert run(source) == "rf"
+
+    def test_nested_try_rethrow(self):
+        source = """
+        var trace = '';
+        try {
+            try { throw 'inner'; } catch (e) { trace += 'c1:' + e + ';'; throw 'outer'; }
+        } catch (e2) { trace += 'c2:' + e2; }
+        trace;
+        """
+        assert run(source) == "c1:inner;c2:outer"
+
+    def test_error_object_thrown(self):
+        source = """
+        var msg = '';
+        try { throw new Error('boom'); } catch (e) { msg = e.message; }
+        msg;
+        """
+        assert run(source) == "boom"
+
+
+class TestThisBinding:
+    def test_method_call_binds_this(self):
+        assert run("var o = {n: 3, f: function () { return this.n; }}; o.f();") == 3.0
+
+    def test_detached_method_loses_this(self):
+        source = """
+        var o = {n: 3, f: function () { return typeof this.n; }};
+        var g = o.f;
+        var r;
+        try { r = g(); } catch (e) { r = 'threw'; }
+        r;
+        """
+        # Detached call has undefined this: property read on it throws.
+        assert run(source) == "threw"
+
+    def test_constructor_this_is_new_object(self):
+        source = """
+        function Box(v) { this.v = v; this.double = v * 2; }
+        var b = new Box(4);
+        b.v + b.double;
+        """
+        assert run(source) == 12.0
+
+
+class TestDeleteAndIn:
+    def test_delete_then_in(self):
+        assert run("var o = {k: 1}; delete o.k; 'k' in o;") is False
+
+    def test_array_in_checks_indices(self):
+        assert run("1 in [10, 20];") is True
+        assert run("5 in [10, 20];") is False
+
+    def test_for_in_skips_deleted(self):
+        source = """
+        var o = {a: 1, b: 2, c: 3};
+        delete o.b;
+        var keys = '';
+        for (var k in o) keys += k;
+        keys;
+        """
+        assert run(source) == "ac"

@@ -1,0 +1,187 @@
+"""Tests for the per-figure analysis modules."""
+
+import pytest
+
+from repro.analysis.arbitration import analyze_arbitration
+from repro.analysis.categories import categorize_malvertising_sites
+from repro.analysis.clusters import BOTTOM, OTHER, TOP, analyze_clusters, cluster_of
+from repro.analysis.networks import analyze_networks
+from repro.analysis.sandbox import audit_sandbox_usage
+from repro.analysis.tables import build_table1
+from repro.analysis.tlds import tld_distribution
+from repro.core.incidents import INCIDENT_TYPES, IncidentType
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+@pytest.fixture(scope="module")
+def results():
+    params = WorldParams(n_top_sites=16, n_bottom_sites=16, n_other_sites=16,
+                         n_feed_sites=5)
+    return run_study(StudyConfig(seed=77, days=4, refreshes_per_visit=3,
+                                 world_params=params))
+
+
+class TestTable1:
+    def test_counts_sum_to_total(self, results):
+        table = build_table1(results)
+        assert sum(table.counts.values()) == table.total_incidents
+        assert table.total_incidents == results.n_incidents
+
+    def test_all_buckets_present(self, results):
+        table = build_table1(results)
+        assert set(table.counts) == set(INCIDENT_TYPES)
+
+    def test_blacklists_largest_bucket(self, results):
+        table = build_table1(results)
+        assert table.counts[IncidentType.BLACKLISTS] == max(table.counts.values())
+
+    def test_shares_sum_to_one(self, results):
+        table = build_table1(results)
+        assert sum(table.shares().values()) == pytest.approx(1.0)
+
+    def test_render_contains_paper_reference(self, results):
+        text = build_table1(results).render()
+        assert "4794" in text
+        assert "Suspicious redirections" in text
+
+
+class TestNetworks:
+    def test_figure1_networks_have_malvertising(self, results):
+        analysis = analyze_networks(results)
+        assert analysis.with_malvertising()
+        assert all(s.malicious_served > 0 for s in analysis.with_malvertising())
+
+    def test_sorted_by_ratio(self, results):
+        analysis = analyze_networks(results)
+        ratios = [s.malicious_ratio for s in analysis.stats]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_shady_networks_riskier_than_majors(self, results):
+        analysis = analyze_networks(results)
+        shady = [s.malicious_ratio for s in analysis.stats if s.tier == "shady" and s.ads_served > 5]
+        major = [s.malicious_ratio for s in analysis.stats if s.tier == "major"]
+        assert shady and major
+        assert max(shady) > max(major)
+
+    def test_volume_shares_bounded(self, results):
+        analysis = analyze_networks(results)
+        shares = [analysis.volume_share(s) for s in analysis.stats]
+        assert all(0.0 <= share <= 1.0 for share in shares)
+        assert sum(shares) == pytest.approx(1.0, abs=0.05)
+
+    def test_majors_carry_largest_volume(self, results):
+        # Majors initiate most slots; arbitration drifts some serving volume
+        # downmarket, but the major tier should still out-serve shady tier.
+        analysis = analyze_networks(results)
+        major_share = sum(analysis.volume_share(s) for s in analysis.stats
+                          if s.tier == "major")
+        shady_share = sum(analysis.volume_share(s) for s in analysis.stats
+                          if s.tier == "shady")
+        assert major_share > 0.3
+        assert major_share > shady_share
+
+    def test_renders(self, results):
+        analysis = analyze_networks(results)
+        assert "Figure 1" in analysis.render_figure1()
+        assert "Figure 2" in analysis.render_figure2()
+
+
+class TestClusters:
+    def test_cluster_of(self):
+        assert cluster_of(1, 10_000, 1_000_000) == TOP
+        assert cluster_of(999_999, 10_000, 1_000_000) == BOTTOM
+        assert cluster_of(500_000, 10_000, 1_000_000) == OTHER
+
+    def test_shares_sum_to_one(self, results):
+        shares = analyze_clusters(results)
+        assert sum(shares.total_share(c) for c in (TOP, BOTTOM, OTHER)) == pytest.approx(1.0)
+
+    def test_top_cluster_dominates_both(self, results):
+        shares = analyze_clusters(results)
+        assert shares.total_share(TOP) > 0.5
+        assert shares.malicious_share(TOP) > 0.5
+
+    def test_malicious_tracks_volume(self, results):
+        # §4.2's conclusion: miscreants chase impressions, so the malicious
+        # split roughly follows the volume split.
+        shares = analyze_clusters(results)
+        for cluster in (TOP, BOTTOM, OTHER):
+            assert abs(shares.malicious_share(cluster) - shares.total_share(cluster)) < 0.25
+
+    def test_render(self, results):
+        assert "cluster" in analyze_clusters(results).render()
+
+
+class TestCategories:
+    def test_counts_nonempty(self, results):
+        breakdown = categorize_malvertising_sites(results)
+        assert breakdown.total > 0
+
+    def test_shares_sum_to_one(self, results):
+        breakdown = categorize_malvertising_sites(results)
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+    def test_ranked_descending(self, results):
+        ranked = categorize_malvertising_sites(results).ranked()
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_render(self, results):
+        assert "Figure 3" in categorize_malvertising_sites(results).render()
+
+
+class TestTlds:
+    def test_com_among_top(self, results):
+        breakdown = tld_distribution(results)
+        ranked = breakdown.ranked()
+        assert ranked, "some malvertising sites must exist"
+        top_tlds = [tld for tld, _ in ranked[:2]]
+        assert "com" in top_tlds
+
+    def test_generic_share_dominant(self, results):
+        breakdown = tld_distribution(results)
+        assert breakdown.generic_share > 0.5
+
+    def test_render(self, results):
+        assert "Figure 4" in tld_distribution(results).render()
+
+
+class TestArbitration:
+    def test_lengths_nonempty(self, results):
+        analysis = analyze_arbitration(results)
+        assert sum(analysis.benign_lengths.values()) > 0
+        assert sum(analysis.malicious_lengths.values()) > 0
+
+    def test_malicious_chains_longer(self, results):
+        analysis = analyze_arbitration(results)
+        assert analysis.mean_length(malicious=True) > analysis.mean_length(malicious=False)
+
+    def test_benign_long_tail_rare(self, results):
+        analysis = analyze_arbitration(results)
+        assert analysis.fraction_longer_than(15, malicious=False) < 0.02
+
+    def test_repeat_participation_observed(self, results):
+        # §4.3: the same networks buy and sell the same slot multiple times.
+        analysis = analyze_arbitration(results)
+        assert analysis.repeat_participation_impressions > 0
+
+    def test_late_auctions_dominated_by_shady_networks(self, results):
+        analysis = analyze_arbitration(results)
+        late = analysis.late_hop_networks
+        if late:
+            assert late.get("shady", 0) >= late.get("major", 0)
+
+    def test_render(self, results):
+        assert "Figure 5" in analyze_arbitration(results).render()
+
+
+class TestSandbox:
+    def test_no_adoption(self, results):
+        audit = audit_sandbox_usage(results)
+        assert audit.sites_using_sandbox == 0
+        assert audit.adoption_rate == 0.0
+        assert audit.total_ad_iframes > 0
+
+    def test_render(self, results):
+        assert "paper: 0" in audit_sandbox_usage(results).render()

@@ -1,0 +1,107 @@
+"""Edge-case tests for the analysis modules on degenerate inputs."""
+
+import pytest
+
+from repro.analysis.arbitration import analyze_arbitration
+from repro.analysis.categories import categorize_malvertising_sites
+from repro.analysis.clusters import analyze_clusters
+from repro.analysis.exposure import analyze_exposure
+from repro.analysis.networks import analyze_networks
+from repro.analysis.overlap import analyze_overlap
+from repro.analysis.sandbox import audit_sandbox_usage
+from repro.analysis.tables import build_table1
+from repro.analysis.tlds import tld_distribution
+from repro.core.report import build_report
+from repro.core.results import StudyResults
+from repro.core.study import Study, StudyConfig
+from repro.crawler.corpus import AdCorpus
+from repro.crawler.crawler import CrawlStats
+from repro.datasets.world import WorldParams, build_world
+
+
+@pytest.fixture(scope="module")
+def empty_results():
+    """A world where nothing was crawled: every analysis must degrade
+    gracefully, not divide by zero."""
+    world = build_world(seed=121, params=WorldParams(
+        n_top_sites=3, n_bottom_sites=3, n_other_sites=3, n_feed_sites=1))
+    return StudyResults(world=world, corpus=AdCorpus(), crawl_stats=CrawlStats())
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    """A crawl whose corpus contains zero detected malvertising (benign
+    campaigns only: the malicious ones are removed before building)."""
+    world = build_world(seed=122, params=WorldParams(
+        n_top_sites=4, n_bottom_sites=4, n_other_sites=4, n_feed_sites=0,
+        n_malicious_campaigns=6))
+    # Purge malicious inventory everywhere: a perfectly filtered world.
+    for network in world.networks:
+        network.inventory = [c for c in network.inventory if not c.is_malicious]
+    config = StudyConfig(seed=122, days=1, refreshes_per_visit=2)
+    return Study(config, world=world).run()
+
+
+class TestEmptyResults:
+    def test_table1(self, empty_results):
+        table = build_table1(empty_results)
+        assert table.total_incidents == 0
+        assert table.malicious_fraction == 0.0
+        assert sum(table.shares().values()) == 0.0
+        assert "Total" in table.render()
+
+    def test_networks(self, empty_results):
+        analysis = analyze_networks(empty_results)
+        assert analysis.stats == []
+        assert analysis.total_impressions == 0
+        assert "Figure 1" in analysis.render_figure1()
+
+    def test_clusters(self, empty_results):
+        shares = analyze_clusters(empty_results)
+        for cluster in ("top", "bottom", "other"):
+            assert shares.malicious_share(cluster) == 0.0
+            assert shares.total_share(cluster) == 0.0
+
+    def test_categories_and_tlds(self, empty_results):
+        assert categorize_malvertising_sites(empty_results).total == 0
+        assert tld_distribution(empty_results).total == 0
+
+    def test_arbitration(self, empty_results):
+        analysis = analyze_arbitration(empty_results)
+        assert analysis.max_benign_length == 0
+        assert analysis.max_malicious_length == 0
+        assert analysis.fraction_longer_than(5) == 0.0
+        assert analysis.mean_length() == 0.0
+
+    def test_sandbox(self, empty_results):
+        audit = audit_sandbox_usage(empty_results)
+        assert audit.adoption_rate == 0.0
+
+    def test_exposure_and_overlap(self, empty_results):
+        assert analyze_exposure(empty_results).total_exposed == 0
+        stats = analyze_overlap(empty_results)
+        assert stats.mean_malicious_spread == 0.0
+        assert stats.multi_network_malicious == 0
+
+    def test_full_report_renders(self, empty_results):
+        report = build_report(empty_results)
+        assert "corpus: 0 unique ads" in report.render()
+
+
+class TestCleanWorld:
+    def test_no_incidents(self, clean_results):
+        assert clean_results.n_incidents == 0
+        assert clean_results.malicious_fraction == 0.0
+
+    def test_figure1_empty(self, clean_results):
+        analysis = analyze_networks(clean_results)
+        assert analysis.with_malvertising() == []
+        assert analysis.total_impressions > 0
+
+    def test_malicious_records_empty(self, clean_results):
+        assert clean_results.malicious_records() == []
+        assert len(clean_results.benign_records()) == clean_results.corpus.unique_ads
+
+    def test_report_renders(self, clean_results):
+        text = build_report(clean_results).render()
+        assert "0.00% malicious" in text or "Total" in text

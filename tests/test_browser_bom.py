@@ -1,0 +1,225 @@
+"""Focused tests for the Browser Object Model bindings."""
+
+import pytest
+
+from repro.browser import events as ev
+from repro.browser.browser import Browser
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpResponse, WebServer
+
+
+@pytest.fixture
+def serve():
+    """Return a loader: serve(markup) -> PageLoad of that markup."""
+    resolver = DnsResolver()
+    resolver.register("host.com")
+    client = HttpClient(resolver)
+    pages = {}
+    server = WebServer()
+    server.set_fallback(lambda req: pages.get(req.url.path, HttpResponse.not_found()))
+    client.mount("host.com", server)
+    browser = Browser(client)
+
+    def loader(markup, path="/"):
+        pages[path] = HttpResponse.html(markup)
+        return browser.load(f"http://host.com{path}")
+
+    loader.pages = pages
+    loader.browser = browser
+    return loader
+
+
+def body(markup):
+    return f"<html><head><title>t</title></head><body>{markup}</body></html>"
+
+
+class TestWindow:
+    def test_window_self_identity(self, serve):
+        load = serve(body("<script>var same = (window === window.self) && "
+                          "(window === window.window);"
+                          "document.title = same ? 'yes' : 'no';</script>"))
+        assert load.events.count(ev.SCRIPT_ERROR) == 0
+
+    def test_top_is_window_for_main_frame(self, serve):
+        load = serve(body(
+            "<script>if (top === window) document.write('<i id=\"is-top\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("is-top") is not None
+
+    def test_inner_dimensions(self, serve):
+        load = serve(body(
+            "<script>document.write('<i id=\"d' + window.innerWidth + '\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("d1920") is not None
+
+    def test_alert_recorded_and_harmless(self, serve):
+        load = serve(body("<script>alert('watch out');</script>"))
+        dialogs = load.events.of_kind(ev.DIALOG)
+        assert dialogs[0].data["dialog"] == "alert"
+        assert dialogs[0].data["message"] == "watch out"
+
+    def test_confirm_returns_true(self, serve):
+        load = serve(body(
+            "<script>if (confirm('sure?')) document.write('<i id=\"ok\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("ok") is not None
+
+    def test_window_property_assignment_becomes_global(self, serve):
+        load = serve(body(
+            "<script>window.shared = 7;</script>"
+            "<script>document.write('<i id=\"v' + shared + '\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("v7") is not None
+
+    def test_clear_timeout_noop(self, serve):
+        load = serve(body("<script>var t = setTimeout(function(){}, 10);"
+                          "clearTimeout(t);</script>"))
+        assert load.events.count(ev.SCRIPT_ERROR) == 0
+
+
+class TestNavigator:
+    def test_user_agent_is_2014_firefox(self, serve):
+        load = serve(body(
+            "<script>if (navigator.userAgent.indexOf('Firefox') >= 0)"
+            " document.write('<i id=\"ff\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("ff") is not None
+
+    def test_plugins_length(self, serve):
+        load = serve(body(
+            "<script>document.write('<i id=\"n' + navigator.plugins.length + '\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("n3") is not None
+
+    def test_plugin_by_index(self, serve):
+        load = serve(body(
+            "<script>var p = navigator.plugins[0];"
+            "if (p && p.name) document.write('<i id=\"has\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("has") is not None
+        assert load.events.count(ev.PLUGIN_PROBE) >= 1
+
+    def test_named_item_miss_returns_null(self, serve):
+        load = serve(body(
+            "<script>if (navigator.plugins.namedItem('QuickTime') === null)"
+            " document.write('<i id=\"none\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("none") is not None
+
+    def test_webdriver_false_by_default(self, serve):
+        load = serve(body(
+            "<script>if (!navigator.webdriver) document.write('<i id=\"clean\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("clean") is not None
+
+
+class TestLocation:
+    def test_read_members(self, serve):
+        load = serve(body(
+            "<script>var l = location;"
+            "document.write('<i id=\"' + l.hostname + l.pathname + '\"></i>');"
+            "</script>"), path="/page")
+        assert load.page.document.get_element_by_id("host.com/page") is not None
+
+    def test_protocol(self, serve):
+        load = serve(body(
+            "<script>if (location.protocol === 'http:')"
+            " document.write('<i id=\"proto\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("proto") is not None
+
+    def test_location_replace_navigates(self, serve):
+        serve.pages["/next"] = HttpResponse.html("<html><body>next</body></html>")
+        load = serve(body("<script>location.replace('/next');</script>"))
+        assert load.events.count(ev.NAVIGATION) == 1
+        assert any(e.url.endswith("/next") for e in load.har)
+
+    def test_document_location_assignment(self, serve):
+        serve.pages["/dest"] = HttpResponse.html("<html><body>d</body></html>")
+        load = serve(body("<script>document.location = '/dest';</script>"))
+        assert load.events.count(ev.NAVIGATION) == 1
+
+
+class TestDocument:
+    def test_referrer_empty_on_direct_load(self, serve):
+        load = serve(body(
+            "<script>if (document.referrer === '')"
+            " document.write('<i id=\"noref\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("noref") is not None
+
+    def test_title_read(self, serve):
+        load = serve(body(
+            "<script>document.write('<i id=\"t-' + document.title + '\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("t-t") is not None
+
+    def test_cookie_set_recorded(self, serve):
+        load = serve(body("<script>document.cookie = 'pref=1; path=/';</script>"))
+        cookies = load.events.of_kind(ev.COOKIE_SET)
+        assert cookies and "pref=1" in cookies[0].data["cookie"]
+
+    def test_get_elements_by_tag_name(self, serve):
+        load = serve(body(
+            "<p>a</p><p>b</p>"
+            "<script>var ps = document.getElementsByTagName('p');"
+            "document.write('<i id=\"c' + ps.length + '\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("c2") is not None
+
+    def test_domain(self, serve):
+        load = serve(body(
+            "<script>document.write('<i id=\"dm-' + document.domain + '\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("dm-host.com") is not None
+
+
+class TestElementHandle:
+    def test_set_and_get_attribute(self, serve):
+        load = serve(body(
+            '<div id="box"></div>'
+            "<script>var box = document.getElementById('box');"
+            "box.setAttribute('data-x', '42');"
+            "document.write('<i id=\"a' + box.getAttribute('data-x') + '\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("a42") is not None
+
+    def test_tag_name_uppercase(self, serve):
+        load = serve(body(
+            '<div id="box"></div>'
+            "<script>document.write('<i id=\"t' + "
+            "document.getElementById('box').tagName + '\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("tDIV") is not None
+
+    def test_parent_node(self, serve):
+        load = serve(body(
+            '<div id="outer"><span id="inner"></span></div>'
+            "<script>var p = document.getElementById('inner').parentNode;"
+            "document.write('<i id=\"p' + p.id + '\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("pouter") is not None
+
+    def test_onclick_handler_fired_by_click(self, serve):
+        load = serve(body(
+            '<a id="btn" href="">x</a>'
+            "<script>var btn = document.getElementById('btn');"
+            "btn.onclick = function () { document.write('<i id=\"clicked\"></i>'); };"
+            "btn.click();</script>"))
+        assert load.page.document.get_element_by_id("clicked") is not None
+
+    def test_inner_html_read_back(self, serve):
+        load = serve(body(
+            '<div id="box"><b>bold</b></div>'
+            "<script>var html = document.getElementById('box').innerHTML;"
+            "if (html.indexOf('<b>') === 0) document.write('<i id=\"ok\"></i>');"
+            "</script>"))
+        assert load.page.document.get_element_by_id("ok") is not None
+
+    def test_remove_attribute(self, serve):
+        load = serve(body(
+            '<div id="box" data-y="1"></div>'
+            "<script>var box = document.getElementById('box');"
+            "box.removeAttribute('data-y');"
+            "if (box.getAttribute('data-y') === '')"
+            " document.write('<i id=\"gone\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("gone") is not None
+
+
+class TestScreen:
+    def test_dimensions(self, serve):
+        load = serve(body(
+            "<script>document.write('<i id=\"s' + screen.width + 'x' + "
+            "screen.height + '\"></i>');</script>"))
+        assert load.page.document.get_element_by_id("s1920x1080") is not None

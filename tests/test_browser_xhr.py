@@ -1,0 +1,106 @@
+"""Tests for the XMLHttpRequest BOM binding."""
+
+import pytest
+
+from repro.browser import events as ev
+from repro.browser.browser import Browser
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpResponse, WebServer
+
+
+@pytest.fixture
+def serve():
+    resolver = DnsResolver()
+    resolver.register("host.com")
+    resolver.register("api.net")
+    client = HttpClient(resolver)
+    pages = {}
+    host = WebServer()
+    host.set_fallback(lambda req: pages.get(req.url.path, HttpResponse.not_found()))
+    client.mount("host.com", host)
+    api = WebServer()
+    api.route("/config.json", lambda req: HttpResponse(
+        200, {"content-type": "application/json"},
+        b'{"slot": "top", "refresh": 30}'))
+    api.route("/echo-referer", lambda req: HttpResponse.html(
+        str(req.referer or "")))
+    client.mount("api.net", api)
+    browser = Browser(client)
+
+    def load(markup):
+        pages["/"] = HttpResponse.html(f"<html><body>{markup}</body></html>")
+        return browser.load("http://host.com/")
+
+    return load
+
+
+class TestXhr:
+    def test_fetches_and_exposes_response(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/config.json');"
+            "xhr.send();"
+            "var cfg = JSON.parse(xhr.responseText);"
+            "document.write('<i id=\"slot-' + cfg.slot + '\"></i>');</script>")
+        assert load.page.document.get_element_by_id("slot-top") is not None
+
+    def test_status_and_ready_state(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/config.json');"
+            "xhr.send();"
+            "document.write('<i id=\"s' + xhr.status + 'r' + xhr.readyState + '\"></i>');"
+            "</script>")
+        assert load.page.document.get_element_by_id("s200r4") is not None
+
+    def test_traffic_recorded(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/config.json'); xhr.send();</script>")
+        xhr_loads = [e for e in load.events.of_kind(ev.RESOURCE_LOAD)
+                     if e.data.get("resource") == "xhr"]
+        assert len(xhr_loads) == 1
+        assert any(entry.host == "api.net" for entry in load.har)
+
+    def test_onreadystatechange_fires(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/config.json');"
+            "xhr.onreadystatechange = function () {"
+            "  document.write('<i id=\"cb' + xhr.readyState + '\"></i>'); };"
+            "xhr.send();</script>")
+        assert load.page.document.get_element_by_id("cb4") is not None
+
+    def test_failed_request_status_zero(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://gone.example/x'); xhr.send();"
+            "document.write('<i id=\"f' + xhr.status + '\"></i>');</script>")
+        assert load.page.document.get_element_by_id("f0") is not None
+        assert load.events.count(ev.NX_REDIRECT) == 1
+
+    def test_404_reported(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/missing'); xhr.send();"
+            "document.write('<i id=\"m' + xhr.status + '\"></i>');</script>")
+        assert load.page.document.get_element_by_id("m404") is not None
+
+    def test_send_without_open_noop(self, serve):
+        load = serve("<script>var xhr = new XMLHttpRequest(); xhr.send();</script>")
+        assert load.events.count(ev.SCRIPT_ERROR) == 0
+
+    def test_relative_url_resolved_against_frame(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/'); xhr.send();"
+            "document.write('<i id=\"rel' + xhr.status + '\"></i>');</script>")
+        assert load.page.document.get_element_by_id("rel200") is not None
+
+    def test_referer_sent(self, serve):
+        load = serve(
+            "<script>var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://api.net/echo-referer'); xhr.send();"
+            "if (xhr.responseText.indexOf('host.com') >= 0)"
+            " document.write('<i id=\"ref\"></i>');</script>")
+        assert load.page.document.get_element_by_id("ref") is not None

@@ -1,0 +1,215 @@
+"""Tests for the click-fraud workload and detectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clickfraud.bloom import BloomFilter
+from repro.clickfraud.detectors import (
+    BloomDuplicateDetector,
+    CtrAnomalyDetector,
+    SlidingWindowDetector,
+)
+from repro.clickfraud.events import (
+    ATTACK_MODES,
+    Botnet,
+    ClickEvent,
+    ClickStreamBuilder,
+    OrganicAudience,
+)
+from repro.clickfraud.evaluation import score_detector
+
+
+def make_stream(mode="duplicate_heavy", seed=3, steps=30):
+    campaigns = [f"cmp-{i}" for i in range(5)]
+    builder = ClickStreamBuilder(seed=seed)
+    for i in range(3):
+        builder.add_audience(OrganicAudience(
+            publisher_domain=f"honest{i}.com", ad_network="net-a",
+            campaigns=campaigns, n_users=120, ctr=0.02))
+    builder.add_botnet(Botnet(
+        publisher_domain="fraudster.biz", ad_network="net-a",
+        campaigns=campaigns, n_bots=25, mode=mode))
+    return builder.build(steps)
+
+
+class TestBloomFilter:
+    def test_added_items_always_found(self):
+        bloom = BloomFilter.for_capacity(1000)
+        for i in range(500):
+            bloom.add(f"item-{i}")
+        assert all(f"item-{i}" in bloom for i in range(500))
+
+    def test_fp_rate_near_target(self):
+        bloom = BloomFilter.for_capacity(2000, fp_rate=0.01)
+        for i in range(2000):
+            bloom.add(f"in-{i}")
+        fps = sum(f"out-{i}" in bloom for i in range(5000))
+        assert fps / 5000 < 0.05
+
+    def test_add_if_new(self):
+        bloom = BloomFilter.for_capacity(100)
+        assert bloom.add_if_new("x") is True
+        assert bloom.add_if_new("x") is False
+
+    def test_clear(self):
+        bloom = BloomFilter.for_capacity(100)
+        bloom.add("x")
+        bloom.clear()
+        assert "x" not in bloom
+        assert bloom.n_added == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+    def test_estimated_fp_rate_grows(self):
+        bloom = BloomFilter.for_capacity(100, fp_rate=0.01)
+        empty = bloom.estimated_fp_rate
+        for i in range(100):
+            bloom.add(str(i))
+        assert bloom.estimated_fp_rate > empty
+
+    @given(st.lists(st.text(min_size=1, max_size=10), max_size=50))
+    def test_no_false_negatives_property(self, items):
+        bloom = BloomFilter.for_capacity(max(len(items), 1))
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+
+class TestStreamGeneration:
+    def test_deterministic(self):
+        assert make_stream(seed=5) == make_stream(seed=5)
+
+    def test_ordered_by_step(self):
+        steps = [e.step for e in make_stream()]
+        assert steps == sorted(steps)
+
+    def test_contains_both_classes(self):
+        stream = make_stream()
+        assert any(e.fraudulent for e in stream)
+        assert any(not e.fraudulent for e in stream)
+
+    def test_bot_clicks_labeled(self):
+        stream = make_stream()
+        for event in stream:
+            assert event.fraudulent == event.user_id.startswith("bot-")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Botnet("x.com", "net", ["c"], mode="ufo")
+
+    def test_all_modes_generate(self):
+        for mode in ATTACK_MODES:
+            assert make_stream(mode=mode, steps=10)
+
+    def test_duplicate_heavy_has_more_duplicates(self):
+        def duplicate_fraction(mode):
+            stream = [e for e in make_stream(mode=mode) if e.fraudulent]
+            seen, dups = set(), 0
+            for event in stream:
+                key = (event.step, event.dedup_key)
+                if key in seen:
+                    dups += 1
+                seen.add(key)
+            return dups / max(len(stream), 1)
+
+        assert duplicate_fraction("duplicate_heavy") > duplicate_fraction("distributed")
+
+
+class TestSlidingWindowDetector:
+    def test_flags_exact_duplicates(self):
+        stream = make_stream("duplicate_heavy")
+        flags = SlidingWindowDetector(window=3).flag_stream(stream)
+        score = score_detector(stream, flags)
+        assert score.recall > 0.4
+        assert score.precision > 0.9
+
+    def test_low_false_positives_on_organic(self):
+        stream = [e for e in make_stream() if not e.fraudulent]
+        flags = SlidingWindowDetector(window=2).flag_stream(stream)
+        score = score_detector(stream, flags)
+        assert score.false_positive_rate < 0.10
+
+    def test_window_expiry(self):
+        event = ClickEvent(0, "u", "p.com", "c", "n", False)
+        later = ClickEvent(10, "u", "p.com", "c", "n", False)
+        detector = SlidingWindowDetector(window=5)
+        assert detector.flag_stream([event, later]) == [False, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDetector(window=0)
+
+
+class TestBloomDuplicateDetector:
+    def test_catches_duplicates_within_window(self):
+        stream = make_stream("duplicate_heavy")
+        flags = BloomDuplicateDetector(window=5, capacity=50_000).flag_stream(stream)
+        score = score_detector(stream, flags)
+        assert score.recall > 0.4
+
+    def test_memory_bounded_vs_exact_agreement(self):
+        stream = make_stream("duplicate_heavy", steps=20)
+        exact = SlidingWindowDetector(window=5).flag_stream(stream)
+        approx = BloomDuplicateDetector(window=5, capacity=100_000,
+                                        fp_rate=0.001).flag_stream(stream)
+        agreement = sum(a == b for a, b in zip(exact, approx)) / len(stream)
+        assert agreement > 0.9
+
+    def test_window_rolls(self):
+        a = ClickEvent(0, "u", "p.com", "c", "n", False)
+        b = ClickEvent(50, "u", "p.com", "c", "n", False)  # far later window
+        detector = BloomDuplicateDetector(window=5, capacity=100)
+        assert detector.flag_stream([a, b]) == [False, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomDuplicateDetector(window=0)
+
+
+class TestCtrAnomalyDetector:
+    def test_flags_fraudster_publisher(self):
+        stream = make_stream("distributed")
+        flagged = CtrAnomalyDetector(factor=2.5).flag_publishers(stream)
+        assert "fraudster.biz" in flagged
+        assert not any(domain.startswith("honest") for domain in flagged)
+
+    def test_catches_distributed_attack_better_than_dedup(self):
+        stream = make_stream("distributed", steps=40)
+        dedup_score = score_detector(
+            stream, SlidingWindowDetector(window=3).flag_stream(stream))
+        ctr_score = score_detector(
+            stream, CtrAnomalyDetector(factor=2.5).flag_stream(stream))
+        assert ctr_score.recall > dedup_score.recall
+
+    def test_empty_stream(self):
+        assert CtrAnomalyDetector().flag_publishers([]) == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CtrAnomalyDetector(factor=1.0)
+
+
+class TestScoring:
+    def test_perfect_detector(self):
+        stream = make_stream()
+        flags = [e.fraudulent for e in stream]
+        score = score_detector(stream, flags)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            score_detector(make_stream(), [True])
+
+    def test_render(self):
+        score = score_detector(make_stream(), [False] * len(make_stream()))
+        assert "precision" in score.render("x")

@@ -1,0 +1,177 @@
+"""Tests for cookies and third-party tracking measurement."""
+
+import pytest
+
+from repro.web.cookies import Cookie, CookieJar, parse_set_cookie
+from repro.web.url import parse_url
+
+
+URL = parse_url("http://ads.tracker.com/adserve?imp=1")
+
+
+class TestParseSetCookie:
+    def test_basic(self):
+        cookie = parse_set_cookie("uid=abc123", URL)
+        assert cookie.name == "uid"
+        assert cookie.value == "abc123"
+        assert cookie.host_only
+        assert cookie.domain == "ads.tracker.com"
+
+    def test_domain_attribute_widens_scope(self):
+        cookie = parse_set_cookie("uid=x; Domain=tracker.com", URL)
+        assert cookie.domain == "tracker.com"
+        assert not cookie.host_only
+
+    def test_foreign_domain_rejected(self):
+        cookie = parse_set_cookie("uid=x; Domain=other.com", URL)
+        assert cookie.domain == "ads.tracker.com"  # attribute ignored
+        assert cookie.host_only
+
+    def test_leading_dot_stripped(self):
+        cookie = parse_set_cookie("uid=x; Domain=.tracker.com", URL)
+        assert cookie.domain == "tracker.com"
+
+    def test_path_attribute(self):
+        cookie = parse_set_cookie("uid=x; Path=/adserve", URL)
+        assert cookie.path == "/adserve"
+
+    def test_default_path_from_request(self):
+        cookie = parse_set_cookie("uid=x", parse_url("http://a.com/deep/page.html"))
+        assert cookie.path == "/deep"
+
+    def test_max_age(self):
+        cookie = parse_set_cookie("uid=x; Max-Age=10", URL, now=5)
+        assert cookie.expires_at == 15
+
+    def test_flags(self):
+        cookie = parse_set_cookie("uid=x; Secure; HttpOnly", URL)
+        assert cookie.secure and cookie.http_only
+
+    def test_malformed(self):
+        assert parse_set_cookie("no-equals-sign", URL) is None
+        assert parse_set_cookie("=value-only", URL) is None
+
+
+class TestMatching:
+    def test_host_only_exact(self):
+        cookie = Cookie("u", "v", "a.com", "/", host_only=True)
+        assert cookie.matches_domain("a.com")
+        assert not cookie.matches_domain("sub.a.com")
+
+    def test_domain_cookie_covers_subdomains(self):
+        cookie = Cookie("u", "v", "a.com", "/", host_only=False)
+        assert cookie.matches_domain("sub.a.com")
+        assert not cookie.matches_domain("nota.com")
+
+    def test_path_matching(self):
+        cookie = Cookie("u", "v", "a.com", "/api", host_only=True)
+        assert cookie.matches_path("/api")
+        assert cookie.matches_path("/api/v1")
+        assert not cookie.matches_path("/apiary")
+
+
+class TestCookieJar:
+    def test_store_and_send(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=abc; Domain=tracker.com"])
+        assert jar.header_for(parse_url("http://srv.tracker.com/x")) == "uid=abc"
+
+    def test_no_cross_domain_leak(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=abc"])
+        assert jar.header_for(parse_url("http://other.com/")) == ""
+
+    def test_secure_cookie_not_sent_over_http(self):
+        jar = CookieJar()
+        jar.ingest_response(parse_url("https://a.com/"), ["s=1; Secure"])
+        assert jar.header_for(parse_url("http://a.com/")) == ""
+        assert jar.header_for(parse_url("https://a.com/")) == "s=1"
+
+    def test_expiry_with_logical_clock(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=x; Max-Age=3"])
+        assert len(jar) == 1
+        jar.tick(5)
+        assert len(jar) == 0
+        assert jar.header_for(URL) == ""
+
+    def test_overwrite_same_key(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=first"])
+        jar.ingest_response(URL, ["uid=second"])
+        assert "uid=second" in jar.header_for(URL)
+        assert len(jar) == 1
+
+    def test_longest_path_first(self):
+        jar = CookieJar()
+        base = parse_url("http://a.com/deep/page")
+        jar.ingest_response(base, ["outer=1; Path=/"])
+        jar.ingest_response(base, ["inner=2; Path=/deep"])
+        assert jar.header_for(base) == "inner=2; outer=1"
+
+    def test_domains_and_per_domain(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=x; Domain=tracker.com"])
+        assert jar.domains() == {"tracker.com"}
+        assert len(jar.cookies_for_domain("tracker.com")) == 1
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.ingest_response(URL, ["uid=x"])
+        jar.clear()
+        assert len(jar) == 0
+
+
+class TestClientIntegration:
+    def test_round_trip_cookies(self):
+        from repro.web.dns import DnsResolver
+        from repro.web.http import HttpClient, HttpResponse, WebServer
+
+        resolver = DnsResolver()
+        resolver.register("site.com")
+        client = HttpClient(resolver)
+        client.cookie_jar = CookieJar()
+        seen = []
+        server = WebServer()
+
+        def handler(request):
+            seen.append(request.header("cookie"))
+            return HttpResponse.html("ok", set_cookie="visits=1")
+
+        server.route("/", handler)
+        client.mount("site.com", server)
+        client.fetch("http://site.com/")
+        client.fetch("http://site.com/")
+        assert seen == ["", "visits=1"]
+
+
+class TestEcosystemTracking:
+    def test_networks_set_uid_cookies(self):
+        from repro.analysis.tracking import measure_tracking, referer_map_from_har
+        from repro.browser.browser import Browser
+        from repro.datasets.world import WorldParams, build_world
+
+        world = build_world(seed=71, params=WorldParams(
+            n_top_sites=6, n_bottom_sites=6, n_other_sites=6, n_feed_sites=2))
+        jar = CookieJar()
+        world.client.cookie_jar = jar
+        browser = Browser(world.client)
+        har_domains: dict[str, set[str]] = {}
+        crawled = 0
+        for publisher in world.publishers:
+            if not publisher.serves_ads:
+                continue
+            crawled += 1
+            load = browser.load(publisher.url)
+            for domain, sites in referer_map_from_har(load.har).items():
+                har_domains.setdefault(domain, set()).update(sites)
+        assert len(jar) > 0
+        uid_cookies = [c for domain in jar.domains()
+                       for c in jar.cookies_for_domain(domain)
+                       if c.name.startswith("uid_")]
+        assert uid_cookies
+        report = measure_tracking(jar, har_domains, crawled)
+        assert report.trackers
+        top = report.top_trackers(1)[0]
+        assert top.reach >= 2  # at least one network saw the crawler on 2+ sites
+        assert "tracking:" in report.render()

@@ -1,0 +1,170 @@
+"""Tests for the §5 countermeasure experiments."""
+
+import pytest
+
+from repro.adnet.entities import CampaignKind
+from repro.adnet.filtering import build_inventories
+from repro.analysis.networks import analyze_networks
+from repro.core.study import Study, StudyConfig, run_study
+from repro.countermeasures.adblock import simulate_adblock
+from repro.countermeasures.browser_defense import AdPathDefense
+from repro.countermeasures.penalties import PenaltyPolicy, apply_penalties
+from repro.countermeasures.shared_blacklist import apply_shared_blacklist
+from repro.datasets.world import WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+
+
+PARAMS = WorldParams(n_top_sites=12, n_bottom_sites=12, n_other_sites=12,
+                     n_feed_sites=4)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_study(StudyConfig(seed=55, days=3, refreshes_per_visit=3,
+                                 world_params=PARAMS))
+
+
+class TestSharedBlacklist:
+    def test_full_participation_shrinks_malicious_inventory(self):
+        world = build_world(seed=56, params=PARAMS)
+        before = sum(len(n.malicious_inventory()) for n in world.networks)
+        shared = apply_shared_blacklist(world.networks, world.campaigns,
+                                        participation=1.0)
+        after = sum(len(n.malicious_inventory()) for n in world.networks)
+        assert after < before
+        assert shared.rejected_campaigns
+
+    def test_benign_inventory_untouched(self):
+        world = build_world(seed=56, params=PARAMS)
+        before = {n.network_id: sum(1 for c in n.inventory if not c.is_malicious)
+                  for n in world.networks}
+        apply_shared_blacklist(world.networks, world.campaigns, participation=1.0)
+        after = {n.network_id: sum(1 for c in n.inventory if not c.is_malicious)
+                 for n in world.networks}
+        assert before == after
+
+    def test_zero_participation_changes_nothing(self):
+        world = build_world(seed=56, params=PARAMS)
+        before = {n.network_id: [c.campaign_id for c in n.inventory]
+                  for n in world.networks}
+        shared = apply_shared_blacklist(world.networks, world.campaigns,
+                                        participation=0.0)
+        after = {n.network_id: [c.campaign_id for c in n.inventory]
+                 for n in world.networks}
+        assert before == after
+        assert not shared.rejected_campaigns
+
+    def test_partial_participation_in_between(self):
+        full = build_world(seed=56, params=PARAMS)
+        apply_shared_blacklist(full.networks, full.campaigns, participation=1.0)
+        full_mal = sum(len(n.malicious_inventory()) for n in full.networks)
+
+        partial = build_world(seed=56, params=PARAMS)
+        apply_shared_blacklist(partial.networks, partial.campaigns,
+                               participation=0.5, seed=1)
+        partial_mal = sum(len(n.malicious_inventory()) for n in partial.networks)
+
+        none = build_world(seed=56, params=PARAMS)
+        none_mal = sum(len(n.malicious_inventory()) for n in none.networks)
+        assert full_mal <= partial_mal <= none_mal
+
+    def test_invalid_participation(self):
+        world = build_world(seed=56, params=PARAMS)
+        with pytest.raises(ValueError):
+            apply_shared_blacklist(world.networks, world.campaigns, participation=1.5)
+
+    def test_end_to_end_reduces_incidents(self):
+        baseline = run_study(StudyConfig(seed=57, days=2, refreshes_per_visit=2,
+                                         world_params=PARAMS))
+        world = build_world(seed=57, params=PARAMS)
+        apply_shared_blacklist(world.networks, world.campaigns, participation=1.0)
+        defended = Study(StudyConfig(seed=57, days=2, refreshes_per_visit=2),
+                         world=world).run()
+        assert defended.n_incidents <= baseline.n_incidents
+
+
+class TestPenalties:
+    def test_offenders_identified(self, results):
+        analysis = analyze_networks(results)
+        offenders = PenaltyPolicy(max_malicious_ratio=0.05).offenders(analysis)
+        assert offenders
+        tiers = {s.tier for s in analysis.stats if s.name in offenders}
+        assert "major" not in tiers
+
+    def test_apply_removes_partner_edges(self, results):
+        world = results.world
+        analysis = analyze_networks(results)
+        outcome = apply_penalties(world.networks, analysis,
+                                  PenaltyPolicy(max_malicious_ratio=0.05))
+        assert outcome.banned_networks
+        assert outcome.removed_partner_edges > 0
+        banned = set(outcome.banned_networks)
+        for network in world.networks:
+            assert not any(p.name in banned for p in network.partners)
+
+    def test_evidence_floor(self, results):
+        analysis = analyze_networks(results)
+        strict = PenaltyPolicy(max_malicious_ratio=0.0, min_ads_observed=10**6)
+        assert strict.offenders(analysis) == []
+
+
+class TestAdblock:
+    def test_blocks_most_malicious(self, results):
+        engine = FilterEngine.from_text(results.world.easylist_text)
+        outcome = simulate_adblock(results, engine)
+        assert outcome.malicious_exposure_reduction > 0.9
+
+    def test_revenue_loss_is_the_cost(self, results):
+        engine = FilterEngine.from_text(results.world.easylist_text)
+        outcome = simulate_adblock(results, engine)
+        assert outcome.revenue_loss > 0.9  # near-universal list coverage
+
+    def test_empty_list_blocks_nothing(self, results):
+        outcome = simulate_adblock(results, FilterEngine.from_text(""))
+        assert outcome.blocked_impressions == 0
+        assert outcome.malicious_exposure_reduction == 0.0
+
+    def test_render(self, results):
+        engine = FilterEngine.from_text(results.world.easylist_text)
+        assert "malicious impressions" in simulate_adblock(results, engine).render()
+
+
+class TestAdPathDefense:
+    def test_train_and_detect(self, results):
+        defense = AdPathDefense.train_from_results(results)
+        evaluation = defense.evaluate(results)
+        # In-sample: the defence must catch most malicious paths with a
+        # modest false-alarm rate.
+        assert evaluation.detection_rate > 0.6
+        assert evaluation.false_alarm_rate < 0.35
+
+    def test_alarm_fires_early_on_known_bad_domain(self):
+        defense = AdPathDefense.train(
+            malicious_paths=[["bad-ads.com", "worse-ads.com"]] * 3,
+            benign_paths=[["good-ads.com"]] * 10,
+        )
+        assert defense.alarm(["bad-ads.com", "never-seen.com"])
+        assert defense.alarm_hop(["good-ads.com", "bad-ads.com"]) == 2
+
+    def test_no_alarm_on_benign_path(self):
+        defense = AdPathDefense.train(
+            malicious_paths=[["bad-ads.com"]] * 3,
+            benign_paths=[["good-ads.com", "fine-ads.net"]] * 10,
+        )
+        assert not defense.alarm(["good-ads.com", "fine-ads.net"])
+
+    def test_topological_anomaly_alarm(self):
+        defense = AdPathDefense.train(
+            malicious_paths=[["bad-ads.com"]],
+            benign_paths=[["a.com", "b.com"]] * 50,
+        )
+        long_path = [f"n{i}.com" for i in range(10)]
+        assert defense.alarm(long_path)
+
+    def test_shared_domains_discounted(self):
+        defense = AdPathDefense.train(
+            malicious_paths=[["big-exchange.com", "evil.net"]] * 2,
+            benign_paths=[["big-exchange.com"]] * 20,
+        )
+        assert not defense.alarm(["big-exchange.com"])
+        assert defense.alarm(["big-exchange.com", "evil.net"])

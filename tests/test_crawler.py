@@ -1,0 +1,160 @@
+"""Tests for the crawler: schedule, extraction, corpus, driver."""
+
+import collections
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.crawler.corpus import AdCorpus, Impression, content_hash
+from repro.crawler.crawler import Crawler
+from repro.crawler.extraction import auction_hops, extract_ad_frames, observed_arbitration_chain
+from repro.crawler.schedule import CrawlSchedule, Visit
+from repro.datasets.world import WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=13, params=WorldParams(
+        n_top_sites=8, n_bottom_sites=8, n_other_sites=8, n_feed_sites=3))
+
+
+@pytest.fixture(scope="module")
+def crawl_result(world):
+    crawler = Crawler(Browser(world.client), FilterEngine.from_text(world.easylist_text))
+    schedule = CrawlSchedule([p.url for p in world.crawl_sites], days=2,
+                             refreshes_per_visit=2)
+    return crawler.crawl(schedule)
+
+
+class TestSchedule:
+    def test_length(self):
+        schedule = CrawlSchedule(["http://a.com/", "http://b.com/"], days=3,
+                                 refreshes_per_visit=5)
+        assert len(schedule) == 30
+
+    def test_order_is_day_major(self):
+        schedule = CrawlSchedule(["http://a.com/"], days=2, refreshes_per_visit=2)
+        visits = list(schedule)
+        assert visits[0] == Visit("http://a.com/", 0, 0)
+        assert visits[-1] == Visit("http://a.com/", 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrawlSchedule(["http://a.com/"], days=0, refreshes_per_visit=1)
+        with pytest.raises(ValueError):
+            CrawlSchedule(["http://a.com/"], days=1, refreshes_per_visit=0)
+
+
+class TestCorpus:
+    def imp(self, n=0):
+        return Impression("site.com", "http://www.site.com/", 0, n, "ad-slot-0",
+                          "http://srv.net-ads.com/adserve?imp=1",
+                          "http://srv.net-ads.com/adserve?imp=1",
+                          ("http://srv.net-ads.com/adserve?imp=1",),
+                          ("net-ads.com",))
+
+    def test_dedup_by_content(self):
+        corpus = AdCorpus()
+        corpus.add("<html>same</html>", self.imp(0))
+        corpus.add("<html>same</html>", self.imp(1))
+        corpus.add("<html>different</html>", self.imp(2))
+        assert corpus.unique_ads == 2
+        assert corpus.total_impressions == 3
+
+    def test_record_accumulates_impressions(self):
+        corpus = AdCorpus()
+        record = corpus.add("<html>x</html>", self.imp(0))
+        corpus.add("<html>x</html>", self.imp(1))
+        assert record.n_impressions == 2
+
+    def test_content_hash_stable(self):
+        assert content_hash("abc") == content_hash("abc")
+
+    def test_by_id(self):
+        corpus = AdCorpus()
+        record = corpus.add("<html>x</html>", self.imp())
+        assert corpus.by_id(record.ad_id) is record
+        assert corpus.by_id("ad-999999") is None
+
+    def test_serving_domain_from_chain(self):
+        assert self.imp().serving_domain == "net-ads.com"
+
+    def test_sandbox_flag_sticky(self):
+        corpus = AdCorpus()
+        corpus.add("<html>x</html>", self.imp(0), sandboxed=False)
+        record = corpus.add("<html>x</html>", self.imp(1), sandboxed=True)
+        assert record.sandboxed_anywhere
+
+
+class TestExtraction:
+    def test_ad_frames_found(self, world, crawl_result):
+        corpus, stats = crawl_result
+        assert stats.ad_iframes > 0
+
+    def test_widget_iframes_rejected(self, world, crawl_result):
+        corpus, stats = crawl_result
+        assert stats.non_ad_iframes > 0
+        # No widget URL should ever enter the corpus.
+        for record in corpus.records():
+            for impression in record.impressions:
+                assert "widgets-embed.com" not in impression.request_url
+
+    def test_auction_hops_filters_non_adserve(self):
+        chain = [
+            "http://srv.a-ads.com/adserve?imp=1&hop=0",
+            "http://srv.b-ads.com/adserve?imp=1&hop=1",
+            "http://cdn.assets.com/banner.png",
+        ]
+        assert auction_hops(chain) == ["a-ads.com", "b-ads.com"]
+
+    def test_auction_hops_preserves_repeats(self):
+        chain = [
+            "http://srv.a-ads.com/adserve?imp=1&hop=0",
+            "http://srv.b-ads.com/adserve?imp=1&hop=1",
+            "http://srv.a-ads.com/adserve?imp=1&hop=2",
+        ]
+        assert auction_hops(chain) == ["a-ads.com", "b-ads.com", "a-ads.com"]
+
+    def test_observed_chain_matches_ground_truth(self, world, crawl_result):
+        corpus, _ = crawl_result
+        truth = {s.imp_id: s for s in world.ecosystem.served_log}
+        checked = 0
+        for impression in corpus.impressions():
+            imp_id = impression.request_url.split("imp=")[1].split("&")[0]
+            if imp_id in truth:
+                assert impression.chain_length == truth[imp_id].chain_length
+                checked += 1
+        assert checked > 10
+
+
+class TestCrawlerDriver:
+    def test_no_failures_on_simulated_web(self, crawl_result):
+        _, stats = crawl_result
+        assert stats.pages_failed == 0
+        assert stats.pages_visited > 0
+
+    def test_corpus_populated(self, crawl_result):
+        corpus, _ = crawl_result
+        assert corpus.unique_ads > 10
+        assert corpus.total_impressions >= corpus.unique_ads
+
+    def test_refreshes_produce_distinct_impressions(self, world):
+        crawler = Crawler(Browser(world.client),
+                          FilterEngine.from_text(world.easylist_text))
+        publisher = next(p for p in world.publishers if p.serves_ads)
+        schedule = CrawlSchedule([publisher.url], days=1, refreshes_per_visit=4)
+        corpus, _ = crawler.crawl(schedule)
+        request_urls = {i.request_url for i in corpus.impressions()}
+        assert len(request_urls) == publisher.n_slots * 4
+
+    def test_sandbox_audit_empty(self, crawl_result):
+        _, stats = crawl_result
+        assert stats.sandboxed_ad_iframes == 0
+        assert stats.sites_using_sandbox == set()
+
+    def test_sites_with_ads_tracked(self, world, crawl_result):
+        _, stats = crawl_result
+        serving = {p.domain for p in world.publishers if p.serves_ads}
+        assert stats.sites_with_ads <= serving
+        assert len(stats.sites_with_ads) > 0

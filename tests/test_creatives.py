@@ -1,0 +1,127 @@
+"""Tests for creative rendering."""
+
+import pytest
+
+from repro.adnet.creatives import creative_path, render_creative
+from repro.adnet.entities import Advertiser, Campaign, CampaignKind
+from repro.web.html import parse_html
+
+
+def campaign(kind, **kwargs):
+    defaults = dict(
+        campaign_id="cmp-t001",
+        advertiser=Advertiser("adv-t", "test co"),
+        kind=kind,
+        landing_domain="landing-t.com",
+        serving_domain="cdn.landing-t.com",
+        payload_domain="dl.landing-t.net",
+        exploit_cve="CVE-2013-0634",
+        n_variants=4,
+    )
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+class TestRendering:
+    def test_all_kinds_render_parseable_html(self):
+        for kind in CampaignKind.ALL:
+            markup = render_creative(campaign(kind), 0)
+            document = parse_html(markup)
+            assert document.find("body") is not None
+
+    def test_benign_links_to_landing(self):
+        markup = render_creative(campaign(CampaignKind.BENIGN), 0)
+        assert "landing-t.com/offer" in markup
+
+    def test_benign_variants_differ(self):
+        c = campaign(CampaignKind.BENIGN)
+        markups = {render_creative(c, v) for v in range(4)}
+        assert len(markups) == 4
+
+    def test_rendering_is_deterministic(self):
+        c = campaign(CampaignKind.SCAM)
+        assert render_creative(c, 1) == render_creative(c, 1)
+
+    def test_benign_cache_buster_variant_uses_date(self):
+        markup = render_creative(campaign(CampaignKind.BENIGN), 1)
+        assert "new Date().getTime()" in markup
+
+    def test_benign_json_variant_parses_config(self):
+        markup = render_creative(campaign(CampaignKind.BENIGN), 2)
+        assert "JSON.parse" in markup
+
+    def test_driveby_hides_embed_behind_obfuscation(self):
+        markup = render_creative(campaign(CampaignKind.DRIVEBY), 0)
+        # The swf URL never appears in cleartext.
+        assert ".swf" not in markup
+        assert "unescape(" in markup and "eval(" in markup
+
+    def test_cloak_redirect_targets_redirector(self):
+        markup = render_creative(campaign(CampaignKind.CLOAK_REDIRECT), 0)
+        assert "/go/cmp-t001" not in markup  # hidden behind encoding
+        assert "unescape(" in markup
+
+    def test_deceptive_shows_fake_update_prompt(self):
+        markup = render_creative(campaign(CampaignKind.DECEPTIVE), 0)
+        assert "Flash Player is out of date" in markup
+        assert "dl.landing-t.net/download/" in markup
+
+    def test_flash_malware_embeds_swf_visibly(self):
+        markup = render_creative(campaign(CampaignKind.FLASH_MALWARE), 0)
+        assert "application/x-shockwave-flash" in markup
+        assert "cdn.landing-t.com/adswf/" in markup
+
+    def test_evasive_is_multi_stage(self):
+        markup = render_creative(campaign(CampaignKind.EVASIVE), 0)
+        assert markup.count("unescape(") >= 1
+        assert "setTimeout" in markup
+
+    def test_creative_path_shape(self):
+        assert creative_path(campaign(CampaignKind.BENIGN), 2) == \
+            "/creative/cmp-t001/v2.html"
+
+
+class TestBehaviouralExecution:
+    """Execute rendered creatives in a bare interpreter-backed browser to
+    check the obfuscation actually decodes at runtime."""
+
+    @pytest.fixture
+    def loader(self):
+        from repro.browser.browser import Browser
+        from repro.web.dns import DnsResolver
+        from repro.web.http import HttpClient, HttpResponse, WebServer
+
+        resolver = DnsResolver()
+        client = HttpClient(resolver)
+        for domain in ("host.com", "landing-t.com", "landing-t.net"):
+            resolver.register(domain)
+            server = WebServer()
+            server.set_fallback(lambda req: HttpResponse.html("ok"))
+            client.mount(domain, server)
+        browser = Browser(client)
+        pages = {}
+        host = WebServer()
+        host.set_fallback(lambda req: pages["/"])
+        client.mount("host.com", host)
+
+        def load(markup):
+            pages["/"] = HttpResponse.html(markup)
+            return browser.load("http://host.com/")
+
+        return load
+
+    def test_driveby_decodes_to_plugin_probe(self, loader):
+        from repro.browser import events as ev
+
+        load = loader(render_creative(campaign(CampaignKind.DRIVEBY), 0))
+        assert load.events.count(ev.EVAL_CALL) >= 1
+        assert load.events.count(ev.PLUGIN_PROBE) >= 1
+
+    def test_cache_buster_fetches_unique_pixel(self, loader):
+        load = loader(render_creative(campaign(CampaignKind.BENIGN), 1))
+        pixel_urls = [e.url for e in load.har if "?cb=" in e.url]
+        assert len(pixel_urls) == 1
+
+    def test_json_config_variant_loads_asset(self, loader):
+        load = loader(render_creative(campaign(CampaignKind.BENIGN), 2))
+        assert any("cfg-2.png" in e.url for e in load.har)

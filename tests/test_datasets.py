@@ -1,0 +1,170 @@
+"""Tests for the synthetic datasets and world construction."""
+
+import collections
+
+import pytest
+
+from repro.datasets.alexa import generate_ranking, stratified_positions
+from repro.datasets.categories import CATEGORY_WEIGHTS, TLD_WEIGHTS, is_generic_tld
+from repro.datasets.feeds import generate_av_feed
+from repro.datasets.world import (
+    BLACKLIST_THRESHOLD,
+    N_BLACKLISTS,
+    WorldParams,
+    build_world,
+)
+from repro.adnet.entities import CampaignKind, NetworkTier
+
+
+class TestCategories:
+    def test_category_weights_sum_to_one(self):
+        assert sum(CATEGORY_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_tld_weights_sum_to_one(self):
+        assert sum(TLD_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_com_is_majority_weight(self):
+        assert TLD_WEIGHTS["com"] > 0.5
+
+    def test_generic_tld_classification(self):
+        assert is_generic_tld("com")
+        assert is_generic_tld("net")
+        assert not is_generic_tld("de")
+
+
+class TestRanking:
+    def test_size(self):
+        assert len(generate_ranking(100, seed=1)) == 100
+
+    def test_deterministic(self):
+        a = generate_ranking(50, seed=5)
+        b = generate_ranking(50, seed=5)
+        assert [e.domain for e in a] == [e.domain for e in b]
+
+    def test_seed_changes_output(self):
+        a = generate_ranking(50, seed=5)
+        b = generate_ranking(50, seed=6)
+        assert [e.domain for e in a] != [e.domain for e in b]
+
+    def test_domains_unique(self):
+        ranking = generate_ranking(500, seed=2)
+        domains = [e.domain for e in ranking]
+        assert len(domains) == len(set(domains))
+
+    def test_top_bottom_sampling(self):
+        ranking = generate_ranking(100, seed=3)
+        top = ranking.top(10)
+        bottom = ranking.bottom(10)
+        assert max(e.rank for e in top) < min(e.rank for e in bottom)
+
+    def test_random_sample_excludes(self):
+        ranking = generate_ranking(50, seed=4)
+        exclude = ranking.top(10)
+        sample = ranking.random_sample(20, seed=4, exclude=exclude)
+        assert not {e.domain for e in sample} & {e.domain for e in exclude}
+
+    def test_stratified_positions(self):
+        positions = stratified_positions(10, 10, 5, seed=1, total_rank_space=1000)
+        assert positions[:10] == list(range(1, 11))
+        assert positions[-10:] == list(range(991, 1001))
+        assert len(positions) == 25
+
+    def test_rank_positions_validation(self):
+        with pytest.raises(ValueError):
+            generate_ranking(3, seed=1, rank_positions=[1, 2])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_ranking(0, seed=1)
+
+    def test_category_distribution_roughly_matches(self):
+        ranking = generate_ranking(3000, seed=7)
+        counts = collections.Counter(e.category for e in ranking)
+        assert counts["entertainment"] > counts["health"]
+        assert counts["entertainment"] / len(ranking) == pytest.approx(0.18, abs=0.04)
+
+    def test_tld_distribution_roughly_matches(self):
+        ranking = generate_ranking(3000, seed=8)
+        counts = collections.Counter(e.tld for e in ranking)
+        assert counts["com"] / len(ranking) == pytest.approx(0.52, abs=0.05)
+
+
+class TestAvFeed:
+    def test_size_and_determinism(self):
+        assert len(generate_av_feed(20, seed=1)) == 20
+        a = generate_av_feed(10, seed=2)
+        b = generate_av_feed(10, seed=2)
+        assert [e.site.domain for e in a] == [e.site.domain for e in b]
+
+    def test_feed_sites_skew_unpopular(self):
+        feed = generate_av_feed(50, seed=3)
+        assert all(e.site.rank >= 500_000 for e in feed)
+
+    def test_incident_recency_bounds(self):
+        feed = generate_av_feed(50, seed=4)
+        assert all(7 <= e.last_incident_days_ago < 365 for e in feed)
+
+
+class TestWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(seed=5, params=WorldParams(
+            n_top_sites=8, n_bottom_sites=8, n_other_sites=8, n_feed_sites=3))
+
+    def test_blacklist_count(self, world):
+        assert len(world.blacklists) == N_BLACKLISTS
+
+    def test_scam_domains_cross_threshold(self, world):
+        scam = next(c for c in world.campaigns if c.kind == CampaignKind.SCAM)
+        counts = [sum(1 for bl in world.blacklists if d in bl) for d in scam.domains]
+        assert all(count > BLACKLIST_THRESHOLD for count in counts)
+
+    def test_non_scam_malicious_below_threshold(self, world):
+        for campaign in world.malicious_campaigns():
+            if campaign.kind == CampaignKind.SCAM:
+                continue
+            for domain in campaign.domains:
+                count = sum(1 for bl in world.blacklists if domain in bl)
+                assert count <= BLACKLIST_THRESHOLD
+
+    def test_benign_campaigns_below_threshold(self, world):
+        for campaign in world.campaigns:
+            if campaign.is_malicious:
+                continue
+            count = sum(1 for bl in world.blacklists if campaign.landing_domain in bl)
+            assert count <= BLACKLIST_THRESHOLD
+
+    def test_publisher_count(self, world):
+        assert len(world.publishers) == 8 + 8 + 8 + 3
+
+    def test_no_sandbox_usage(self, world):
+        assert not any(p.uses_sandbox for p in world.publishers)
+
+    def test_world_is_deterministic(self):
+        params = WorldParams(n_top_sites=5, n_bottom_sites=5, n_other_sites=5,
+                             n_feed_sites=2)
+        a = build_world(seed=9, params=params)
+        b = build_world(seed=9, params=params)
+        assert [p.domain for p in a.publishers] == [p.domain for p in b.publishers]
+        assert [c.campaign_id for c in a.campaigns] == [c.campaign_id for c in b.campaigns]
+        assert a.easylist_text == b.easylist_text
+
+    def test_top_publishers_prefer_major_networks(self, world):
+        top = [p for p in world.publishers
+               if p.rank <= world.params.top_cluster_rank and p.serves_ads]
+        major = sum(1 for p in top if p.primary_network.tier == NetworkTier.MAJOR)
+        assert major >= len(top) * 0.5
+
+    def test_easylist_covers_network_domains(self, world):
+        from repro.filterlists.matcher import FilterEngine
+
+        engine = FilterEngine.from_text(world.easylist_text)
+        covered = sum(
+            engine.is_ad_url(f"http://{n.serve_host}/adserve?x=1", "http://site.com/")
+            for n in world.networks
+        )
+        assert covered >= len(world.networks) * 0.8
+
+    def test_guaranteed_kind_coverage(self, world):
+        kinds = {c.kind for c in world.malicious_campaigns()}
+        assert kinds == set(CampaignKind.MALICIOUS)

@@ -1,0 +1,100 @@
+"""Tests for the advertising-economics layer."""
+
+import pytest
+
+from repro.adnet.economics import AdMarket, ImpressionReceipt, MarketLedger, settle_run
+from repro.adnet.ecosystem import ServedImpression
+
+
+def served(chain, imp_id="imp1", pub="site.com", campaign="cmp-1"):
+    return ServedImpression(imp_id, pub, 0, list(chain), campaign, "benign", 0)
+
+
+class TestAdMarket:
+    def test_direct_serve_single_cut(self):
+        market = AdMarket(hop_margin=0.15)
+        receipt = market.price_impression(served(["net-0"]), bid=1.0)
+        assert receipt.publisher_revenue == pytest.approx(0.85)
+        assert receipt.network_cuts["net-0"] == pytest.approx(0.15)
+
+    def test_margins_compound_along_chain(self):
+        market = AdMarket(hop_margin=0.15)
+        receipt = market.price_impression(served(["a", "b", "c"]), bid=1.0)
+        assert receipt.publisher_revenue == pytest.approx(0.85 ** 3)
+        assert receipt.total_network_cut == pytest.approx(1.0 - 0.85 ** 3)
+
+    def test_money_conserved(self):
+        market = AdMarket(hop_margin=0.2)
+        receipt = market.price_impression(served(list("abcdefg")), bid=2.5)
+        assert receipt.publisher_revenue + receipt.total_network_cut == pytest.approx(2.5)
+
+    def test_repeat_network_accumulates_cuts(self):
+        market = AdMarket(hop_margin=0.1)
+        receipt = market.price_impression(served(["a", "b", "a"]), bid=1.0)
+        assert receipt.network_cuts["a"] == pytest.approx(0.1 + 0.9 * 0.9 * 0.1)
+
+    def test_effective_cpm_decays(self):
+        market = AdMarket(hop_margin=0.15)
+        assert market.effective_cpm(2.0, 1) > market.effective_cpm(2.0, 10)
+        assert market.effective_cpm(2.0, 15) < 0.2 * 2.0
+
+    def test_click_price(self):
+        market = AdMarket(cpc_multiple=40.0)
+        assert market.click_price(2.0) == pytest.approx(0.08)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            AdMarket(hop_margin=1.0)
+        with pytest.raises(ValueError):
+            AdMarket(hop_margin=-0.1)
+
+
+class TestLedger:
+    def test_settle_run_aggregates(self):
+        log = [served(["a"], imp_id=f"i{i}", pub=f"p{i % 2}.com",
+                      campaign="cmp-x") for i in range(10)]
+        ledger = settle_run(log, {"cmp-x": 1.0}, AdMarket(hop_margin=0.1))
+        assert ledger.impressions_priced == 10
+        assert ledger.gross_spend == pytest.approx(10.0)
+        assert ledger.total_publisher_revenue == pytest.approx(9.0)
+        assert ledger.total_network_revenue == pytest.approx(1.0)
+        assert set(ledger.publisher_revenue) == {"p0.com", "p1.com"}
+
+    def test_unknown_campaign_floor_price(self):
+        ledger = settle_run([served(["a"], campaign="mystery")], {})
+        assert ledger.gross_spend == pytest.approx(0.25)
+
+    def test_conservation_across_run(self):
+        log = [served(list("ab" * (i % 4 + 1))[:i % 6 + 1], imp_id=f"i{i}")
+               for i in range(30)]
+        ledger = settle_run(log, {"cmp-1": 1.5})
+        assert ledger.total_publisher_revenue + ledger.total_network_revenue == \
+            pytest.approx(ledger.gross_spend)
+
+
+class TestWorldIntegration:
+    def test_deep_chains_pay_publishers_less(self):
+        """The economic mechanism behind remnant inventory: the longer the
+        chain, the less of the bid reaches anyone downstream."""
+        from repro.datasets.world import WorldParams, build_world
+        from repro.browser.browser import Browser
+
+        world = build_world(seed=3, params=WorldParams(
+            n_top_sites=6, n_bottom_sites=6, n_other_sites=6, n_feed_sites=3))
+        browser = Browser(world.client)
+        for publisher in world.publishers:
+            if publisher.serves_ads:
+                for _ in range(4):
+                    browser.load(publisher.url)
+        bids = {c.campaign_id: c.bid for c in world.campaigns}
+        market = AdMarket()
+        short = [s for s in world.ecosystem.served_log if s.chain_length <= 2]
+        deep = [s for s in world.ecosystem.served_log if s.chain_length >= 5]
+        assert short and deep
+        short_rate = sum(
+            market.price_impression(s, bids.get(s.campaign_id, 0.25)).publisher_revenue
+            / bids.get(s.campaign_id, 0.25) for s in short) / len(short)
+        deep_rate = sum(
+            market.price_impression(s, bids.get(s.campaign_id, 0.25)).publisher_revenue
+            / bids.get(s.campaign_id, 0.25) for s in deep) / len(deep)
+        assert deep_rate < short_rate * 0.7

@@ -1,0 +1,57 @@
+"""Tests for the publisher-exposure analysis."""
+
+import pytest
+
+from repro.adnet.entities import NetworkTier
+from repro.analysis.exposure import analyze_exposure
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+@pytest.fixture(scope="module")
+def results():
+    params = WorldParams(n_top_sites=16, n_bottom_sites=16, n_other_sites=16,
+                         n_feed_sites=5)
+    return run_study(StudyConfig(seed=66, days=5, refreshes_per_visit=4,
+                                 world_params=params))
+
+
+class TestExposure:
+    def test_counts_cover_all_serving_publishers(self, results):
+        report = analyze_exposure(results)
+        serving = sum(1 for p in results.world.publishers if p.serves_ads)
+        assert sum(t.publishers_crawled for t in report.by_tier.values()) == serving
+
+    def test_some_publishers_exposed(self, results):
+        assert analyze_exposure(results).total_exposed > 0
+
+    def test_major_tier_publishers_also_exposed(self, results):
+        # The paper's point: even sites that delegated to a reputable major
+        # exchange end up displaying malvertising, via arbitration resale.
+        report = analyze_exposure(results)
+        assert report.major_tier_exposed > 0
+
+    def test_exposure_rises_downmarket(self, results):
+        report = analyze_exposure(results)
+        major = report.by_tier.get(NetworkTier.MAJOR)
+        shady = report.by_tier.get(NetworkTier.SHADY)
+        if major and shady and shady.publishers_crawled >= 3:
+            assert shady.exposure_rate >= major.exposure_rate
+
+    def test_exposed_majors_arrived_via_resale(self, results):
+        """Malvertising on major-primary sites must come through chains, not
+        direct serving by the major itself."""
+        world = results.world
+        majors = {p.domain: p for p in world.publishers
+                  if p.serves_ads and p.primary_network.tier == NetworkTier.MAJOR}
+        via_resale = 0
+        for record in results.malicious_records():
+            for impression in record.impressions:
+                if impression.site_domain in majors and impression.chain_length > 1:
+                    via_resale += 1
+        assert via_resale > 0
+
+    def test_render(self, results):
+        text = analyze_exposure(results).render()
+        assert "publisher exposure" in text
+        assert "major" in text

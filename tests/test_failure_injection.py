@@ -1,0 +1,131 @@
+"""Failure injection: the crawler and oracle must survive a hostile web."""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.crawler.corpus import AdCorpus
+from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.schedule import CrawlSchedule, Visit
+from repro.datasets.world import WorldParams, build_world
+from repro.filterlists.matcher import FilterEngine
+from repro.web.dns import DnsResolver
+from repro.web.http import HttpClient, HttpResponse, WebServer
+
+
+@pytest.fixture
+def world():
+    return build_world(seed=101, params=WorldParams(
+        n_top_sites=6, n_bottom_sites=6, n_other_sites=6, n_feed_sites=2))
+
+
+def crawler_for(world):
+    return Crawler(Browser(world.client),
+                   FilterEngine.from_text(world.easylist_text))
+
+
+class TestCrawlerResilience:
+    def test_dead_site_counts_as_failure_not_crash(self, world):
+        crawler = crawler_for(world)
+        victim = world.publishers[0]
+        world.resolver.deregister(victim.domain)
+        corpus, stats = crawler.crawl(CrawlSchedule(
+            [p.url for p in world.publishers], days=1, refreshes_per_visit=1))
+        assert stats.pages_failed >= 1
+        assert stats.pages_visited == len(world.publishers)
+
+    def test_mid_crawl_takedown_only_affects_later_visits(self, world):
+        crawler = crawler_for(world)
+        corpus = AdCorpus()
+        stats = CrawlStats()
+        victim = next(p for p in world.publishers if p.serves_ads)
+        crawler.visit(Visit(victim.url, 0, 0), corpus, stats)
+        assert stats.pages_failed == 0
+        world.resolver.deregister(victim.domain)
+        crawler.visit(Visit(victim.url, 1, 0), corpus, stats)
+        assert stats.pages_failed == 1
+
+    def test_erroring_server_tolerated(self, world):
+        domain = "flaky-site.com"
+        world.resolver.register(domain)
+        server = WebServer()
+        server.set_fallback(lambda req: HttpResponse(500, {}, b"boom"))
+        world.client.mount(domain, server)
+        crawler = crawler_for(world)
+        corpus, stats = crawler.crawl(CrawlSchedule(
+            [f"http://www.{domain}/"], days=1, refreshes_per_visit=2))
+        assert stats.pages_failed == 2
+        assert corpus.unique_ads == 0
+
+    def test_broken_ad_server_does_not_fail_page(self, world):
+        # Kill every ad network's DNS: publisher pages must still load.
+        for network in world.networks:
+            world.resolver.deregister(network.domain)
+        crawler = crawler_for(world)
+        serving = [p for p in world.publishers if p.serves_ads][:4]
+        corpus, stats = crawler.crawl(CrawlSchedule(
+            [p.url for p in serving], days=1, refreshes_per_visit=1))
+        assert stats.pages_failed == 0
+        assert corpus.unique_ads == 0  # no ads could be served
+
+    def test_sinkholed_ad_network(self, world):
+        victim = next(p for p in world.publishers if p.serves_ads)
+        world.resolver.sinkhole(victim.primary_network.domain)
+        crawler = crawler_for(world)
+        corpus, stats = crawler.crawl(CrawlSchedule(
+            [victim.url], days=1, refreshes_per_visit=1))
+        # Page loads; sinkholed ad frames yield no ad documents.
+        assert stats.pages_failed == 0
+
+    def test_malformed_iframe_src_skipped(self, world):
+        domain = "weird-markup.com"
+        world.resolver.register(domain)
+        server = WebServer()
+        server.set_fallback(lambda req: HttpResponse.html(
+            '<html><body><iframe src="not a url"></iframe>'
+            '<iframe src="ftp://nope.example/x"></iframe></body></html>'))
+        world.client.mount(domain, server)
+        crawler = crawler_for(world)
+        corpus, stats = crawler.crawl(CrawlSchedule(
+            [f"http://www.{domain}/"], days=1, refreshes_per_visit=1))
+        assert stats.pages_failed == 0
+        assert corpus.unique_ads == 0
+
+
+class TestOracleResilience:
+    def test_wepawet_handles_vanished_infrastructure(self, world):
+        """Classify an ad whose assets died between crawl and analysis."""
+        from repro.adnet.creatives import render_creative
+        from repro.adnet.entities import CampaignKind
+        from repro.oracles.wepawet import Wepawet
+
+        campaign = next(c for c in world.campaigns
+                        if c.kind == CampaignKind.DRIVEBY)
+        html = render_creative(campaign, 0)
+        world.resolver.deregister(campaign.serving_domain)
+        wepawet = Wepawet(world.client, world.resolver)
+        report = wepawet.analyze_html(html)
+        # The exploit can no longer fire, but the dead reference itself is
+        # a suspicious-redirection signal (NX).
+        assert report.features.exploit_successes == 0
+        assert report.suspicious_redirection
+        assert "redirect_to_nx_domain" in report.redirection_reasons
+
+    def test_wepawet_handles_empty_document(self, world):
+        from repro.oracles.wepawet import Wepawet
+
+        report = Wepawet(world.client, world.resolver).analyze_html("")
+        assert not report.flagged
+
+    def test_wepawet_handles_garbage_markup(self, world):
+        from repro.oracles.wepawet import Wepawet
+
+        report = Wepawet(world.client, world.resolver).analyze_html(
+            "<<<>>><script>var x = ;</script><iframe src='::'>")
+        assert not report.flagged
+        assert report.features.script_errors >= 1
+
+    def test_virustotal_handles_unknown_blob(self):
+        from repro.oracles.virustotal import VirusTotal
+
+        report = VirusTotal(seed=5).scan(b"\x00\x01\x02 random junk")
+        assert report.positives <= 2  # at most stray FP engines

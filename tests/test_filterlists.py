@@ -1,0 +1,198 @@
+"""Tests for the ABP filter list engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.filterlists.easylist import build_easylist
+from repro.filterlists.matcher import FilterEngine
+from repro.filterlists.parser import FilterParseError, parse_filter_list, parse_rule
+from repro.filterlists.rules import RequestContext
+
+
+def engine(*lines):
+    return FilterEngine.from_text("\n".join(lines))
+
+
+class TestParser:
+    def test_comment_skipped(self):
+        assert parse_rule("! comment") is None
+
+    def test_header_skipped(self):
+        assert parse_rule("[Adblock Plus 2.0]") is None
+
+    def test_blank_skipped(self):
+        assert parse_rule("   ") is None
+
+    def test_element_hiding_skipped(self):
+        assert parse_rule("example.com##.ad-banner") is None
+
+    def test_plain_pattern(self):
+        rule = parse_rule("/banner/")
+        assert rule.pattern == "/banner/"
+        assert not rule.anchor_domain
+
+    def test_domain_anchor(self):
+        rule = parse_rule("||ads.example.com^")
+        assert rule.anchor_domain
+        assert rule.pattern == "ads.example.com^"
+
+    def test_start_end_anchors(self):
+        rule = parse_rule("|http://exact.com/path|")
+        assert rule.anchor_start and rule.anchor_end
+
+    def test_exception(self):
+        rule = parse_rule("@@||good.com^")
+        assert rule.is_exception
+
+    def test_type_options(self):
+        rule = parse_rule("||x.com^$script,image")
+        assert rule.resource_types == {"script", "image"}
+
+    def test_negated_type(self):
+        rule = parse_rule("||x.com^$~script")
+        assert rule.negated_types == {"script"}
+
+    def test_third_party_option(self):
+        assert parse_rule("||x.com^$third-party").third_party is True
+        assert parse_rule("||x.com^$~third-party").third_party is False
+
+    def test_domain_option(self):
+        rule = parse_rule("/ads/$domain=a.com|~b.a.com")
+        assert rule.include_domains == {"a.com"}
+        assert rule.exclude_domains == {"b.a.com"}
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(FilterParseError):
+            parse_rule("||x.com^$frobnicate")
+
+    def test_dollar_inside_pattern_not_options(self):
+        rule = parse_rule("/path$12,34")
+        assert rule.pattern == "/path$12,34"
+
+    def test_parse_list_skips_bad_rules(self):
+        rules = parse_filter_list("||good.com^\n||x.com^$bogusopt\n! c\n||other.com^")
+        assert len(rules) == 2
+
+
+class TestMatching:
+    def test_substring_match(self):
+        e = engine("/banner/")
+        assert e.is_ad_url("http://site.com/banner/top.gif")
+        assert not e.is_ad_url("http://site.com/images/top.gif")
+
+    def test_domain_anchor_matches_domain_and_subdomains(self):
+        e = engine("||ads.net^")
+        assert e.is_ad_url("http://ads.net/x")
+        assert e.is_ad_url("http://cdn.ads.net/x")
+        assert not e.is_ad_url("http://notads.net/x")
+        assert not e.is_ad_url("http://site.com/ads.net/x")
+
+    def test_separator_semantics(self):
+        e = engine("||ads.net^")
+        assert e.is_ad_url("http://ads.net:8080/x")
+        assert e.is_ad_url("http://ads.net")  # '^' can match end of URL
+
+    def test_separator_not_matched_by_letter(self):
+        e = engine("/ad^")
+        assert e.is_ad_url("http://x.com/ad/next")
+        assert not e.is_ad_url("http://x.com/admin")
+
+    def test_wildcard(self):
+        e = engine("/creative*.swf")
+        assert e.is_ad_url("http://x.com/creative-123.swf")
+        assert not e.is_ad_url("http://x.com/creative-123.png")
+
+    def test_start_anchor(self):
+        e = engine("|http://start.com/ad")
+        assert e.is_ad_url("http://start.com/ad1")
+        assert not e.is_ad_url("http://other.com/?u=http://start.com/ad")
+
+    def test_end_anchor(self):
+        e = engine("ad.js|")
+        assert e.is_ad_url("http://x.com/lib/ad.js")
+        assert not e.is_ad_url("http://x.com/lib/ad.js?cb=1")
+
+    def test_exception_overrides_block(self):
+        e = engine("||ads.net^", "@@||ads.net/acceptable/*")
+        assert e.is_ad_url("http://ads.net/bad.js")
+        assert not e.is_ad_url("http://ads.net/acceptable/one.js")
+
+    def test_type_filtering(self):
+        e = engine("||ads.net^$script")
+        ctx_script = RequestContext.for_url("http://ads.net/a.js", resource_type="script")
+        ctx_image = RequestContext.for_url("http://ads.net/a.gif", resource_type="image")
+        assert e.match(ctx_script).blocked
+        assert not e.match(ctx_image).blocked
+
+    def test_third_party_filtering(self):
+        e = engine("||tracker.com^$third-party")
+        third = RequestContext.for_url("http://tracker.com/t.js", "http://site.com/")
+        first = RequestContext.for_url("http://tracker.com/t.js", "http://tracker.com/")
+        assert e.match(third).blocked
+        assert not e.match(first).blocked
+
+    def test_domain_option_filtering(self):
+        e = engine("/promo/$domain=news.com")
+        on_news = RequestContext.for_url("http://cdn.com/promo/x", "http://news.com/")
+        on_blog = RequestContext.for_url("http://cdn.com/promo/x", "http://blog.com/")
+        assert e.match(on_news).blocked
+        assert not e.match(on_blog).blocked
+
+    def test_case_insensitive(self):
+        e = engine("||ads.net^")
+        assert e.is_ad_url("http://ADS.net/X")
+
+    def test_match_result_carries_rules(self):
+        e = engine("||ads.net^", "@@||ads.net/ok/*")
+        blocked = e.match(RequestContext.for_url("http://ads.net/x"))
+        assert blocked.blocked and blocked.rule is not None
+        excepted = e.match(RequestContext.for_url("http://ads.net/ok/x"))
+        assert not excepted.blocked and excepted.exception is not None
+
+    def test_no_rules_no_match(self):
+        assert not engine().is_ad_url("http://anything.com/")
+
+    @given(st.sampled_from(["http://a.com/x", "http://ads.net/b", "http://sub.ads.net/c?q=1"]))
+    def test_match_is_deterministic(self, url):
+        e = engine("||ads.net^", "/banner/")
+        assert e.is_ad_url(url) == e.is_ad_url(url)
+
+
+class TestShortcutIndex:
+    def test_short_pattern_still_matched(self):
+        e = engine("/ad/")  # shorter than the shortcut length
+        assert e.is_ad_url("http://x.com/ad/i.gif")
+
+    def test_many_rules_correctness(self):
+        lines = [f"||adhost{i}.com^" for i in range(200)]
+        e = engine(*lines)
+        assert e.is_ad_url("http://adhost137.com/x")
+        assert not e.is_ad_url("http://example.com/x")
+
+
+class TestEasylistBuilder:
+    def test_full_coverage_blocks_all_ad_domains(self):
+        text = build_easylist(["ads1.com", "ads2.net"], coverage=1.0)
+        e = FilterEngine.from_text(text)
+        assert e.is_ad_url("http://srv.ads1.com/adframe/1")
+        assert e.is_ad_url("http://ads2.net/x", resource_type="script")
+
+    def test_partial_coverage_drops_some(self):
+        domains = [f"adnet{i}.com" for i in range(60)]
+        text = build_easylist(domains, seed=1, coverage=0.5)
+        e = FilterEngine.from_text(text)
+        hits = sum(e.is_ad_url(f"http://adnet{i}.com/x") for i in range(60))
+        assert 10 < hits < 50
+
+    def test_generic_path_rules_present(self):
+        e = FilterEngine.from_text(build_easylist([]))
+        assert e.is_ad_url("http://anyhost.com/adserve/slot1", resource_type="subdocument")
+
+    def test_deterministic(self):
+        domains = [f"d{i}.com" for i in range(20)]
+        assert build_easylist(domains, seed=3, coverage=0.7) == \
+            build_easylist(domains, seed=3, coverage=0.7)
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            build_easylist([], coverage=2.0)

@@ -1,0 +1,138 @@
+"""Tests for takedown dynamics and longitudinal crawling."""
+
+import pytest
+
+from repro.adnet.entities import CampaignKind
+from repro.adnet.takedowns import TakedownAuthority
+from repro.analysis.temporal import summarize_run
+from repro.core.longitudinal import LongitudinalConfig, LongitudinalStudy
+from repro.datasets.world import BLACKLIST_THRESHOLD, WorldParams, build_world
+
+PARAMS = WorldParams(n_top_sites=8, n_bottom_sites=8, n_other_sites=8,
+                     n_feed_sites=4)
+
+
+def fresh_world(seed=91):
+    return build_world(seed=seed, params=PARAMS)
+
+
+def scam_campaign(world):
+    return next(c for c in world.campaigns if c.kind == CampaignKind.SCAM)
+
+
+class TestTakedownAuthority:
+    def test_flagged_observed_domain_taken_down(self):
+        world = fresh_world()
+        campaign = scam_campaign(world)
+        authority = TakedownAuthority(world, takedown_probability=1.0,
+                                      rotation_probability=0.0)
+        events = authority.process_day(0, set(campaign.domains))
+        assert events
+        for event in events:
+            assert not world.resolver.exists(event.domain)
+            assert event.rotated_to is None
+
+    def test_unobserved_domains_untouched(self):
+        world = fresh_world()
+        campaign = scam_campaign(world)
+        authority = TakedownAuthority(world, takedown_probability=1.0)
+        authority.process_day(0, set())
+        for domain in campaign.domains:
+            assert world.resolver.exists(domain)
+
+    def test_unflagged_domains_untouched(self):
+        world = fresh_world()
+        # cloak-redirect infrastructure sits below the blacklist threshold.
+        campaign = next(c for c in world.campaigns
+                        if c.kind == CampaignKind.CLOAK_REDIRECT)
+        authority = TakedownAuthority(world, takedown_probability=1.0)
+        authority.process_day(0, set(campaign.domains))
+        for domain in campaign.domains:
+            assert world.resolver.exists(domain)
+
+    def test_rotation_registers_fresh_domain(self):
+        world = fresh_world()
+        campaign = scam_campaign(world)
+        old_serving = campaign.serving_domain
+        authority = TakedownAuthority(world, takedown_probability=1.0,
+                                      rotation_probability=1.0)
+        events = authority.process_day(0, set(campaign.domains))
+        rotated = [e for e in events if e.rotated_to]
+        assert rotated
+        for event in rotated:
+            assert world.resolver.exists(event.rotated_to)
+        if any(e.domain == old_serving for e in events):
+            assert campaign.serving_domain != old_serving
+            # The fresh domain actually serves campaign infrastructure.
+            response, _ = world.client.fetch(
+                f"http://{campaign.serving_domain}/adimg/x.png")
+            assert response.ok
+
+    def test_rotated_domain_initially_unlisted_then_caught(self):
+        from repro.oracles.blacklists import BlacklistTracker
+
+        world = fresh_world()
+        campaign = scam_campaign(world)
+        authority = TakedownAuthority(world, takedown_probability=1.0,
+                                      rotation_probability=1.0,
+                                      listing_lag_days=2)
+        events = authority.process_day(0, set(campaign.domains))
+        fresh = [e.rotated_to for e in events if e.rotated_to]
+        assert fresh
+        tracker = BlacklistTracker(world.blacklists, BLACKLIST_THRESHOLD)
+        assert not any(tracker.is_flagged(d) for d in fresh)
+        # Two days later the lists catch up.
+        authority.process_day(2, set())
+        tracker = BlacklistTracker(world.blacklists, BLACKLIST_THRESHOLD)
+        assert all(tracker.is_flagged(d) for d in fresh)
+        assert authority.listings
+
+    def test_campaign_lifetimes(self):
+        world = fresh_world()
+        campaign = scam_campaign(world)
+        authority = TakedownAuthority(world, takedown_probability=1.0,
+                                      rotation_probability=1.0,
+                                      listing_lag_days=1)
+        authority.process_day(0, set(campaign.domains))
+        authority.process_day(3, {campaign.serving_domain, campaign.landing_domain})
+        lifetimes = authority.campaign_lifetimes()
+        assert campaign.campaign_id in lifetimes
+
+
+class TestLongitudinalStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        config = LongitudinalConfig(seed=92, days=6, refreshes_per_visit=2,
+                                    takedown_probability=0.9,
+                                    rotation_probability=0.8,
+                                    listing_lag_days=1,
+                                    world_params=PARAMS)
+        return LongitudinalStudy(config).run()
+
+    def test_day_stats_recorded(self, study):
+        assert len(study.day_stats) == 6
+        assert all(s.pages_visited > 0 for s in study.day_stats)
+
+    def test_corpus_grows_over_days(self, study):
+        assert study.corpus.unique_ads > 0
+        assert study.day_stats[0].new_unique_ads > study.day_stats[-1].new_unique_ads
+
+    def test_takedowns_happen(self, study):
+        assert sum(s.takedowns for s in study.day_stats) > 0
+
+    def test_rotations_happen(self, study):
+        assert sum(s.rotations for s in study.day_stats) > 0
+
+    def test_crawler_survives_takedowns(self, study):
+        # Broken ad infrastructure must not fail publisher page loads.
+        assert study.crawl_stats.pages_failed == 0
+
+    def test_temporal_summary(self, study):
+        summary = summarize_run(study.day_stats, study.authority)
+        assert summary.days == 6
+        assert summary.total_takedowns > 0
+        assert "temporal analysis" in summary.render()
+
+    def test_results_skeleton_usable(self, study):
+        results = study.results_skeleton()
+        assert results.corpus.unique_ads == study.corpus.unique_ads

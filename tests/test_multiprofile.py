@@ -1,0 +1,92 @@
+"""Tests for multi-profile honeyclient analysis."""
+
+import pytest
+
+from repro.adnet.creatives import render_creative
+from repro.adnet.entities import CampaignKind
+from repro.countermeasures.scarecrow import environment_aware_driveby_html
+from repro.datasets.world import WorldParams, build_world
+from repro.oracles.multiprofile import (
+    analyze_across_profiles,
+    default_profile_matrix,
+)
+from repro.oracles.wepawet import Wepawet
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=61, params=WorldParams(
+        n_top_sites=6, n_bottom_sites=6, n_other_sites=6, n_feed_sites=2))
+
+
+@pytest.fixture(scope="module")
+def wepawet(world):
+    return Wepawet(world.client, world.resolver)
+
+
+def creative(world, kind, variant=0):
+    campaign = next(c for c in world.campaigns if c.kind == kind)
+    return render_creative(campaign, variant)
+
+
+class TestProfileMatrix:
+    def test_default_matrix_shape(self):
+        matrix = default_profile_matrix()
+        assert len(matrix) == 3
+        labels = [label for label, _, _ in matrix]
+        assert "vulnerable" in labels and "patched" in labels
+
+
+class TestDivergence:
+    def test_driveby_diverges_between_profiles(self, world, wepawet):
+        # A drive-by exploits the vulnerable profile but not the patched
+        # one: the behavioural diff is itself a detection signal.
+        report = analyze_across_profiles(wepawet, creative(world, CampaignKind.DRIVEBY))
+        assert report.environment_sensitive
+        assert "exploit_successes" in report.divergent_features() or \
+            "executable_downloads" in report.divergent_features()
+        vulnerable = report.run_by_label("vulnerable")
+        patched = report.run_by_label("patched")
+        assert vulnerable.report.features.exploit_successes > \
+            patched.report.features.exploit_successes
+
+    def test_benign_ad_is_stable_across_profiles(self, world, wepawet):
+        report = analyze_across_profiles(wepawet, creative(world, CampaignKind.BENIGN))
+        assert not report.environment_sensitive
+        assert not report.any_flagged
+
+    def test_scarecrow_aware_malware_diverges_on_tells(self):
+        # The environment-aware creative lives in the scarecrow module's
+        # isolated world; analyse it there.
+        from repro.countermeasures.scarecrow import _build_isolated_world
+
+        client = _build_isolated_world()
+        wepawet = Wepawet(client, client.resolver)
+        report = analyze_across_profiles(wepawet, environment_aware_driveby_html())
+        with_tells = report.run_by_label("vulnerable+tells")
+        plain = report.run_by_label("vulnerable")
+        assert plain.report.features.exploit_successes > 0
+        assert with_tells.report.features.exploit_successes == 0
+        assert report.environment_sensitive
+
+    def test_any_flagged_for_driveby(self, world, wepawet):
+        report = analyze_across_profiles(wepawet, creative(world, CampaignKind.DRIVEBY))
+        assert report.any_flagged
+
+    def test_render(self, world, wepawet):
+        report = analyze_across_profiles(wepawet, creative(world, CampaignKind.BENIGN))
+        text = report.render()
+        assert "multi-profile analysis" in text
+        assert "environment sensitive: False" in text
+
+    def test_run_by_label_missing(self, world, wepawet):
+        report = analyze_across_profiles(wepawet, creative(world, CampaignKind.BENIGN))
+        assert report.run_by_label("nonexistent") is None
+
+    def test_custom_matrix(self, world, wepawet):
+        from repro.browser.plugins import vulnerable_profile
+
+        report = analyze_across_profiles(
+            wepawet, creative(world, CampaignKind.BENIGN),
+            matrix=[("only", vulnerable_profile(), False)])
+        assert len(report.runs) == 1

@@ -1,0 +1,184 @@
+"""Tests for the oracle components: Wepawet, blacklists, VirusTotal, model."""
+
+import pytest
+
+from repro.adnet.creatives import render_creative
+from repro.adnet.entities import Advertiser, Campaign, CampaignKind
+from repro.datasets.world import Blacklist, WorldParams, build_world
+from repro.malware.samples import build_executable, build_flash
+from repro.oracles.blacklists import BlacklistTracker
+from repro.oracles.features import BehaviourFeatures
+from repro.oracles.model import AnomalyModel, pretrained_driveby_model, synthetic_training_set
+from repro.oracles.virustotal import VirusTotal
+from repro.oracles.wepawet import Wepawet
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=21, params=WorldParams(
+        n_top_sites=6, n_bottom_sites=6, n_other_sites=6, n_feed_sites=2))
+
+
+@pytest.fixture(scope="module")
+def wepawet(world):
+    return Wepawet(world.client, world.resolver)
+
+
+def campaign_of_kind(world, kind):
+    campaign = next((c for c in world.campaigns if c.kind == kind), None)
+    assert campaign is not None, f"world lacks a {kind} campaign"
+    return campaign
+
+
+class TestBlacklistTracker:
+    def make_tracker(self):
+        feeds = [
+            Blacklist(f"list-{i}", "malware", frozenset({"evil.com", "bad.net"} if i < 8
+                                                        else {"evil.com"}))
+            for i in range(10)
+        ]
+        return BlacklistTracker(feeds, threshold=5)
+
+    def test_counts(self):
+        tracker = self.make_tracker()
+        assert tracker.listing_count("evil.com") == 10
+        assert tracker.listing_count("bad.net") == 8
+        assert tracker.listing_count("good.org") == 0
+
+    def test_threshold_is_strictly_greater(self):
+        feeds = [Blacklist(f"l{i}", "malware", frozenset({"edge.com"})) for i in range(5)]
+        tracker = BlacklistTracker(feeds, threshold=5)
+        assert not tracker.is_flagged("edge.com")  # exactly 5 is not enough
+
+    def test_subdomain_rolls_up(self):
+        tracker = self.make_tracker()
+        assert tracker.is_flagged("cdn.evil.com")
+
+    def test_check_domains_dedups_by_registered_domain(self):
+        tracker = self.make_tracker()
+        hits = tracker.check_domains(["a.evil.com", "b.evil.com", "good.org"])
+        assert len(hits) == 1
+        assert hits[0].domain == "evil.com"
+        assert hits[0].n_lists == 10
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BlacklistTracker([], threshold=-1)
+
+
+class TestVirusTotal:
+    def test_engine_count(self):
+        assert len(VirusTotal(seed=1).engines) == 51
+
+    def test_known_family_detected_by_consensus(self):
+        vt = VirusTotal(seed=1)
+        report = vt.scan(build_executable("zeus-gameover", "s1"))
+        assert report.is_malicious(threshold=4)
+        assert report.positives > 10
+
+    def test_benign_file_clean(self):
+        vt = VirusTotal(seed=1)
+        report = vt.scan(build_executable("", "benign-installer"))
+        assert not report.is_malicious(threshold=4)
+
+    def test_weaponised_flash_detected(self):
+        vt = VirusTotal(seed=1)
+        report = vt.scan(build_flash("x", exploit_cve="CVE-2014-0515"))
+        assert report.is_malicious(threshold=4)
+
+    def test_benign_flash_clean(self):
+        vt = VirusTotal(seed=1)
+        assert not vt.scan(build_flash("banner")).is_malicious(threshold=4)
+
+    def test_scan_memoised(self):
+        vt = VirusTotal(seed=1)
+        data = build_executable("sality", "m")
+        assert vt.scan(data) is vt.scan(data)
+
+    def test_deterministic_across_instances(self):
+        data = build_executable("reveton", "d")
+        assert VirusTotal(seed=3).scan(data).positives == VirusTotal(seed=3).scan(data).positives
+
+    def test_engines_disagree(self):
+        vt = VirusTotal(seed=1)
+        report = vt.scan(build_executable("carberp", "s2"))
+        assert 0 < report.positives < report.n_engines
+
+
+class TestAnomalyModel:
+    def test_fit_and_separate(self):
+        benign, malicious = synthetic_training_set(seed=1)
+        model = AnomalyModel(threshold=0.0).fit(benign, malicious)
+        benign_scores = [model.score(v) for v in benign[:50]]
+        malicious_scores = [model.score(v) for v in malicious[:50]]
+        assert sum(s > 0 for s in malicious_scores) > 45
+        assert sum(s <= 0 for s in benign_scores) > 45
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AnomalyModel().score([0.0])
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyModel().fit([], [[1.0]])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyModel().fit([[1.0], [1.0, 2.0]], [[1.0]])
+
+    def test_pretrained_flags_driveby_like_features(self):
+        model = pretrained_driveby_model()
+        f = BehaviourFeatures(eval_calls=2, eval_source_chars=600, plugin_probes=2,
+                              hidden_plugin_objects=1, flash_downloads=1,
+                              distinct_domains=4)
+        assert model.predict(f)
+
+    def test_pretrained_passes_banner_features(self):
+        model = pretrained_driveby_model()
+        f = BehaviourFeatures(document_writes=1, redirect_hops=1, distinct_domains=2)
+        assert not model.predict(f)
+
+
+class TestWepawet:
+    def analyze_kind(self, world, wepawet, kind, variant=0):
+        campaign = campaign_of_kind(world, kind)
+        return wepawet.analyze_html(render_creative(campaign, variant))
+
+    def test_benign_ad_not_flagged(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.BENIGN)
+        assert not report.flagged
+
+    def test_cloak_redirect_flagged_as_suspicious_redirection(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.CLOAK_REDIRECT)
+        assert report.suspicious_redirection
+        assert "cross_frame_top_navigation" in report.redirection_reasons
+
+    def test_driveby_flagged_by_heuristics(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.DRIVEBY)
+        assert report.driveby_heuristic
+        assert "plugin_exploited" in report.heuristic_reasons
+        assert any(d.initiated_by == "exploit" for d in report.downloads)
+
+    def test_deceptive_download_captured_via_click(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.DECEPTIVE)
+        assert any(d.is_executable for d in report.downloads)
+
+    def test_flash_malware_downloads_flash_without_heuristic(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.FLASH_MALWARE)
+        assert any(d.is_flash for d in report.downloads)
+        assert not report.driveby_heuristic  # CVE not in the emulated profile
+
+    def test_evasive_caught_by_model_only(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.EVASIVE)
+        assert report.model_detection
+        assert not report.driveby_heuristic
+        assert not report.suspicious_redirection
+
+    def test_contacted_domains_exclude_sandbox(self, world, wepawet):
+        report = self.analyze_kind(world, wepawet, CampaignKind.BENIGN)
+        assert all("wepawet-internal" not in d for d in report.contacted_domains)
+
+    def test_scam_ad_contacts_blacklisted_infrastructure(self, world, wepawet):
+        campaign = campaign_of_kind(world, CampaignKind.SCAM)
+        report = wepawet.analyze_html(render_creative(campaign, 0))
+        assert campaign.landing_domain in report.contacted_domains

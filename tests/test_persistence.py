@@ -1,0 +1,111 @@
+"""Tests for corpus/verdict persistence and the study report."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    load_corpus,
+    load_verdicts,
+    record_to_dict,
+    save_corpus,
+    save_verdicts,
+    verdicts_to_dicts,
+)
+from repro.core.report import build_report
+from repro.core.study import StudyConfig, run_study
+from repro.datasets.world import WorldParams
+
+
+@pytest.fixture(scope="module")
+def results():
+    params = WorldParams(n_top_sites=8, n_bottom_sites=8, n_other_sites=8,
+                         n_feed_sites=3)
+    return run_study(StudyConfig(seed=44, days=2, refreshes_per_visit=2,
+                                 world_params=params))
+
+
+class TestCorpusPersistence:
+    def test_round_trip_preserves_everything(self, results, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        written = save_corpus(results.corpus, path)
+        assert written == results.corpus.unique_ads
+        loaded = load_corpus(path)
+        assert loaded.unique_ads == results.corpus.unique_ads
+        assert loaded.total_impressions == results.corpus.total_impressions
+        original = results.corpus.records()[0]
+        reloaded = loaded.records()[0]
+        assert reloaded.content_hash == original.content_hash
+        assert reloaded.html == original.html
+        assert reloaded.impressions[0] == original.impressions[0]
+
+    def test_concatenated_sessions_merge(self, results, tmp_path):
+        a = tmp_path / "a.jsonl"
+        save_corpus(results.corpus, a)
+        merged_text = a.read_text() + a.read_text()  # two identical sessions
+        b = tmp_path / "merged.jsonl"
+        b.write_text(merged_text)
+        merged = load_corpus(b)
+        assert merged.unique_ads == results.corpus.unique_ads
+        assert merged.total_impressions == 2 * results.corpus.total_impressions
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"version": 99, "impressions": []}) + "\n")
+        with pytest.raises(ValueError):
+            load_corpus(path)
+
+    def test_blank_lines_skipped(self, results, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(results.corpus, path)
+        path.write_text("\n" + path.read_text() + "\n\n")
+        assert load_corpus(path).unique_ads == results.corpus.unique_ads
+
+    def test_record_dict_shape(self, results):
+        data = record_to_dict(results.corpus.records()[0])
+        assert {"ad_id", "content_hash", "html", "impressions"} <= set(data)
+
+
+class TestVerdictPersistence:
+    def test_round_trip(self, results, tmp_path):
+        path = tmp_path / "verdicts.json"
+        written = save_verdicts(results, path)
+        loaded = load_verdicts(path)
+        assert written == len(loaded) == results.corpus.unique_ads
+
+    def test_incident_counts_preserved(self, results, tmp_path):
+        path = tmp_path / "verdicts.json"
+        save_verdicts(results, path)
+        loaded = load_verdicts(path)
+        assert sum(v["is_malicious"] for v in loaded) == results.n_incidents
+
+    def test_dict_fields(self, results):
+        rows = verdicts_to_dicts(results)
+        row = rows[0]
+        assert {"ad_id", "incident_type", "is_malicious", "model_score",
+                "serving_domains"} <= set(row)
+
+    def test_non_array_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            load_verdicts(path)
+
+
+class TestReport:
+    def test_report_builds(self, results):
+        report = build_report(results)
+        assert report.corpus_unique_ads == results.corpus.unique_ads
+        assert report.table1.total_incidents == results.n_incidents
+
+    def test_render_contains_all_sections(self, results):
+        text = build_report(results).render()
+        for marker in ("Type of maliciousness", "Figure 1", "Figure 2",
+                       "cluster", "Figure 3", "Figure 4", "Figure 5",
+                       "Sandbox audit"):
+            assert marker in text
+
+    def test_markdown_wrapper(self, results):
+        markdown = build_report(results).render_markdown()
+        assert markdown.startswith("# Malvertising study report")
+        assert "```" in markdown

@@ -1,0 +1,126 @@
+"""Tests for the redirect-chain baseline detector."""
+
+import pytest
+
+from repro.core.study import StudyConfig, run_study
+from repro.crawler.corpus import AdRecord, Impression
+from repro.datasets.world import WorldParams
+from repro.oracles.redirect_baseline import (
+    ChainFeatures,
+    RedirectChainBaseline,
+    compare_to_oracle,
+    extract_chain_features,
+)
+
+
+def make_record(chains, ad_id="ad-000001"):
+    record = AdRecord(ad_id=ad_id, content_hash="h", html="<html></html>",
+                      first_seen_url="http://a.com/")
+    for i, chain in enumerate(chains):
+        record.impressions.append(Impression(
+            site_domain="site.com", page_url="http://www.site.com/", day=0,
+            refresh=i, slot_id="ad-slot-0",
+            request_url=f"http://{chain[0]}/adserve?imp={i}",
+            final_url=f"http://{chain[-1]}/adserve?imp={i}",
+            chain_urls=tuple(f"http://{d}/adserve?imp={i}" for d in chain),
+            chain_domains=tuple(chain),
+        ))
+    return record
+
+
+class TestFeatureExtraction:
+    def test_empty_chain(self):
+        features = extract_chain_features([])
+        assert features.max_chain_length == 0.0
+        assert features.n_distinct_domains == 0.0
+
+    def test_chain_length(self):
+        features = extract_chain_features(["a.com", "b.com", "c.com"])
+        assert features.max_chain_length == 3.0
+        assert features.n_distinct_domains == 3.0
+
+    def test_repeat_ratio(self):
+        features = extract_chain_features(["a.com", "b.com", "a.com"])
+        assert features.repeat_domain_ratio == pytest.approx(1 / 3)
+        assert features.n_distinct_domains == 2.0
+
+    def test_rare_tld_ratio(self):
+        features = extract_chain_features(["a.biz", "b.com"])
+        assert features.rare_tld_ratio == pytest.approx(0.5)
+
+    def test_cross_domain_ratio(self):
+        features = extract_chain_features(["a.com", "b.com", "b.com"])
+        assert features.cross_domain_ratio == pytest.approx(1 / 3)
+
+    def test_vector_order_matches_names(self):
+        assert len(ChainFeatures().to_vector()) == len(ChainFeatures.names())
+
+
+class TestTraining:
+    def synthetic_data(self):
+        benign = [make_record([["big-ads.com"]], f"ad-b{i:05d}") for i in range(40)]
+        malicious = [
+            make_record([[f"shady{j}.biz" for j in range(8 + i % 5)]], f"ad-m{i:05d}")
+            for i in range(10)
+        ]
+        records = benign + malicious
+        labels = [False] * 40 + [True] * 10
+        return records, labels
+
+    def test_learns_separation(self):
+        records, labels = self.synthetic_data()
+        baseline = RedirectChainBaseline().fit_records(records, labels)
+        predictions = [baseline.predict(r) for r in records]
+        accuracy = sum(p == l for p, l in zip(predictions, labels)) / len(labels)
+        assert accuracy > 0.9
+
+    def test_scores_are_probabilities(self):
+        records, labels = self.synthetic_data()
+        baseline = RedirectChainBaseline().fit_records(records, labels)
+        assert all(0.0 <= baseline.score_chain(r.impressions[0].chain_domains) <= 1.0
+                   for r in records)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RedirectChainBaseline().score_chain(["a.com"])
+
+    def test_one_class_rejected(self):
+        with pytest.raises(ValueError):
+            RedirectChainBaseline().fit([[1.0]], [True])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RedirectChainBaseline().fit([[1.0]], [True, False])
+
+    def test_deterministic(self):
+        records, labels = self.synthetic_data()
+        a = RedirectChainBaseline().fit_records(records, labels)
+        b = RedirectChainBaseline().fit_records(records, labels)
+        chain = records[0].impressions[0].chain_domains
+        assert a.score_chain(chain) == b.score_chain(chain)
+
+
+class TestAgainstOracle:
+    @pytest.fixture(scope="class")
+    def results(self):
+        params = WorldParams(n_top_sites=14, n_bottom_sites=14, n_other_sites=14,
+                             n_feed_sites=5)
+        return run_study(StudyConfig(seed=88, days=3, refreshes_per_visit=3,
+                                     world_params=params))
+
+    def test_baseline_weaker_than_oracle(self, results):
+        records = results.corpus.records()
+        labels = [results.verdicts[r.ad_id].is_malicious for r in records]
+        baseline = RedirectChainBaseline().fit_records(records, labels)
+        comparison = compare_to_oracle(results, baseline)
+        # Traffic shape alone catches a good chunk...
+        assert comparison.baseline_recall > 0.3
+        # ...but misses content-identified threats the oracle confirms.
+        assert comparison.baseline_recall < 1.0
+        assert comparison.oracle_incidents > 0
+
+    def test_render(self, results):
+        records = results.corpus.records()
+        labels = [results.verdicts[r.ad_id].is_malicious for r in records]
+        baseline = RedirectChainBaseline().fit_records(records, labels)
+        assert "recall" in compare_to_oracle(results, baseline).render()

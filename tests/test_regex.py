@@ -1,0 +1,221 @@
+"""Tests for the from-scratch regex engine and its AdScript bindings."""
+
+import re as python_re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adscript.interpreter import Interpreter
+from repro.adscript.regex import (
+    Regex,
+    RegexBudgetError,
+    RegexSyntaxError,
+    compile_pattern,
+)
+
+
+def run(source):
+    return Interpreter().run(source)
+
+
+class TestBasicMatching:
+    def test_literal(self):
+        assert compile_pattern("abc").test("xxabcxx")
+        assert not compile_pattern("abc").test("ab c")
+
+    def test_dot(self):
+        assert compile_pattern("a.c").test("abc")
+        assert not compile_pattern("a.c").test("a\nc")  # '.' excludes newline
+
+    def test_anchors(self):
+        assert compile_pattern("^abc$").test("abc")
+        assert not compile_pattern("^abc$").test("xabc")
+        assert not compile_pattern("^abc$").test("abcx")
+
+    def test_escape_classes(self):
+        assert compile_pattern(r"\d+").search("abc123").matched == "123"
+        assert compile_pattern(r"\w+").search("!!hi_there!!").matched == "hi_there"
+        assert compile_pattern(r"\s").test("a b")
+        assert compile_pattern(r"\D+").search("12ab34").matched == "ab"
+
+    def test_escaped_metachars(self):
+        assert compile_pattern(r"\.").test("a.b")
+        assert not compile_pattern(r"\.").test("ab")
+        assert compile_pattern(r"\$\{x\}").test("${x}")
+
+    def test_char_class(self):
+        assert compile_pattern("[abc]+").search("zzabccbazz").matched == "abccba"
+        assert compile_pattern("[a-f0-9]+").search("xxdeadbeef99xx").matched == "deadbeef99"
+        assert compile_pattern("[^0-9]+").search("12ab34").matched == "ab"
+
+    def test_class_with_literal_dash(self):
+        assert compile_pattern("[a-]+").search("a-b").matched == "a-"
+
+    def test_quantifiers(self):
+        assert compile_pattern("ab*c").test("ac")
+        assert compile_pattern("ab*c").test("abbbc")
+        assert not compile_pattern("ab+c").test("ac")
+        assert compile_pattern("ab?c").test("abc")
+
+    def test_bounded_quantifiers(self):
+        assert compile_pattern("a{3}").test("aaa")
+        assert not compile_pattern("^a{3}$").test("aa")
+        assert compile_pattern("^a{2,3}$").test("aaa")
+        assert not compile_pattern("^a{2,3}$").test("aaaa")
+        assert compile_pattern("^a{2,}$").test("aaaaa")
+
+    def test_literal_brace_not_quantifier(self):
+        assert compile_pattern("a{x}").test("a{x}")
+
+    def test_lazy_quantifier(self):
+        match = compile_pattern("<.+?>").search("<a><b>")
+        assert match.matched == "<a>"
+
+    def test_greedy_default(self):
+        match = compile_pattern("<.+>").search("<a><b>")
+        assert match.matched == "<a><b>"
+
+    def test_alternation(self):
+        regex = compile_pattern("cat|dog|bird")
+        assert regex.search("hotdog!").matched == "dog"
+
+    def test_groups_capture(self):
+        match = compile_pattern(r"(\w+)@(\w+)\.com").search("mail me: bob@corp.com")
+        assert match.group(1) == "bob"
+        assert match.group(2) == "corp"
+        assert match.group(0) == "bob@corp.com"
+
+    def test_non_capturing_group(self):
+        regex = compile_pattern(r"(?:ab)+(c)")
+        match = regex.search("ababc")
+        assert regex.n_groups == 1
+        assert match.group(1) == "c"
+
+    def test_ignore_case_flag(self):
+        assert compile_pattern("firefox", "i").test("Mozilla FIREFOX")
+        assert compile_pattern("[a-z]+", "i").search("HELLO").matched == "HELLO"
+
+    def test_find_all(self):
+        matches = compile_pattern(r"\d+", "g").find_all("a1b22c333")
+        assert [m.matched for m in matches] == ["1", "22", "333"]
+
+    def test_replace_first_vs_global(self):
+        assert compile_pattern("a").replace("aaa", "b") == "baa"
+        assert compile_pattern("a", "g").replace("aaa", "b") == "bbb"
+
+    def test_replace_group_references(self):
+        regex = compile_pattern(r"(\w+)=(\w+)", "g")
+        assert regex.replace("a=1&b=2", "$2:$1") == "1:a&2:b"
+
+    def test_replace_dollar_amp(self):
+        assert compile_pattern("ad", "g").replace("bad ads", "[$&]") == "b[ad] [ad]s"
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("(abc")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("[abc")
+
+    def test_nothing_to_repeat(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("*a")
+
+    def test_bad_flags(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("a", "z")
+
+    def test_bad_range(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("[z-a]")
+
+    def test_catastrophic_pattern_fails_fast(self):
+        # The matcher follows one position chain per repetition instead of
+        # re-exploring per iteration, so the classic ReDoS pattern is
+        # linear here: it must terminate (with no match) near-instantly.
+        evil = compile_pattern("(a+)+$")
+        assert evil.search("a" * 200 + "b") is None
+
+    def test_budget_guard_trips_when_exhausted(self, monkeypatch):
+        import repro.adscript.regex as regex_module
+
+        monkeypatch.setattr(regex_module, "_MAX_BACKTRACK_STEPS", 10)
+        with pytest.raises(RegexBudgetError):
+            compile_pattern("(a|b)+(c|d)+x").search("ababcdcd" * 5)
+
+
+class TestAgainstPythonRe:
+    SAFE_PATTERNS = (
+        r"\d+", r"[a-z]+", r"foo|bar", r"a.c", r"^x", r"y$", r"ab{2,3}c",
+        r"(\w+)-(\w+)", r"[^aeiou]+", r"z?q+",
+    )
+
+    @given(st.sampled_from(SAFE_PATTERNS),
+           st.text(alphabet="abcxyz0123- qfo", max_size=25))
+    @settings(max_examples=300)
+    def test_search_agrees_with_python(self, pattern, text):
+        ours = compile_pattern(pattern).search(text)
+        theirs = python_re.search(pattern, text)
+        assert (ours is None) == (theirs is None)
+        if ours is not None:
+            assert ours.matched == theirs.group(0)
+
+
+class TestAdScriptBindings:
+    def test_regexp_test(self):
+        assert run("new RegExp('^https?:').test('http://x.com');") is True
+        assert run("new RegExp('^https?:').test('ftp://x.com');") is False
+
+    def test_regexp_exec_groups(self):
+        source = """
+        var m = new RegExp('v=(\\\\d+)').exec('player?v=42&x=1');
+        m[1];
+        """
+        assert run(source) == "42"
+
+    def test_exec_no_match_is_null(self):
+        assert run("new RegExp('zz').exec('abc') === null;") is True
+
+    def test_string_match_global(self):
+        assert run("'a1b2c3'.match(new RegExp('[0-9]', 'g')).join('');") == "123"
+
+    def test_string_match_non_global_groups(self):
+        assert run("'ua: Firefox/24'.match(new RegExp('Firefox/(\\\\d+)'))[1];") == "24"
+
+    def test_string_search(self):
+        assert run("'hello world'.search(new RegExp('world'));") == 6.0
+        assert run("'hello'.search(new RegExp('zzz'));") == -1.0
+
+    def test_string_replace_with_regexp(self):
+        assert run("'a-b-c'.replace(new RegExp('-', 'g'), '+');") == "a+b+c"
+
+    def test_replace_keeps_plain_string_behaviour(self):
+        assert run("'aaa'.replace('a', 'b');") == "baa"
+
+    def test_ua_sniffing_idiom(self):
+        source = """
+        var ua = navigator ? 'x' : 'y';
+        var version = 'Mozilla/5.0 Firefox/24.0'.match(
+            new RegExp('Firefox/(\\\\d+)'));
+        version ? parseInt(version[1]) : 0;
+        """
+        # navigator is undefined in a bare interpreter: typeof guard instead.
+        source = source.replace("navigator ? 'x' : 'y'",
+                                "typeof navigator")
+        assert run(source) == 24.0
+
+    def test_invalid_pattern_catchable(self):
+        source = """
+        var r = 'no';
+        try { new RegExp('(open'); } catch (e) { r = 'caught'; }
+        r;
+        """
+        assert run(source) == "caught"
+
+    def test_regexp_properties(self):
+        assert run("new RegExp('x', 'gi').global;") is True
+        assert run("new RegExp('x', 'gi').ignoreCase;") is True
+        assert run("new RegExp('abc').source;") == "abc"

@@ -1,0 +1,143 @@
+"""Robustness property tests: hostile inputs must never crash the stack.
+
+The crawler eats whatever the web serves.  These tests feed arbitrary and
+adversarial byte soup to the HTML parser, the AdScript engine (via the
+browser's error containment), the URL parser, and the honeyclient, and
+assert graceful behaviour throughout.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adscript.errors import AdScriptError
+from repro.adscript.interpreter import Interpreter
+from repro.adscript.lexer import tokenize
+from repro.browser.browser import Browser
+from repro.web.dns import DnsResolver
+from repro.web.html import parse_html
+from repro.web.http import HttpClient, HttpResponse, WebServer
+from repro.web.url import UrlError, parse_url
+
+
+class TestHtmlParserNeverCrashes:
+    @given(st.text(max_size=300))
+    @settings(max_examples=200)
+    def test_arbitrary_text(self, markup):
+        document = parse_html(markup)
+        document.to_html()  # serialization must not crash either
+
+    @given(st.text(alphabet="<>/=\"' abci", max_size=120))
+    @settings(max_examples=300)
+    def test_tag_soup(self, markup):
+        parse_html(markup)
+
+    def test_pathological_nesting(self):
+        markup = "<div>" * 500 + "deep" + "</div>" * 500
+        document = parse_html(markup)
+        assert "deep" in document.text_content()
+
+    def test_null_bytes(self):
+        parse_html("<p>\x00null\x00</p>")
+
+    def test_huge_attribute(self):
+        parse_html(f'<div data-x="{"a" * 50_000}">x</div>')
+
+
+class TestUrlParserTotality:
+    @given(st.text(max_size=100))
+    @settings(max_examples=300)
+    def test_parse_raises_only_urlerror(self, raw):
+        try:
+            url = parse_url(raw)
+        except UrlError:
+            return
+        # Valid parses must round-trip through str() and reparse.
+        assert parse_url(str(url)) is not None
+
+    @given(st.text(max_size=60), st.text(max_size=60))
+    @settings(max_examples=200)
+    def test_resolve_raises_only_urlerror(self, base_path, reference):
+        base = parse_url("http://a.com/" + base_path.replace(" ", ""))\
+            if " " not in base_path and "\\" not in base_path and "/" != base_path\
+            else parse_url("http://a.com/")
+        try:
+            base.resolve(reference)
+        except UrlError:
+            pass
+
+
+class TestInterpreterContainment:
+    @given(st.text(max_size=80))
+    @settings(max_examples=200)
+    def test_arbitrary_source_raises_only_adscript_errors(self, source):
+        interpreter = Interpreter(step_budget=20_000)
+        try:
+            interpreter.run(source)
+        except AdScriptError:
+            pass
+        except Exception as exc:  # pragma: no cover - the assertion target
+            # ThrowSignal is an AdScript control signal, acceptable too.
+            from repro.adscript.errors import ThrowSignal
+
+            assert isinstance(exc, (ThrowSignal, RecursionError)), exc
+
+    @given(st.text(alphabet="(){};.+-*/=var if'x1 ", max_size=60))
+    @settings(max_examples=200)
+    def test_js_like_soup(self, source):
+        interpreter = Interpreter(step_budget=20_000)
+        try:
+            interpreter.run(source)
+        except AdScriptError:
+            pass
+        except Exception as exc:
+            from repro.adscript.errors import ThrowSignal
+
+            assert isinstance(exc, (ThrowSignal, RecursionError)), exc
+
+    def test_deep_recursion_bounded(self):
+        interpreter = Interpreter(step_budget=2_000_000)
+        source = "function f(n) { return f(n + 1); } f(0);"
+        with pytest.raises((AdScriptError, RecursionError)):
+            interpreter.run(source)
+
+
+class TestBrowserContainment:
+    @pytest.fixture
+    def loader(self):
+        resolver = DnsResolver()
+        resolver.register("host.com")
+        client = HttpClient(resolver)
+        pages = {}
+        server = WebServer()
+        server.set_fallback(lambda req: pages.get(req.url.path,
+                                                  HttpResponse.not_found()))
+        client.mount("host.com", server)
+        browser = Browser(client, step_budget=20_000)
+
+        def load(markup):
+            pages["/"] = HttpResponse.html(markup)
+            return browser.load("http://host.com/")
+
+        return load
+
+    @given(st.text(alphabet="<>scriptvar()=;'\"/ ", max_size=150))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_arbitrary_pages_always_yield_a_load(self, loader, markup):
+        load = loader(markup)
+        assert load.ok  # page loaded; script errors are contained events
+
+    def test_script_throwing_host_errors(self, loader):
+        load = loader("<script>document.nonexistent.deeply.broken = 1;</script>"
+                      "<p>alive</p>")
+        assert load.ok
+        assert load.events.count("script_error") == 1
+
+    def test_self_referencing_document_write(self, loader):
+        # document.write that writes another script that writes again...
+        load = loader(
+            "<script>var depth = 0;"
+            "function w() { depth++; if (depth < 50) "
+            "document.write('<p>' + depth + '</p>'); }"
+            "w(); w(); w();</script>")
+        assert load.ok

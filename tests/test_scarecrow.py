@@ -1,0 +1,41 @@
+"""Tests for the SCARECROW countermeasure experiment."""
+
+from repro.browser.browser import Browser
+from repro.countermeasures.scarecrow import (
+    ScarecrowOutcome,
+    environment_aware_driveby_html,
+    run_scarecrow_experiment,
+)
+
+
+class TestScarecrowExperiment:
+    def test_plain_browser_gets_exploited(self):
+        outcome = run_scarecrow_experiment()
+        assert outcome.exploited_without_scarecrow
+        assert outcome.payload_dropped_without
+
+    def test_scarecrow_suppresses_exploit(self):
+        outcome = run_scarecrow_experiment()
+        assert not outcome.exploited_with_scarecrow
+        assert not outcome.payload_dropped_with
+
+    def test_defense_is_effective(self):
+        outcome = run_scarecrow_experiment()
+        assert outcome.effective
+        assert "protected browser exploited=False" in outcome.render()
+
+    def test_creative_probes_webdriver(self):
+        assert "navigator.webdriver" in environment_aware_driveby_html()
+
+    def test_outcome_dataclass(self):
+        ineffective = ScarecrowOutcome(False, False, False, False)
+        assert not ineffective.effective
+
+
+class TestAnalysisTellsDefault:
+    def test_browsers_hide_tells_by_default(self):
+        from repro.web.dns import DnsResolver
+        from repro.web.http import HttpClient
+
+        browser = Browser(HttpClient(DnsResolver()))
+        assert browser.exposes_analysis_tells is False

@@ -1,0 +1,33 @@
+"""Tests for identifier minting."""
+
+import pytest
+
+from repro.util.ids import IdMinter
+
+
+def test_sequential_ids():
+    minter = IdMinter("ad")
+    assert minter.mint() == "ad-000001"
+    assert minter.mint() == "ad-000002"
+
+
+def test_count_tracks_mints():
+    minter = IdMinter("x")
+    for _ in range(5):
+        minter.mint()
+    assert minter.count == 5
+
+
+def test_width_is_configurable():
+    assert IdMinter("p", width=3).mint() == "p-001"
+
+
+def test_empty_prefix_rejected():
+    with pytest.raises(ValueError):
+        IdMinter("")
+
+
+def test_ids_are_unique():
+    minter = IdMinter("u")
+    ids = {minter.mint() for _ in range(1000)}
+    assert len(ids) == 1000

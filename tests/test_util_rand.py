@@ -1,0 +1,86 @@
+"""Tests for deterministic randomness helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rand import fork, fork_seed, rng, weighted_choice, zipf_weights
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = rng(7)
+        b = rng(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seed_different_stream(self):
+        assert rng(1).random() != rng(2).random()
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        assert fork(42, "crawler").random() == fork(42, "crawler").random()
+
+    def test_fork_labels_independent(self):
+        assert fork(42, "a").random() != fork(42, "b").random()
+
+    def test_fork_seed_matches_fork(self):
+        import random
+
+        assert fork(9, "x").random() == random.Random(fork_seed(9, "x")).random()
+
+    def test_fork_differs_across_parent_seeds(self):
+        assert fork(1, "x").random() != fork(2, "x").random()
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        assert weighted_choice(rng(0), ["only"], [1.0]) == "only"
+
+    def test_zero_weight_never_chosen(self):
+        r = rng(3)
+        picks = {weighted_choice(r, ["a", "b"], [0.0, 1.0]) for _ in range(100)}
+        assert picks == {"b"}
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_choice(rng(0), ["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_choice(rng(0), [], [])
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            weighted_choice(rng(0), ["a"], [0.0])
+
+    def test_distribution_roughly_matches_weights(self):
+        r = rng(11)
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[weighted_choice(r, ["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.3 < ratio < 3.9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=2**32))
+    def test_choice_always_in_items(self, weights, seed):
+        items = list(range(len(weights)))
+        assert weighted_choice(rng(seed), items, weights) in items
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_first_weight_is_one(self):
+        assert zipf_weights(5)[0] == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -1.0)

@@ -1,0 +1,76 @@
+"""Tests for the simulated DNS resolver."""
+
+import pytest
+
+from repro.web.dns import DnsResolver, NxDomainError
+
+
+@pytest.fixture
+def resolver():
+    r = DnsResolver()
+    r.register("example.com")
+    r.register("evil.net")
+    return r
+
+
+class TestResolution:
+    def test_resolves_registered(self, resolver):
+        record = resolver.resolve("example.com")
+        assert record.name == "example.com"
+        assert record.address.startswith("10.")
+
+    def test_subdomains_resolve_implicitly(self, resolver):
+        assert resolver.resolve("ads.example.com").name == "example.com"
+
+    def test_deep_subdomain(self, resolver):
+        assert resolver.resolve("a.b.c.example.com").name == "example.com"
+
+    def test_nxdomain(self, resolver):
+        with pytest.raises(NxDomainError):
+            resolver.resolve("missing.org")
+
+    def test_queries_are_recorded(self, resolver):
+        resolver.resolve("example.com")
+        with pytest.raises(NxDomainError):
+            resolver.resolve("gone.org")
+        assert resolver.queries == ["example.com", "gone.org"]
+
+    def test_exists_does_not_record(self, resolver):
+        assert resolver.exists("example.com")
+        assert not resolver.exists("gone.org")
+        assert resolver.queries == []
+
+    def test_addresses_unique(self, resolver):
+        a = resolver.resolve("example.com").address
+        b = resolver.resolve("evil.net").address
+        assert a != b
+
+    def test_register_idempotent(self, resolver):
+        first = resolver.register("example.com")
+        second = resolver.register("example.com")
+        assert first is second
+
+    def test_register_rejects_bare_label(self, resolver):
+        with pytest.raises(ValueError):
+            resolver.register("localhost")
+
+    def test_case_insensitive(self, resolver):
+        assert resolver.resolve("EXAMPLE.COM").name == "example.com"
+
+
+class TestLifecycle:
+    def test_deregister_makes_nxdomain(self, resolver):
+        resolver.deregister("evil.net")
+        with pytest.raises(NxDomainError):
+            resolver.resolve("evil.net")
+
+    def test_sinkhole_flags_record(self, resolver):
+        resolver.sinkhole("evil.net")
+        assert resolver.resolve("evil.net").sinkholed
+
+    def test_sinkhole_unknown_raises(self, resolver):
+        with pytest.raises(NxDomainError):
+            resolver.sinkhole("nope.org")
+
+    def test_registered_names_sorted(self, resolver):
+        assert resolver.registered_names() == ["evil.net", "example.com"]

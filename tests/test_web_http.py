@@ -1,0 +1,153 @@
+"""Tests for the simulated HTTP layer."""
+
+import pytest
+
+from repro.web.dns import DnsResolver, NxDomainError
+from repro.web.http import (
+    ConnectionFailed,
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    RedirectLoopError,
+    WebServer,
+)
+from repro.web.url import parse_url
+
+
+@pytest.fixture
+def client():
+    resolver = DnsResolver()
+    resolver.register("site.com")
+    resolver.register("other.net")
+    resolver.register("dead.org")
+    client = HttpClient(resolver)
+
+    site = WebServer()
+    site.route("/", lambda req: HttpResponse.html("<html><body>home</body></html>"))
+    site.route("/go", lambda req: HttpResponse.redirect("http://other.net/land"))
+    site.route("/rel", lambda req: HttpResponse.redirect("/"))
+    site.route("/loop", lambda req: HttpResponse.redirect("/loop"))
+    site.route("/tonx", lambda req: HttpResponse.redirect("http://gone.example/x"))
+    site.route("/bin", lambda req: HttpResponse.binary(b"\x7fELF", "application/octet-stream"))
+    site.route("/pre/*", lambda req: HttpResponse.html(f"prefix:{req.url.path}"))
+    client.mount("site.com", site)
+
+    other = WebServer()
+    other.route("/land", lambda req: HttpResponse.html("landed"))
+    client.mount("other.net", other)
+    return client
+
+
+class TestFetch:
+    def test_basic_fetch(self, client):
+        response, chain = client.fetch("http://site.com/")
+        assert response.ok
+        assert "home" in response.text()
+        assert len(chain) == 1
+
+    def test_404_for_unknown_path(self, client):
+        response, _ = client.fetch("http://site.com/missing")
+        assert response.status == 404
+
+    def test_prefix_route(self, client):
+        response, _ = client.fetch("http://site.com/pre/deep/path")
+        assert response.text() == "prefix:/pre/deep/path"
+
+    def test_nxdomain_first_hop_raises(self, client):
+        with pytest.raises(NxDomainError):
+            client.fetch("http://missing.example/")
+
+    def test_no_server_raises_connection_failed(self, client):
+        with pytest.raises(ConnectionFailed):
+            client.fetch("http://dead.org/")
+
+    def test_binary_response(self, client):
+        response, _ = client.fetch("http://site.com/bin")
+        assert response.body == b"\x7fELF"
+        assert response.content_type == "application/octet-stream"
+
+    def test_response_url_recorded(self, client):
+        response, _ = client.fetch("http://site.com/")
+        assert str(response.url) == "http://site.com/"
+
+
+class TestRedirects:
+    def test_cross_site_redirect_followed(self, client):
+        response, chain = client.fetch("http://site.com/go")
+        assert response.text() == "landed"
+        assert len(chain) == 2
+        assert chain[0].response.status == 302
+        assert str(chain[1].request.url) == "http://other.net/land"
+
+    def test_relative_redirect(self, client):
+        response, chain = client.fetch("http://site.com/rel")
+        assert "home" in response.text()
+        assert len(chain) == 2
+
+    def test_redirect_not_followed_when_disabled(self, client):
+        response, chain = client.fetch("http://site.com/go", follow_redirects=False)
+        assert response.status == 302
+        assert len(chain) == 1
+
+    def test_redirect_loop_raises(self, client):
+        with pytest.raises(RedirectLoopError):
+            client.fetch("http://site.com/loop")
+
+    def test_redirect_to_nxdomain_yields_synthetic_502(self, client):
+        response, chain = client.fetch("http://site.com/tonx")
+        assert response.status == 502
+        assert response.headers.get("x-failure") == "nxdomain"
+        assert len(chain) == 2
+
+    def test_referer_propagates_across_hops(self, client):
+        _, chain = client.fetch("http://site.com/go")
+        assert chain[1].request.referer is not None
+        assert chain[1].request.referer.host == "site.com"
+
+
+class TestObservers:
+    def test_observer_sees_all_exchanges(self, client):
+        seen = []
+        client.add_observer(seen.append)
+        client.fetch("http://site.com/go")
+        assert len(seen) == 2
+        assert seen[0].response.status == 302
+
+    def test_removed_observer_not_called(self, client):
+        seen = []
+        client.add_observer(seen.append)
+        client.remove_observer(seen.append)
+        client.fetch("http://site.com/")
+        assert seen == []
+
+
+class TestSinkhole:
+    def test_sinkholed_domain_serves_451(self, client):
+        client.resolver.sinkhole("other.net")
+        response, _ = client.fetch("http://other.net/land")
+        assert response.status == 451
+        assert response.headers.get("x-sinkhole") == "1"
+
+
+class TestHttpResponse:
+    def test_reason_strings(self):
+        assert HttpResponse(200).reason == "OK"
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(599).reason == "Unknown"
+
+    def test_redirect_factory_validates_status(self):
+        with pytest.raises(ValueError):
+            HttpResponse.redirect("/x", status=200)
+
+    def test_html_factory_sets_content_type(self):
+        response = HttpResponse.html("<p>x</p>")
+        assert response.content_type.startswith("text/html")
+
+    def test_is_redirect_requires_location(self):
+        assert not HttpResponse(302).is_redirect
+        assert HttpResponse(302, {"location": "/x"}).is_redirect
+
+    def test_request_header_lookup(self):
+        request = HttpRequest(parse_url("http://a.com/"), headers={"accept": "text/html"})
+        assert request.header("Accept") == "text/html"
+        assert request.header("missing", "d") == "d"
