@@ -27,14 +27,18 @@ from repro.core.incidents import IncidentType
 from repro.core.results import StudyResults
 from repro.core.study import Study, StudyConfig, run_study
 from repro.datasets.world import World, WorldParams, build_world
+from repro.service import ScanService, ServiceConfig, VerdictCache
 
 __version__ = "1.0.0"
 
 __all__ = [
     "IncidentType",
+    "ScanService",
+    "ServiceConfig",
     "Study",
     "StudyConfig",
     "StudyResults",
+    "VerdictCache",
     "World",
     "WorldParams",
     "analyze_arbitration",

@@ -174,6 +174,18 @@ class Ecosystem:
         self._imp_counter += 1
         return f"imp{self._imp_counter:08d}"
 
+    def seed_request_counter(self, value: int) -> None:
+        """Pin the per-request counter that cloaking rotation draws from.
+
+        Cloaking redirectors rotate per request (see
+        :meth:`_serve_cloaking_redirect`), which makes a scan's outcome
+        depend on how much traffic preceded it.  The scanning service pins
+        the counter to a value derived from the creative being scanned, so
+        a verdict is a pure function of (seed, creative) regardless of scan
+        order or worker count.
+        """
+        self._imp_counter = int(value)
+
     # -- ad network servers ---------------------------------------------------------
 
     def _network_server(self, network: AdNetwork) -> WebServer:

@@ -6,7 +6,9 @@ Subcommands:
 * ``repro-study figures``     — alias printing only the tables/figures;
 * ``repro-study countermeasures`` — the §5 defences side by side;
 * ``repro-study clickfraud``  — the intro's click-fraud workload + detectors;
-* ``repro-study scarecrow``   — the SCARECROW defence experiment.
+* ``repro-study scarecrow``   — the SCARECROW defence experiment;
+* ``repro-study serve``       — replay or stream a corpus through the
+  online scanning service and print a throughput/cache report.
 
 Every subcommand accepts ``--seed`` and the scale flags; all runs are
 deterministic for a given seed.
@@ -142,11 +144,101 @@ def _cmd_scarecrow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.persistence import load_corpus
+    from repro.core.study import Study
+    from repro.crawler.schedule import CrawlSchedule
+    from repro.service import ScanService, ServiceConfig, VerdictCache, stream_crawl
+
+    config = _config_from(args)
+    service_config = ServiceConfig(
+        seed=args.seed,
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        batch_max_size=args.batch_size,
+        batch_max_delay=args.batch_delay,
+        cache_capacity=args.cache_capacity,
+        world_params=config.world_params,
+    )
+    cache = None
+    if args.load_cache:
+        cache = VerdictCache.load(args.load_cache,
+                                  capacity=args.cache_capacity)
+        print(f"warmed cache with {len(cache)} verdicts from {args.load_cache}",
+              file=sys.stderr)
+
+    with ScanService(service_config, cache=cache) as service:
+        if args.corpus:
+            corpus = load_corpus(args.corpus)
+            print(f"loaded {corpus.unique_ads} unique ads "
+                  f"({corpus.total_impressions} impressions) from {args.corpus}")
+        else:
+            study = Study(config)
+            crawler = study.build_crawler()
+            schedule = CrawlSchedule([p.url for p in study.world.crawl_sites],
+                                     config.days, config.refreshes_per_visit)
+            if args.stream:
+                started = time.perf_counter()
+                corpus, _, tickets = stream_crawl(crawler, schedule, service)
+                service.drain()
+                elapsed = time.perf_counter() - started
+                malicious = sum(
+                    1 for t in tickets.values() if t.result().is_malicious)
+                print(f"streamed crawl: {corpus.unique_ads} unique ads "
+                      f"classified during the crawl in {elapsed:.2f}s "
+                      f"({malicious} malicious at first sight)")
+            else:
+                corpus, _ = crawler.crawl(schedule)
+                print(f"crawled {corpus.unique_ads} unique ads "
+                      f"({corpus.total_impressions} impressions)")
+
+        for replay in range(1, args.replays + 1):
+            started = time.perf_counter()
+            tickets = service.submit_corpus(corpus)
+            service.drain()
+            elapsed = time.perf_counter() - started
+            malicious = sum(1 for t in tickets if t.result().is_malicious)
+            hits = sum(1 for t in tickets if t.from_cache)
+            rate = corpus.unique_ads / elapsed if elapsed > 0 else float("inf")
+            print(f"replay {replay}: {corpus.unique_ads} ads in {elapsed:.2f}s "
+                  f"({rate:.0f} ads/s), {hits} cache hits, "
+                  f"{malicious} malicious")
+
+        stats = service.stats()
+        counters = stats["counters"]
+        latency = stats["histograms"].get("scan_latency", {})
+        batch = stats["histograms"].get("batch_size", {})
+        print("\n-- service report --")
+        print(f"workers:        {stats['pool']['workers']}")
+        print(f"submitted:      {counters.get('submitted', 0)}")
+        print(f"oracle scans:   {counters.get('scanned', 0)}")
+        print(f"cache hits:     {counters.get('cache_hits', 0)} "
+              f"(hit rate {stats['cache']['hit_rate']:.1%})")
+        print(f"coalesced:      {counters.get('coalesced', 0)}")
+        print(f"rejected:       {counters.get('rejected', 0)}")
+        print(f"batch size:     mean {batch.get('mean', 0.0):.1f} "
+              f"(max {batch.get('max', 0.0):.0f})")
+        print(f"scan latency:   p50 {latency.get('p50', 0.0) * 1000:.1f}ms, "
+              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms")
+        if args.save_cache:
+            n = service.cache.save(args.save_cache)
+            print(f"wrote {n} cached verdicts to {args.save_cache}",
+                  file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-study",
         description="Reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run the full pipeline and report")
@@ -173,6 +265,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     scarecrow = sub.add_parser("scarecrow", help="SCARECROW defence experiment")
     scarecrow.set_defaults(fn=_cmd_scarecrow)
+
+    serve = sub.add_parser(
+        "serve", help="run a corpus through the online scanning service")
+    _add_scale_args(serve)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="oracle worker threads")
+    serve.add_argument("--corpus", metavar="PATH",
+                       help="replay a saved corpus instead of crawling")
+    serve.add_argument("--stream", action="store_true",
+                       help="classify ads while the crawl is still running")
+    serve.add_argument("--replays", type=int, default=2,
+                       help="corpus replay passes (pass 2+ shows the warm cache)")
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--batch-delay", type=float, default=0.05,
+                       help="micro-batch deadline in seconds")
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument("--queue-policy", choices=("block", "reject"),
+                       default="block")
+    serve.add_argument("--cache-capacity", type=int, default=65536)
+    serve.add_argument("--load-cache", metavar="PATH",
+                       help="warm the verdict cache from a saved file")
+    serve.add_argument("--save-cache", metavar="PATH",
+                       help="persist the verdict cache on shutdown")
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

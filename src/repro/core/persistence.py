@@ -9,16 +9,46 @@ summary for downstream consumers.
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import json
 from pathlib import Path
 from typing import Iterable, Union
 
+from repro.core.oracle import AdVerdict
 from repro.core.results import StudyResults
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+
+def check_format_version(data: dict, what: str = "record") -> int:
+    """Validate a serialized record's ``version`` field.
+
+    Distinguishes the three failure modes so each gets a clear error
+    instead of a ``KeyError`` or a silent misparse:
+
+    * missing/non-integer version — corrupt or foreign file;
+    * version newer than :data:`FORMAT_VERSION` — written by a newer
+      build of this package, upgrade to read it;
+    * version older than supported — no longer readable.
+    """
+    version = data.get("version")
+    if not isinstance(version, int):
+        raise ValueError(
+            f"{what} has a missing or malformed format version "
+            f"({version!r}); not a file this package wrote?")
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"{what} uses format version {version}, but this build only "
+            f"supports up to {FORMAT_VERSION}; upgrade repro to read it")
+    if version < 1:
+        raise ValueError(
+            f"{what} uses retired format version {version}; "
+            f"re-export it with a current build")
+    return version
 
 
 def _impression_to_dict(impression: Impression) -> dict:
@@ -87,8 +117,7 @@ def load_corpus(path: PathLike) -> AdCorpus:
             if not line:
                 continue
             data = json.loads(line)
-            if data.get("version") != FORMAT_VERSION:
-                raise ValueError(f"unsupported corpus format: {data.get('version')!r}")
+            check_format_version(data, what="corpus record")
             impressions = [_impression_from_dict(i) for i in data["impressions"]]
             if not impressions:
                 continue
@@ -140,3 +169,113 @@ def load_verdicts(path: PathLike) -> list[dict]:
     if not isinstance(data, list):
         raise ValueError("verdict file must contain a JSON array")
     return data
+
+
+# -- full verdict round-trip -----------------------------------------------------
+#
+# The flat summary above is lossy by design (one row per ad for downstream
+# consumers).  The scanning service needs the opposite: a *complete*
+# serialization of an AdVerdict — Wepawet report, feature vector, raw
+# downloads, blacklist hits, VT reports — so its verdict cache survives
+# restarts and verdicts can be compared bit-for-bit across runs.
+
+
+def verdict_to_dict(verdict: AdVerdict) -> dict:
+    """Serialize one verdict completely (lossless, JSON-safe)."""
+    report = verdict.wepawet
+    features = report.features
+    return {
+        "ad_id": verdict.ad_id,
+        "wepawet": {
+            "sample_id": report.sample_id,
+            "features": {name: getattr(features, name)
+                         for name in type(features).names()},
+            "suspicious_redirection": report.suspicious_redirection,
+            "redirection_reasons": list(report.redirection_reasons),
+            "driveby_heuristic": report.driveby_heuristic,
+            "heuristic_reasons": list(report.heuristic_reasons),
+            "model_detection": report.model_detection,
+            "model_score": report.model_score,
+            "downloads": [
+                {
+                    "url": download.url,
+                    "content_type": download.content_type,
+                    "data": base64.b64encode(download.data).decode("ascii"),
+                    "initiated_by": download.initiated_by,
+                }
+                for download in report.downloads
+            ],
+            "contacted_domains": list(report.contacted_domains),
+        },
+        "blacklist_hits": [
+            {"domain": hit.domain, "n_lists": hit.n_lists,
+             "list_names": list(hit.list_names)}
+            for hit in verdict.blacklist_hits
+        ],
+        "vt_reports": [
+            {"sha256": vt.sha256, "n_engines": vt.n_engines,
+             "detections": list(vt.detections)}
+            for vt in verdict.vt_reports
+        ],
+        "malicious_executables": verdict.malicious_executables,
+        "malicious_flash": verdict.malicious_flash,
+    }
+
+
+def verdict_from_dict(data: dict) -> AdVerdict:
+    """Rebuild an :class:`AdVerdict` from :func:`verdict_to_dict` output."""
+    from repro.browser.downloads import Download
+    from repro.oracles.blacklists import BlacklistHit
+    from repro.oracles.features import BehaviourFeatures
+    from repro.oracles.virustotal import VTReport
+    from repro.oracles.wepawet import WepawetReport
+
+    wep = data["wepawet"]
+    report = WepawetReport(
+        sample_id=wep["sample_id"],
+        features=BehaviourFeatures(**wep["features"]),
+        suspicious_redirection=wep["suspicious_redirection"],
+        redirection_reasons=tuple(wep["redirection_reasons"]),
+        driveby_heuristic=wep["driveby_heuristic"],
+        heuristic_reasons=tuple(wep["heuristic_reasons"]),
+        model_detection=wep["model_detection"],
+        model_score=wep["model_score"],
+        downloads=[
+            Download(
+                url=d["url"],
+                content_type=d["content_type"],
+                data=base64.b64decode(d["data"]),
+                initiated_by=d["initiated_by"],
+            )
+            for d in wep["downloads"]
+        ],
+        contacted_domains=tuple(wep["contacted_domains"]),
+    )
+    return AdVerdict(
+        ad_id=data["ad_id"],
+        wepawet=report,
+        blacklist_hits=[
+            BlacklistHit(domain=h["domain"], n_lists=h["n_lists"],
+                         list_names=tuple(h["list_names"]))
+            for h in data["blacklist_hits"]
+        ],
+        vt_reports=[
+            VTReport(sha256=v["sha256"], n_engines=v["n_engines"],
+                     detections=tuple(v["detections"]))
+            for v in data["vt_reports"]
+        ],
+        malicious_executables=data["malicious_executables"],
+        malicious_flash=data["malicious_flash"],
+    )
+
+
+def verdict_fingerprint(verdict: AdVerdict) -> str:
+    """A stable hash over a verdict's complete canonical serialization.
+
+    Two verdicts fingerprint identically iff every field — feature vector,
+    reasons, downloads, hits, reports — is bit-identical.  The service's
+    determinism guarantee (N workers ≡ batch oracle) is asserted on these.
+    """
+    canonical = json.dumps(verdict_to_dict(verdict), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

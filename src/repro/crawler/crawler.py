@@ -54,10 +54,18 @@ class Crawler:
         self.browser = browser
         self.filter_engine = filter_engine
 
-    def crawl(self, schedule: CrawlSchedule) -> tuple[AdCorpus, CrawlStats]:
-        """Run the whole schedule."""
-        corpus = AdCorpus()
-        stats = CrawlStats()
+    def crawl(self, schedule: CrawlSchedule,
+              corpus: Optional[AdCorpus] = None,
+              stats: Optional[CrawlStats] = None) -> tuple[AdCorpus, CrawlStats]:
+        """Run the whole schedule.
+
+        ``corpus``/``stats`` default to fresh instances; passing them in
+        lets callers resume an earlier session or substitute a streaming
+        corpus (see :mod:`repro.service.streaming`) that reacts to every
+        newly seen creative.
+        """
+        corpus = corpus if corpus is not None else AdCorpus()
+        stats = stats if stats is not None else CrawlStats()
         for visit in schedule:
             self.visit(visit, corpus, stats)
         return corpus, stats

@@ -1,0 +1,45 @@
+"""The online ad-scanning service.
+
+Wraps the batch :class:`~repro.core.oracle.CombinedOracle` as a serving
+system: bounded ingest queue with backpressure, content-hash verdict
+cache (LRU + TTL), micro-batching, a deterministic thread worker pool,
+and a metrics registry — composed by :class:`ScanService`.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import VerdictCache
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.queue import (
+    IngestQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.service.service import ScanService, ScanTicket, ServiceConfig
+from repro.service.streaming import StreamingCorpus, stream_crawl
+from repro.service.workers import (
+    OracleWorkerPool,
+    ScanTask,
+    ScanWorker,
+    hermetic_judge,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IngestQueue",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "OracleWorkerPool",
+    "QueueClosedError",
+    "QueueFullError",
+    "ScanService",
+    "ScanTask",
+    "ScanTicket",
+    "ScanWorker",
+    "ServiceConfig",
+    "StreamingCorpus",
+    "VerdictCache",
+    "hermetic_judge",
+    "stream_crawl",
+]

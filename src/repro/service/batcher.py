@@ -1,0 +1,87 @@
+"""Micro-batching: coalesce queued submissions into oracle batches.
+
+Honeyclient scans dominate service cost, but each scan also carries fixed
+per-dispatch overhead (queue handoff, worker wakeup, metrics).  The
+micro-batcher amortises it the way online inference services do: a batch
+is released when it reaches ``max_size`` items **or** when ``max_delay``
+seconds have passed since its first item arrived — so a busy service
+scans in full batches while a trickle of traffic still sees bounded
+latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.service.queue import IngestQueue
+
+
+class MicroBatcher:
+    """Assemble size- or deadline-triggered batches from an ingest queue.
+
+    Thread-safe: multiple workers may call :meth:`next_batch` concurrently;
+    an internal lock ensures each batch is assembled by exactly one caller,
+    so items are never interleaved into two batches out of order.
+    """
+
+    def __init__(
+        self,
+        queue: IngestQueue,
+        max_size: int = 8,
+        max_delay: float = 0.05,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.queue = queue
+        self.max_size = max_size
+        self.max_delay = max_delay
+        self._clock = clock or time.monotonic
+        self._assembly_lock = threading.Lock()
+        self.batches = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+
+    def next_batch(self) -> Optional[list]:
+        """Block until one batch is ready; ``None`` once the queue is done.
+
+        The first item opens the batch and starts the deadline clock; the
+        batch closes on whichever comes first of ``max_size`` items or the
+        deadline.  Queue closure flushes whatever was collected.
+        """
+        with self._assembly_lock:
+            first = self.queue.get()
+            if first is None:
+                return None
+            batch: list[Any] = [first]
+            deadline = self._clock() + self.max_delay
+            flushed_by = "deadline"
+            while len(batch) < self.max_size:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                item = self.queue.get(timeout=remaining)
+                if item is None:
+                    break
+                batch.append(item)
+            if len(batch) >= self.max_size:
+                flushed_by = "size"
+            self.batches += 1
+            if flushed_by == "size":
+                self.size_flushes += 1
+            else:
+                self.deadline_flushes += 1
+            return batch
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "max_size": self.max_size,
+            "max_delay": self.max_delay,
+        }

@@ -1,0 +1,192 @@
+"""The verdict cache: content-hash keyed, LRU + TTL, fully counted.
+
+The corpus dedup already shows why this exists: the paper's ~673k unique
+creatives came out of tens of millions of impressions, so an online
+scanner sees the same creative over and over.  Scanning is the expensive
+step (a full honeyclient render); a repeat creative must skip it.  The
+cache is keyed by the creative's content hash — the same key the corpus
+dedups on — holds the full :class:`~repro.core.oracle.AdVerdict`, evicts
+least-recently-used entries beyond ``capacity``, and expires entries
+older than ``ttl`` seconds (verdicts go stale: blacklists churn and
+campaign infrastructure gets taken down).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.core.oracle import AdVerdict
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    check_format_version,
+    verdict_from_dict,
+    verdict_to_dict,
+)
+
+PathLike = Union[str, Path]
+
+
+class VerdictCache:
+    """LRU + TTL cache mapping creative content hashes to verdicts.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently used entry.
+    ttl:
+        Seconds an entry stays valid, or ``None`` for no expiry.
+    clock:
+        Monotonic-time source, injectable for tests (defaults to
+        :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock or time.monotonic
+        self._entries: "OrderedDict[str, tuple[AdVerdict, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.insertions = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def get(self, content_hash: str) -> Optional[AdVerdict]:
+        """Return the cached verdict, refreshing recency; ``None`` on miss."""
+        with self._lock:
+            entry = self._entries.get(content_hash)
+            if entry is None:
+                self.misses += 1
+                return None
+            verdict, stored_at = entry
+            if self._expired(stored_at):
+                del self._entries[content_hash]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(content_hash)
+            self.hits += 1
+            return verdict
+
+    def put(self, content_hash: str, verdict: AdVerdict) -> None:
+        """Insert (or refresh) a verdict, evicting LRU entries as needed."""
+        with self._lock:
+            if content_hash in self._entries:
+                del self._entries[content_hash]
+            self._entries[content_hash] = (verdict, self._clock())
+            self.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        with self._lock:
+            stale = [key for key, (_, stored_at) in self._entries.items()
+                     if self._expired(stored_at)]
+            for key in stale:
+                del self._entries[key]
+            self.expirations += len(stale)
+            return len(stale)
+
+    def _expired(self, stored_at: float) -> bool:
+        return self.ttl is not None and self._clock() - stored_at > self.ttl
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, content_hash: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(content_hash)
+            return entry is not None and not self._expired(entry[1])
+
+    def keys(self) -> list[str]:
+        """Keys in LRU-to-MRU order (eviction order)."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "insertions": self.insertions,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: PathLike) -> int:
+        """Write the cache contents as JSONL (LRU→MRU order); returns count.
+
+        A service restart should not start cold: the saved file replays
+        through :meth:`load` so repeat creatives keep skipping the oracle
+        across process lifetimes.
+        """
+        path = Path(path)
+        count = 0
+        with self._lock:
+            entries = list(self._entries.items())
+        with path.open("w", encoding="utf-8") as handle:
+            for content_hash, (verdict, _) in entries:
+                row = {
+                    "version": FORMAT_VERSION,
+                    "content_hash": content_hash,
+                    "verdict": verdict_to_dict(verdict),
+                }
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        return count
+
+    @classmethod
+    def load(
+        cls,
+        path: PathLike,
+        capacity: int = 65536,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "VerdictCache":
+        """Rebuild a cache from :meth:`save` output (entries enter fresh)."""
+        cache = cls(capacity=capacity, ttl=ttl, clock=clock)
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                check_format_version(data, what="verdict cache entry")
+                cache.put(data["content_hash"], verdict_from_dict(data["verdict"]))
+        # Loading is warm-up, not traffic: don't let it skew the counters.
+        cache.insertions = 0
+        return cache

@@ -1,0 +1,145 @@
+"""Bounded ingest queue with explicit backpressure policies.
+
+A scanning service fed by a crawler (or by live ad traffic) must decide
+what happens when submissions outpace the oracle workers.  The queue
+supports the two classic answers:
+
+* ``block`` — the producer waits for space (load-shedding upstream:
+  the crawler slows down to the oracle's pace);
+* ``reject`` — a full queue raises :class:`QueueFullError` immediately
+  (load-shedding at the edge: the caller decides whether to retry,
+  sample, or drop).
+
+Both policies are observable: the queue counts accepted, rejected and
+drained items, and exposes its current depth for the service gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+POLICY_BLOCK = "block"
+POLICY_REJECT = "reject"
+POLICIES = (POLICY_BLOCK, POLICY_REJECT)
+
+
+class QueueFullError(RuntimeError):
+    """Raised when a ``reject``-policy queue is full (or a block times out)."""
+
+
+class QueueClosedError(RuntimeError):
+    """Raised when putting into a queue that has been closed."""
+
+
+class IngestQueue:
+    """A bounded FIFO with selectable backpressure behaviour."""
+
+    def __init__(self, capacity: int = 256, policy: str = POLICY_BLOCK) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown backpressure policy: {policy!r} "
+                             f"(expected one of {POLICIES})")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque = deque()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._closed = False
+        self.accepted = 0
+        self.rejected = 0
+        self.drained = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Enqueue ``item``, applying the configured backpressure policy.
+
+        Raises :class:`QueueFullError` when rejected (``reject`` policy and
+        full, or ``block`` policy and the wait timed out) and
+        :class:`QueueClosedError` after :meth:`close`.
+        """
+        with self._not_full:
+            if self._closed:
+                raise QueueClosedError("queue is closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == POLICY_REJECT:
+                    self.rejected += 1
+                    raise QueueFullError(
+                        f"queue full ({self.capacity} items, policy=reject)")
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while len(self._items) >= self.capacity and not self._closed:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            self.rejected += 1
+                            raise QueueFullError(
+                                f"queue full after {timeout}s (policy=block)")
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise QueueClosedError("queue closed while waiting for space")
+            self._items.append(item)
+            self.accepted += 1
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Stop accepting items; wakes every waiter.  Idempotent."""
+        with self._mutex:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue one item.
+
+        Returns ``None`` when nothing arrived within ``timeout`` or when the
+        queue is closed and drained (consumers use that as their exit
+        signal).  ``timeout=None`` waits until an item arrives or the queue
+        closes.
+        """
+        with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self.drained += 1
+            self._not_full.notify()
+            return item
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def stats(self) -> dict:
+        return {
+            "depth": len(self._items),
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "drained": self.drained,
+            "closed": self._closed,
+        }

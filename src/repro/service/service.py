@@ -1,0 +1,306 @@
+"""The ``ScanService`` facade: queue → batcher → worker pool → cache.
+
+One object ties the service subsystem together and owns its lifecycle::
+
+    with ScanService(ServiceConfig(seed=2014, n_workers=2)) as svc:
+        tickets = [svc.submit(record) for record in corpus.records()]
+        svc.drain()
+        verdicts = {t.ad_id: t.result() for t in tickets}
+        print(svc.stats())
+
+Submissions hit the verdict cache first; misses are coalesced per
+creative (two in-flight submissions of the same creative cost one scan),
+queued with backpressure, micro-batched, and scanned by the worker pool.
+Every stage feeds the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.oracle import AdVerdict
+from repro.core.study import StudyConfig
+from repro.crawler.corpus import AdCorpus, AdRecord
+from repro.datasets.world import WorldParams
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import VerdictCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import IngestQueue, QueueClosedError, QueueFullError
+from repro.service.workers import OracleWorkerPool, ScanTask
+
+
+@dataclass
+class ServiceConfig:
+    """All the service's knobs in one place."""
+
+    seed: int = 2014
+    n_workers: int = 2
+    queue_capacity: int = 256
+    queue_policy: str = "block"
+    batch_max_size: int = 8
+    batch_max_delay: float = 0.05
+    cache_capacity: int = 65536
+    cache_ttl: Optional[float] = None
+    blacklist_threshold: int = 5
+    vt_threshold: int = 4
+    world_params: Optional[WorldParams] = None
+
+    def study_config(self) -> StudyConfig:
+        """The equivalent batch-pipeline config (for oracle construction)."""
+        return StudyConfig(
+            seed=self.seed,
+            blacklist_threshold=self.blacklist_threshold,
+            vt_threshold=self.vt_threshold,
+            world_params=self.world_params,
+        )
+
+
+class ScanTicket:
+    """A claim on one submission's verdict (a minimal future)."""
+
+    def __init__(self, ad_id: str, content_hash: str) -> None:
+        self.ad_id = ad_id
+        self.content_hash = content_hash
+        self.from_cache = False
+        self._event = threading.Event()
+        self._verdict: Optional[AdVerdict] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, verdict: AdVerdict) -> None:
+        self._verdict = verdict
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> AdVerdict:
+        """Block until the verdict is ready (re-raises scan errors)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"verdict for {self.ad_id} not ready after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._verdict is not None
+        return self._verdict
+
+
+class _PendingScan:
+    """In-flight bookkeeping for one creative (coalesced tickets)."""
+
+    __slots__ = ("tickets",)
+
+    def __init__(self) -> None:
+        self.tickets: list[ScanTicket] = []
+
+
+class ScanService:
+    """Online advertisement scanning over the combined oracle."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Optional[VerdictCache] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = cache or VerdictCache(
+            capacity=self.config.cache_capacity, ttl=self.config.cache_ttl)
+        self.queue = IngestQueue(capacity=self.config.queue_capacity,
+                                 policy=self.config.queue_policy)
+        self.batcher = MicroBatcher(self.queue,
+                                    max_size=self.config.batch_max_size,
+                                    max_delay=self.config.batch_max_delay)
+        self.pool = OracleWorkerPool(
+            self.config.n_workers, self.config.study_config(),
+            next_batch=self.batcher.next_batch,
+            on_result=self._on_result,
+            on_batch=self._on_batch,
+        )
+        # Pre-register the standard metrics so stats() has stable keys
+        # even before the first submission/scan touches them.
+        for name in ("submitted", "cache_hits", "cache_misses", "coalesced",
+                     "scanned", "scan_errors", "rejected"):
+            self.metrics.counter(name)
+        self.metrics.gauge("queue_depth")
+        self.metrics.histogram("batch_size")
+        self.metrics.histogram("scan_latency")
+        self._pending: dict[str, _PendingScan] = {}
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ScanService":
+        """Spawn the worker pool (idempotent)."""
+        with self._state_lock:
+            if self._stopped:
+                raise RuntimeError("service already shut down")
+            if not self._started:
+                self._started = True
+                self.pool.start()
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service: optionally drain, close the queue, join workers.
+
+        With ``drain=True`` (the default) every accepted submission is
+        scanned before the workers exit — the graceful path.  With
+        ``drain=False`` the queue closes immediately and queued-but-unscanned
+        tickets fail with :class:`QueueClosedError`.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        if drain and started:
+            self.drain(timeout=timeout)
+        self.queue.close()
+        if started:
+            self.pool.join(timeout)
+        # Fail anything still unresolved (non-drain shutdown).
+        with self._state_lock:
+            orphans = list(self._pending.values())
+            self._pending.clear()
+            for entry in orphans:
+                for ticket in entry.tickets:
+                    ticket._fail(QueueClosedError("service shut down"))
+            self._idle.notify_all()
+
+    def __enter__(self) -> "ScanService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, record: AdRecord, timeout: Optional[float] = None) -> ScanTicket:
+        """Submit one advertisement; returns a :class:`ScanTicket`.
+
+        Cache hits resolve immediately.  Misses for a creative already
+        in flight coalesce onto the running scan.  Fresh misses enter the
+        ingest queue, which applies the configured backpressure policy
+        (``timeout`` bounds a blocking put).
+        """
+        ticket = ScanTicket(record.ad_id, record.content_hash)
+        task: Optional[ScanTask] = None
+        with self._state_lock:
+            if self._stopped:
+                raise QueueClosedError("service is shut down")
+            if not self._started:
+                raise RuntimeError("service not started (call start())")
+            self.metrics.counter("submitted").inc()
+            verdict = self.cache.get(record.content_hash)
+            if verdict is not None:
+                self.metrics.counter("cache_hits").inc()
+                ticket.from_cache = True
+                ticket._resolve(verdict)
+                return ticket
+            self.metrics.counter("cache_misses").inc()
+            entry = self._pending.get(record.content_hash)
+            if entry is not None:
+                self.metrics.counter("coalesced").inc()
+                entry.tickets.append(ticket)
+                return ticket
+            entry = _PendingScan()
+            entry.tickets.append(ticket)
+            self._pending[record.content_hash] = entry
+            # Snapshot the record: streaming crawls keep appending
+            # impressions to the live object while the scan runs.
+            task = ScanTask(record=_snapshot(record), submitted_at=time.monotonic())
+        try:
+            self.queue.put(task, timeout=timeout)
+        except (QueueFullError, QueueClosedError):
+            with self._state_lock:
+                self._pending.pop(record.content_hash, None)
+                self.metrics.counter("rejected").inc()
+                self._idle.notify_all()
+            raise
+        self.metrics.gauge("queue_depth").set(self.queue.depth)
+        return ticket
+
+    def scan_sync(self, record: AdRecord,
+                  timeout: Optional[float] = None) -> AdVerdict:
+        """Submit one advertisement and wait for its verdict."""
+        return self.submit(record, timeout=timeout).result(timeout)
+
+    def submit_corpus(self, corpus: AdCorpus) -> list[ScanTicket]:
+        """Submit every unique advertisement of a corpus (in corpus order)."""
+        return [self.submit(record) for record in corpus.records()]
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every accepted submission has a verdict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"{len(self._pending)} scans still in flight "
+                            f"after {timeout}s")
+                self._idle.wait(remaining)
+
+    # -- worker callbacks ----------------------------------------------------
+
+    def _on_batch(self, size: int) -> None:
+        self.metrics.histogram("batch_size").observe(size)
+        self.metrics.gauge("queue_depth").set(self.queue.depth)
+
+    def _on_result(self, task: ScanTask, verdict: Optional[AdVerdict],
+                   error: Optional[BaseException]) -> None:
+        latency = time.monotonic() - task.submitted_at
+        with self._state_lock:
+            entry = self._pending.pop(task.record.content_hash, None)
+            if verdict is not None:
+                self.cache.put(task.record.content_hash, verdict)
+                self.metrics.counter("scanned").inc()
+                self.metrics.histogram("scan_latency").observe(latency)
+            else:
+                self.metrics.counter("scan_errors").inc()
+            if entry is not None:
+                for ticket in entry.tickets:
+                    if verdict is not None:
+                        ticket._resolve(verdict)
+                    else:
+                        assert error is not None
+                        ticket._fail(error)
+            self.metrics.gauge("queue_depth").set(self.queue.depth)
+            self._idle.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One dict with everything: metrics, cache, queue, batcher, pool."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["queue"] = self.queue.stats()
+        snapshot["batcher"] = self.batcher.stats()
+        snapshot["pool"] = {
+            "workers": len(self.pool.workers),
+            "alive": self.pool.alive,
+            "scanned": self.pool.total_scanned,
+        }
+        return snapshot
+
+
+def _snapshot(record: AdRecord) -> AdRecord:
+    """An immutable-enough copy of a record at submission time."""
+    return AdRecord(
+        ad_id=record.ad_id,
+        content_hash=record.content_hash,
+        html=record.html,
+        first_seen_url=record.first_seen_url,
+        sandboxed_anywhere=record.sandboxed_anywhere,
+        impressions=list(record.impressions),
+    )

@@ -1,0 +1,60 @@
+"""Crawler → service streaming: classify ads while the crawl runs.
+
+The batch pipeline waits for the whole crawl before the oracle sees a
+single ad; a real ad-safety service cannot.  :class:`StreamingCorpus` is
+a drop-in :class:`~repro.crawler.corpus.AdCorpus` that submits every
+*newly seen* creative to a :class:`~repro.service.service.ScanService`
+the moment the crawler records its first impression, so scanning overlaps
+crawling.  Repeat impressions of a known creative dedup as usual and
+cost nothing.
+
+Note the semantic difference from the batch pass: a first-sight scan
+judges the creative with only the impressions observed *so far*, so the
+blacklist check sees fewer arbitration-chain domains than an end-of-crawl
+scan would.  Verdicts are still deterministic (the scan itself is
+hermetic); they are simply verdicts *at first sight*, which is exactly
+what an online service ships.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crawler.corpus import AdCorpus, AdRecord, Impression
+from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.schedule import CrawlSchedule
+from repro.service.service import ScanService, ScanTicket
+
+
+class StreamingCorpus(AdCorpus):
+    """An ad corpus that streams first-sight creatives into a service."""
+
+    def __init__(self, service: ScanService) -> None:
+        super().__init__()
+        self.service = service
+        self.tickets: dict[str, ScanTicket] = {}  # by ad_id
+
+    def add(self, html: str, impression: Impression,
+            sandboxed: bool = False) -> AdRecord:
+        first_sight = len(self)
+        record = super().add(html, impression, sandboxed=sandboxed)
+        if len(self) > first_sight:
+            self.tickets[record.ad_id] = self.service.submit(record)
+        return record
+
+
+def stream_crawl(
+    crawler: Crawler,
+    schedule: CrawlSchedule,
+    service: ScanService,
+) -> tuple[StreamingCorpus, CrawlStats, dict[str, ScanTicket]]:
+    """Run ``schedule`` with ads flowing straight into ``service``.
+
+    Returns the corpus, the crawl stats, and one ticket per unique ad.
+    The service's backpressure applies to the crawler itself: with a
+    ``block`` queue the crawl slows to the oracle's pace, with ``reject``
+    a full queue raises out of the crawl loop.
+    """
+    corpus = StreamingCorpus(service)
+    _, stats = crawler.crawl(schedule, corpus=corpus)
+    return corpus, stats, corpus.tickets

@@ -1,0 +1,158 @@
+"""The oracle worker pool: threaded, isolated, deterministic.
+
+Every worker owns a **complete private copy** of the scanning stack — its
+own simulated world built from the service seed plus its own
+:class:`~repro.core.oracle.CombinedOracle` — so concurrent scans share no
+mutable state at all (the simulated web's servers, the Wepawet sample
+registry and the HAR observer list are all per-world).
+
+Determinism is the second half of the contract.  Three pieces of scan
+state are order-dependent in the batch pipeline: the ecosystem's
+per-request counter (cloaking rotation), the Wepawet sample counter, and
+the browser's script RNG stream.  :func:`hermetic_judge` pins all three
+to values derived from the creative's content hash before every scan, so
+the verdict for a creative is a pure function of ``(seed, world params,
+creative)`` — identical across scan orders, worker counts, and to a
+batch :class:`CombinedOracle` pass driven through the same discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.oracle import AdVerdict, CombinedOracle
+from repro.core.study import Study, StudyConfig
+from repro.crawler.corpus import AdRecord
+from repro.datasets.world import World, build_world
+from repro.util.rand import fork
+
+# Scan-time counter values start far above anything a crawl mints, so a
+# scan's cloaking draws never collide with crawl-time draws.
+_SCAN_COUNTER_BASE = 0x4000_0000
+
+
+def scan_counter_for(content_hash: str) -> int:
+    """Canonical per-creative request-counter base (pure in the hash)."""
+    return _SCAN_COUNTER_BASE + int(content_hash[:8], 16)
+
+
+def hermetic_judge(oracle: CombinedOracle, world: World, record: AdRecord,
+                   seed: int) -> AdVerdict:
+    """Judge ``record`` as a pure function of ``(seed, world, record)``.
+
+    Pins every piece of order-dependent scan state to values derived from
+    the creative's content hash, then delegates to ``oracle.judge``.  Use
+    this for service workers *and* for the batch baseline they are
+    compared against.
+    """
+    world.ecosystem.seed_request_counter(scan_counter_for(record.content_hash))
+    # Sample ids feed the verdict's Wepawet report; derive them from the
+    # creative so they match across runs (the counter is pre-increment).
+    world.client._wepawet_counter = int(record.content_hash[:6], 16)  # type: ignore[attr-defined]
+    oracle.wepawet.browser._script_random = fork(
+        seed, f"scan:{record.content_hash}").random
+    return oracle.judge(record)
+
+
+@dataclass
+class ScanTask:
+    """One unit of worker input: a snapshotted record plus bookkeeping."""
+
+    record: AdRecord
+    submitted_at: float
+
+
+class ScanWorker(threading.Thread):
+    """One oracle worker: private world + oracle, fed by the batcher."""
+
+    def __init__(
+        self,
+        index: int,
+        config: StudyConfig,
+        next_batch: Callable[[], Optional[list]],
+        on_result: Callable[[ScanTask, Optional[AdVerdict], Optional[BaseException]], None],
+        on_batch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        super().__init__(name=f"scan-worker-{index}", daemon=True)
+        self.index = index
+        self._config = config
+        self._next_batch = next_batch
+        self._on_result = on_result
+        self._on_batch = on_batch
+        self.world: Optional[World] = None
+        self.oracle: Optional[CombinedOracle] = None
+        self.scanned = 0
+
+    def _build_stack(self) -> None:
+        # Built inside the thread so pool start-up is parallel and the
+        # main thread never touches worker state.
+        self.world = build_world(self._config.seed, self._config.world_params)
+        self.oracle = Study(self._config, world=self.world).build_oracle()
+
+    def run(self) -> None:
+        self._build_stack()
+        assert self.world is not None and self.oracle is not None
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            if self._on_batch is not None:
+                self._on_batch(len(batch))
+            for task in batch:
+                try:
+                    verdict = hermetic_judge(self.oracle, self.world,
+                                             task.record, self._config.seed)
+                except BaseException as exc:  # surface, never kill the pool
+                    self._on_result(task, None, exc)
+                else:
+                    self.scanned += 1
+                    self._on_result(task, verdict, None)
+
+
+class OracleWorkerPool:
+    """A fixed-size pool of :class:`ScanWorker` threads.
+
+    The pool only manages lifecycle (start, drain, join); work flows
+    through the callables handed to each worker, which keeps the pool
+    reusable and the service facade in charge of queue/cache/metrics
+    wiring.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        config: StudyConfig,
+        next_batch: Callable[[], Optional[list]],
+        on_result: Callable[[ScanTask, Optional[AdVerdict], Optional[BaseException]], None],
+        on_batch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.workers = [
+            ScanWorker(index, config, next_batch, on_result, on_batch)
+            for index in range(n_workers)
+        ]
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every worker to exit (they exit when the queue closes)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self.workers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            worker.join(remaining)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for worker in self.workers if worker.is_alive())
+
+    @property
+    def total_scanned(self) -> int:
+        return sum(worker.scanned for worker in self.workers)

@@ -24,6 +24,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["clickfraud", "--mode", "bogus"])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.queue_policy == "block"
+        assert args.replays == 2
+
 
 class TestExecution:
     def test_scarecrow_command(self, capsys):
@@ -57,6 +71,32 @@ class TestExecution:
                      "--sites", "5", "--feed-sites", "2"])
         assert code == 0
         assert "Figure 5" in capsys.readouterr().out
+
+    def test_serve_command_small(self, capsys, tmp_path):
+        cache_path = tmp_path / "cache.jsonl"
+        code = main(["serve", "--seed", "5", "--days", "1", "--refreshes", "1",
+                     "--sites", "5", "--feed-sites", "1", "--workers", "2",
+                     "--save-cache", str(cache_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service report" in out
+        assert "oracle scans" in out
+        assert "replay 2" in out
+        assert cache_path.exists()
+
+    def test_serve_streaming_with_warm_cache(self, capsys, tmp_path):
+        cache_path = tmp_path / "cache.jsonl"
+        base = ["--seed", "5", "--days", "1", "--refreshes", "1",
+                "--sites", "5", "--feed-sites", "1"]
+        assert main(["serve", *base, "--save-cache", str(cache_path),
+                     "--replays", "1"]) == 0
+        capsys.readouterr()
+        assert main(["serve", *base, "--stream", "--replays", "1",
+                     "--load-cache", str(cache_path)]) == 0
+        out = capsys.readouterr().out
+        assert "streamed crawl" in out
+        # Warm cache: the streaming run re-scans nothing.
+        assert "oracle scans:   0" in out
 
     def test_countermeasures_command_small(self, capsys):
         code = main(["countermeasures", "--seed", "5", "--days", "1",

@@ -5,11 +5,16 @@ import json
 import pytest
 
 from repro.core.persistence import (
+    FORMAT_VERSION,
+    check_format_version,
     load_corpus,
     load_verdicts,
     record_to_dict,
     save_corpus,
     save_verdicts,
+    verdict_fingerprint,
+    verdict_from_dict,
+    verdict_to_dict,
     verdicts_to_dicts,
 )
 from repro.core.report import build_report
@@ -64,6 +69,61 @@ class TestCorpusPersistence:
     def test_record_dict_shape(self, results):
         data = record_to_dict(results.corpus.records()[0])
         assert {"ad_id", "content_hash", "html", "impressions"} <= set(data)
+
+
+class TestFormatVersion:
+    def test_newer_version_rejected_with_upgrade_hint(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"version": FORMAT_VERSION + 1, "impressions": []}) + "\n")
+        with pytest.raises(ValueError, match="upgrade"):
+            load_corpus(path)
+
+    def test_missing_version_rejected_clearly(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text(json.dumps({"impressions": [], "html": ""}) + "\n")
+        with pytest.raises(ValueError, match="missing or malformed"):
+            load_corpus(path)
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(ValueError, match="missing or malformed"):
+            check_format_version({"version": "1"})
+
+    def test_retired_version_rejected(self):
+        with pytest.raises(ValueError, match="retired"):
+            check_format_version({"version": 0})
+
+    def test_current_version_accepted(self):
+        assert check_format_version({"version": FORMAT_VERSION}) == FORMAT_VERSION
+
+
+class TestVerdictRoundTrip:
+    def test_full_round_trip_is_lossless(self, results):
+        for verdict in list(results.verdicts.values())[:10]:
+            restored = verdict_from_dict(verdict_to_dict(verdict))
+            assert verdict_fingerprint(restored) == verdict_fingerprint(verdict)
+            assert restored.is_malicious == verdict.is_malicious
+            assert restored.incident_type == verdict.incident_type
+
+    def test_downloads_preserve_bytes(self, results):
+        with_downloads = [v for v in results.verdicts.values()
+                          if v.wepawet.downloads]
+        if not with_downloads:
+            pytest.skip("no downloads in this small corpus")
+        verdict = with_downloads[0]
+        restored = verdict_from_dict(verdict_to_dict(verdict))
+        assert [d.data for d in restored.wepawet.downloads] == \
+            [d.data for d in verdict.wepawet.downloads]
+
+    def test_fingerprint_is_sensitive(self, results):
+        verdict = next(iter(results.verdicts.values()))
+        baseline = verdict_fingerprint(verdict)
+        verdict.malicious_flash += 1
+        try:
+            assert verdict_fingerprint(verdict) != baseline
+        finally:
+            verdict.malicious_flash -= 1
+        assert verdict_fingerprint(verdict) == baseline
 
 
 class TestVerdictPersistence:
