@@ -1,0 +1,210 @@
+"""Crawl throughput: serial vs sharded parallel, plus filter matching.
+
+Two benchmarks, each emitting a machine-readable JSON report on stdout:
+
+* **crawl throughput** — pages/sec for the serial crawler vs the sharded
+  :class:`ParallelCrawler` at 2 and 4 workers.  The corpus fingerprint
+  must be bit-identical across all of them (asserted unconditionally);
+  the speedup floors only apply where the hardware can deliver them —
+  parallel page rendering is pure Python, so the process-mode upside
+  scales with available CPU cores, and a single-core box can only assert
+  "not meaningfully slower".
+* **filter matching** — :meth:`FilterEngine.match` over a ≥500-rule
+  synthetic list against the pre-index behaviour (scan every distinct
+  shortcut with a substring test per URL).  The n-gram index does one
+  dict probe per URL position, so the floor here is hardware-independent.
+
+Set ``BENCH_SMOKE=1`` (the CI smoke job does) to shrink the workload to
+seconds and keep only the correctness assertions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+from repro.core.persistence import corpus_fingerprint
+from repro.core.study import Study, StudyConfig
+from repro.crawler.parallel import fork_available
+from repro.datasets.world import WorldParams
+from repro.filterlists.easylist import build_easylist
+from repro.filterlists.matcher import FilterEngine, _ShortcutIndex
+from repro.filterlists.rules import RequestContext
+
+from conftest import BENCH_SEED
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+AVAILABLE_CORES = len(os.sched_getaffinity(0))
+
+# Slowdown allowed before "parallel is not slower" counts as failed
+# (fork/merge overhead on hardware with nothing to parallelise onto).
+PARALLEL_TOLERANCE = 2.0
+
+# Required 4-worker speedup when the cores exist to provide it.
+FOUR_WORKER_SPEEDUP_FLOOR = 2.0
+
+# Required FilterEngine.match speedup over the pre-index scan.
+MATCH_SPEEDUP_FLOOR = 3.0
+
+if SMOKE:
+    CRAWL_PARAMS = WorldParams(n_top_sites=8, n_bottom_sites=8,
+                               n_other_sites=8, n_feed_sites=2)
+    CRAWL_CONFIG = StudyConfig(seed=BENCH_SEED, days=1, refreshes_per_visit=2,
+                               world_params=CRAWL_PARAMS)
+    WORKER_COUNTS = (2,)
+    N_RULES = 500
+    N_URLS = 300
+    MATCH_ROUNDS = 1
+else:
+    CRAWL_PARAMS = WorldParams(n_top_sites=40, n_bottom_sites=40,
+                               n_other_sites=40, n_feed_sites=10)
+    CRAWL_CONFIG = StudyConfig(seed=BENCH_SEED, days=3, refreshes_per_visit=4,
+                               world_params=CRAWL_PARAMS)
+    WORKER_COUNTS = (2, 4)
+    N_RULES = 800
+    N_URLS = 2000
+    MATCH_ROUNDS = 3
+
+
+def emit(name: str, payload: dict) -> None:
+    print(f"\n{name} {json.dumps(payload, sort_keys=True)}")
+
+
+class TestCrawlThroughput:
+    def test_parallel_speedup_with_identical_corpus(self):
+        mode = "process" if fork_available() else "thread"
+
+        study = Study(CRAWL_CONFIG)
+        schedule = study.build_schedule()
+        started = time.perf_counter()
+        corpus, stats = study.build_crawler().crawl(schedule)
+        serial_time = time.perf_counter() - started
+        serial_fp = corpus_fingerprint(corpus)
+        pages = stats.pages_visited
+
+        report = {
+            "workload": {"pages": pages, "unique_ads": corpus.unique_ads,
+                         "mode": mode, "cores": AVAILABLE_CORES,
+                         "smoke": SMOKE},
+            "serial": {"seconds": round(serial_time, 3),
+                       "pages_per_sec": round(pages / serial_time, 1)},
+            "workers": {},
+        }
+        parallel_times = {}
+        for n_workers in WORKER_COUNTS:
+            st = Study(CRAWL_CONFIG)
+            crawler = st.build_parallel_crawler(workers=n_workers, mode=mode)
+            started = time.perf_counter()
+            par_corpus, par_stats = crawler.crawl(st.build_schedule())
+            elapsed = time.perf_counter() - started
+            parallel_times[n_workers] = elapsed
+
+            # The determinism guarantee holds on any hardware.
+            assert corpus_fingerprint(par_corpus) == serial_fp
+            assert par_stats == stats
+
+            report["workers"][str(n_workers)] = {
+                "seconds": round(elapsed, 3),
+                "pages_per_sec": round(pages / elapsed, 1),
+                "speedup": round(serial_time / elapsed, 2),
+            }
+        emit("CRAWL_THROUGHPUT_JSON", report)
+
+        if SMOKE:
+            return
+        # Perf floors, scaled to what the hardware can deliver.
+        if mode == "process" and AVAILABLE_CORES >= 4 and 4 in parallel_times:
+            assert serial_time / parallel_times[4] >= FOUR_WORKER_SPEEDUP_FLOOR, (
+                f"4 workers on {AVAILABLE_CORES} cores: "
+                f"{serial_time / parallel_times[4]:.2f}x < "
+                f"{FOUR_WORKER_SPEEDUP_FLOOR}x")
+        for n_workers, elapsed in parallel_times.items():
+            assert elapsed <= serial_time * PARALLEL_TOLERANCE, (
+                f"{n_workers} workers took {elapsed:.2f}s vs "
+                f"{serial_time:.2f}s serial")
+
+
+class _LegacyScanIndex:
+    """The pre-index candidate lookup: substring-test every shortcut.
+
+    Kept here (not in the engine) purely as the benchmark baseline; its
+    per-URL cost is O(#distinct shortcuts × len(url)).
+    """
+
+    def __init__(self, modern: _ShortcutIndex) -> None:
+        self._by_shortcut = modern._by_shortcut
+        self._unindexed = modern._unindexed
+
+    def candidates(self, url):
+        lowered = url.lower()
+        hits = []
+        for shortcut, bucket in self._by_shortcut.items():
+            if shortcut in lowered:
+                hits.extend(bucket)
+        hits.extend(self._unindexed)
+        hits.sort(key=lambda entry: entry[0])
+        return [rule for _, rule in hits]
+
+
+def _ad_domains() -> list[str]:
+    # Hash-derived names: diverse leading characters, like real ad-serving
+    # domains (a shared prefix would pile every rule into one n-gram
+    # bucket and benchmark a degenerate index instead).
+    return [f"{hashlib.sha1(str(i).encode()).hexdigest()[:8]}-ads.example"
+            for i in range(N_RULES)]
+
+
+def _synthetic_workload() -> tuple[FilterEngine, list[RequestContext]]:
+    domains = _ad_domains()
+    text = build_easylist(domains, coverage=1.0)
+    engine = FilterEngine.from_text(text)
+    assert len(engine) >= 500
+    urls = []
+    for i in range(N_URLS):
+        if i % 4 == 0:
+            urls.append(f"http://srv{i}.{domains[i % N_RULES]}/ad?i={i}")
+        else:
+            urls.append(f"http://content{i}.org/articles/{i}/index.html?ref={i}")
+    return engine, [RequestContext.for_url(u, resource_type="subdocument")
+                    for u in urls]
+
+
+def _time_matches(engine: FilterEngine, contexts: list[RequestContext]) -> tuple[float, int]:
+    blocked = 0
+    started = time.perf_counter()
+    for _ in range(MATCH_ROUNDS):
+        blocked = sum(engine.match(ctx).blocked for ctx in contexts)
+    return time.perf_counter() - started, blocked
+
+
+class TestFilterMatchThroughput:
+    def test_ngram_index_speedup(self):
+        engine, contexts = _synthetic_workload()
+        legacy = FilterEngine.from_text(build_easylist(_ad_domains(),
+                                                       coverage=1.0))
+        legacy._block_index = _LegacyScanIndex(legacy._block_index)
+        legacy._exception_index = _LegacyScanIndex(legacy._exception_index)
+
+        new_time, new_blocked = _time_matches(engine, contexts)
+        old_time, old_blocked = _time_matches(legacy, contexts)
+        assert new_blocked == old_blocked  # identical verdicts
+        assert new_blocked > 0
+
+        matches = len(contexts) * MATCH_ROUNDS
+        speedup = old_time / new_time if new_time > 0 else float("inf")
+        emit("FILTER_MATCH_JSON", {
+            "rules": len(engine),
+            "urls": len(contexts),
+            "rounds": MATCH_ROUNDS,
+            "ngram_matches_per_sec": round(matches / new_time, 1),
+            "legacy_matches_per_sec": round(matches / old_time, 1),
+            "speedup": round(speedup, 2),
+            "smoke": SMOKE,
+        })
+        if not SMOKE:
+            assert speedup >= MATCH_SPEEDUP_FLOOR, (
+                f"n-gram index only {speedup:.2f}x faster than the "
+                f"legacy scan (floor {MATCH_SPEEDUP_FLOOR}x)")

@@ -179,10 +179,15 @@ class Ecosystem:
 
         Cloaking redirectors rotate per request (see
         :meth:`_serve_cloaking_redirect`), which makes a scan's outcome
-        depend on how much traffic preceded it.  The scanning service pins
-        the counter to a value derived from the creative being scanned, so
-        a verdict is a pure function of (seed, creative) regardless of scan
-        order or worker count.
+        depend on how much traffic preceded it.  Two consumers pin it:
+
+        * the scanning service (``hermetic_judge``) pins it to a value
+          derived from the creative being scanned, so a verdict is a pure
+          function of (seed, creative) regardless of scan order or worker
+          count;
+        * the hermetic crawler (``hermetic_visit_pinner``) pins it before
+          every page visit to a disjoint per-visit range, so a sharded
+          parallel crawl reproduces the serial corpus bit-for-bit.
         """
         self._imp_counter = int(value)
 

@@ -37,11 +37,22 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--feed-sites", type=int, default=8)
 
 
+def _add_crawl_worker_args(parser: argparse.ArgumentParser,
+                           flag: str = "--workers") -> None:
+    # `serve` already uses --workers for oracle threads, so it passes an
+    # alternate flag name; both land in args.crawl_workers.
+    parser.add_argument(flag, dest="crawl_workers", type=int, default=1,
+                        metavar="N",
+                        help="parallel crawl workers (the merged corpus is "
+                             "bit-identical at any worker count)")
+
+
 def _config_from(args: argparse.Namespace) -> StudyConfig:
     return StudyConfig(
         seed=args.seed,
         days=args.days,
         refreshes_per_visit=args.refreshes,
+        crawl_workers=getattr(args, "crawl_workers", 1),
         world_params=WorldParams(
             n_top_sites=args.sites,
             n_bottom_sites=args.sites,
@@ -149,7 +160,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.persistence import load_corpus
     from repro.core.study import Study
-    from repro.crawler.schedule import CrawlSchedule
     from repro.service import ScanService, ServiceConfig, VerdictCache, stream_crawl
 
     config = _config_from(args)
@@ -177,9 +187,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"({corpus.total_impressions} impressions) from {args.corpus}")
         else:
             study = Study(config)
-            crawler = study.build_crawler()
-            schedule = CrawlSchedule([p.url for p in study.world.crawl_sites],
-                                     config.days, config.refreshes_per_visit)
+            if config.crawl_workers > 1:
+                # Thread mode: forking while service worker threads hold
+                # locks is unsafe, and the merged corpus is identical.
+                crawler = study.build_parallel_crawler(mode="thread")
+            else:
+                crawler = study.build_crawler()
+            schedule = study.build_schedule()
             if args.stream:
                 started = time.perf_counter()
                 corpus, _, tickets = stream_crawl(crawler, schedule, service)
@@ -243,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("study", help="run the full pipeline and report")
     _add_scale_args(study)
+    _add_crawl_worker_args(study)
     study.add_argument("--markdown", action="store_true")
     study.add_argument("--save-corpus", metavar="PATH")
     study.add_argument("--save-verdicts", metavar="PATH")
@@ -250,10 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="print every table and figure")
     _add_scale_args(figures)
+    _add_crawl_worker_args(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     counter = sub.add_parser("countermeasures", help="evaluate the §5 defences")
     _add_scale_args(counter)
+    _add_crawl_worker_args(counter)
     counter.set_defaults(fn=_cmd_countermeasures)
 
     fraud = sub.add_parser("clickfraud", help="click-fraud workload + detectors")
@@ -271,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(serve)
     serve.add_argument("--workers", type=int, default=2,
                        help="oracle worker threads")
+    _add_crawl_worker_args(serve, flag="--crawl-workers")
     serve.add_argument("--corpus", metavar="PATH",
                        help="replay a saved corpus instead of crawling")
     serve.add_argument("--stream", action="store_true",

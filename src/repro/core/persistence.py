@@ -129,6 +129,19 @@ def load_corpus(path: PathLike) -> AdCorpus:
     return corpus
 
 
+def corpus_fingerprint(corpus: AdCorpus) -> str:
+    """A stable hash over a corpus's complete canonical serialization.
+
+    Two corpora fingerprint identically iff they hold the same records —
+    same ad ids in the same order, same impressions, same sandbox flags.
+    The parallel crawler's determinism guarantee (N workers ≡ serial
+    crawl) is asserted on these, mirroring :func:`verdict_fingerprint`.
+    """
+    canonical = json.dumps([record_to_dict(r) for r in corpus.records()],
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def verdicts_to_dicts(results: StudyResults) -> list[dict]:
     """Flatten every verdict into a plain dict (for JSON export)."""
     out = []

@@ -15,7 +15,8 @@ from typing import Optional
 from repro.browser.browser import Browser
 from repro.core.oracle import CombinedOracle
 from repro.core.results import StudyResults
-from repro.crawler.crawler import Crawler
+from repro.crawler.crawler import Crawler, hermetic_visit_pinner
+from repro.crawler.parallel import CrawlWorker, ParallelCrawler
 from repro.crawler.schedule import CrawlSchedule
 from repro.datasets.world import World, WorldParams, build_world
 from repro.filterlists.matcher import FilterEngine
@@ -35,6 +36,12 @@ class StudyConfig:
     blacklist_threshold: int = 5
     vt_threshold: int = 4
     world_params: Optional[WorldParams] = None
+    #: Crawl worker count.  1 crawls serially; N > 1 shards the schedule
+    #: across N private crawl stacks and merges deterministically — the
+    #: corpus is bit-identical at any worker count.
+    crawl_workers: int = 1
+    #: ``process`` (fork), ``thread``, or ``auto`` (process if available).
+    crawl_worker_mode: str = "auto"
 
 
 class Study:
@@ -50,11 +57,51 @@ class Study:
         self.config = config or StudyConfig()
         self.world = world or build_world(self.config.seed, self.config.world_params)
 
-    def build_crawler(self) -> Crawler:
+    def build_crawler(self, world: Optional[World] = None) -> Crawler:
+        """Build a hermetic crawler over ``world`` (default: the study's).
+
+        The crawler carries the per-visit pinning hook, so every visit's
+        outcome depends only on ``(seed, world params, visit)`` — the
+        property the sharded parallel crawl relies on, and what makes the
+        serial crawl independent of schedule slicing.
+        """
+        world = world if world is not None else self.world
         rng = fork(self.config.seed, "crawler-browser")
-        browser = Browser(self.world.client, script_random=rng.random)
-        engine = FilterEngine.from_text(self.world.easylist_text)
-        return Crawler(browser, engine)
+        browser = Browser(world.client, script_random=rng.random)
+        engine = FilterEngine.from_text(world.easylist_text)
+        pin = hermetic_visit_pinner(world.ecosystem, browser, self.config.seed)
+        return Crawler(browser, engine, pin_visit=pin)
+
+    def build_crawl_worker(self, isolated: bool) -> CrawlWorker:
+        """:class:`ParallelCrawler` worker factory (runs inside the worker).
+
+        Forked workers (``isolated=True``) reuse the study's world — the
+        fork already gave them a private copy-on-write copy of it.  Thread
+        workers share the parent address space, so each builds its own
+        world from ``(seed, params)``; world construction is deterministic,
+        so every worker crawls an identical simulation.
+        """
+        if isolated:
+            world = self.world
+        else:
+            world = build_world(self.config.seed, self.config.world_params)
+        return CrawlWorker(self.build_crawler(world),
+                           served_log=world.ecosystem.served_log)
+
+    def build_parallel_crawler(self, workers: Optional[int] = None,
+                               mode: Optional[str] = None) -> ParallelCrawler:
+        """A sharded crawler producing the exact serial-crawl corpus."""
+        return ParallelCrawler(
+            self.build_crawl_worker,
+            n_workers=workers if workers is not None else self.config.crawl_workers,
+            mode=mode if mode is not None else self.config.crawl_worker_mode,
+            served_sink=self.world.ecosystem.served_log,
+        )
+
+    def build_schedule(self) -> CrawlSchedule:
+        urls = [p.url for p in self.world.crawl_sites]
+        return CrawlSchedule(urls, self.config.days,
+                             self.config.refreshes_per_visit)
 
     def build_oracle(self) -> CombinedOracle:
         rng = fork(self.config.seed, "oracle-browser")
@@ -68,12 +115,17 @@ class Study:
                               vt_threshold=self.config.vt_threshold)
 
     def crawl(self) -> StudyResults:
-        """Phase 1: crawl every site on the schedule."""
-        crawler = self.build_crawler()
-        urls = [p.url for p in self.world.crawl_sites]
-        schedule = CrawlSchedule(urls, self.config.days,
-                                 self.config.refreshes_per_visit)
-        corpus, stats = crawler.crawl(schedule)
+        """Phase 1: crawl every site on the schedule.
+
+        With ``config.crawl_workers > 1`` the schedule is sharded across
+        parallel workers; the merged corpus and stats are bit-identical to
+        the serial crawl's.
+        """
+        schedule = self.build_schedule()
+        if self.config.crawl_workers > 1:
+            corpus, stats = self.build_parallel_crawler().crawl(schedule)
+        else:
+            corpus, stats = self.build_crawler().crawl(schedule)
         return StudyResults(world=self.world, corpus=corpus, crawl_stats=stats)
 
     def classify(self, results: StudyResults) -> StudyResults:

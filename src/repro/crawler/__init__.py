@@ -9,8 +9,15 @@ the observed arbitration redirect chain).
 """
 
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
-from repro.crawler.crawler import Crawler, CrawlConfig
+from repro.crawler.crawler import (
+    Crawler,
+    CrawlConfig,
+    CrawlStats,
+    hermetic_visit_pinner,
+    visit_counter_for,
+)
 from repro.crawler.extraction import extract_ad_frames, observed_arbitration_chain
+from repro.crawler.parallel import CrawlWorker, ParallelCrawler
 from repro.crawler.schedule import CrawlSchedule, Visit
 
 __all__ = [
@@ -18,9 +25,14 @@ __all__ = [
     "AdRecord",
     "CrawlConfig",
     "CrawlSchedule",
+    "CrawlStats",
+    "CrawlWorker",
     "Crawler",
     "Impression",
+    "ParallelCrawler",
     "Visit",
     "extract_ad_frames",
+    "hermetic_visit_pinner",
     "observed_arbitration_chain",
+    "visit_counter_for",
 ]

@@ -4,19 +4,65 @@ Walks a :class:`~repro.crawler.schedule.CrawlSchedule`, renders each visit
 with the emulated browser, extracts the ad iframes with EasyList, and
 accumulates the deduplicated :class:`~repro.crawler.corpus.AdCorpus` plus
 crawl-wide statistics (including the §4.4 sandbox audit data).
+
+Hermetic visits
+---------------
+
+Two pieces of simulation state are *order-dependent* across page loads:
+the ecosystem's per-request impression counter (cloaking redirectors
+rotate on it) and the browser's script RNG stream.  A crawler constructed
+with a ``pin_visit`` hook (see :func:`hermetic_visit_pinner`) re-pins both
+before every visit to values derived purely from the visit's position in
+the schedule, which makes each visit's outcome a pure function of
+``(seed, world params, visit)``.  That is what lets the sharded parallel
+crawler (:mod:`repro.crawler.parallel`) produce a corpus bit-identical to
+the serial crawl at any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.browser.browser import Browser, PageLoad
 from repro.crawler.corpus import AdCorpus, Impression
 from repro.crawler.extraction import auction_hops, extract_ad_frames, observed_arbitration_chain
 from repro.crawler.schedule import CrawlSchedule, Visit
 from repro.filterlists.matcher import FilterEngine
+from repro.util.rand import fork
 from repro.web.url import UrlError, etld_plus_one, parse_url
+
+# Counter-space stride reserved per visit: each hermetic visit mints its
+# impression ids (and cloaking-rotation draws) from a private, disjoint
+# range, so imp ids never collide across visits regardless of crawl order
+# or worker count.  Stays far below the scanning service's counter base
+# (0x4000_0000, see repro.service.workers) for any realistic schedule.
+VISIT_COUNTER_STRIDE = 2048
+
+
+def visit_counter_for(visit_index: int) -> int:
+    """Canonical impression-counter base for the visit at ``visit_index``."""
+    return VISIT_COUNTER_STRIDE * visit_index
+
+
+#: Per-visit pinning hook: called with (visit, visit_index) before the load.
+VisitPinner = Callable[[Visit, int], None]
+
+
+def hermetic_visit_pinner(ecosystem: Any, browser: Browser, seed: int) -> VisitPinner:
+    """Build a ``pin_visit`` hook making every visit order-independent.
+
+    Reuses the counter-pinning hook the ecosystem already exposes for the
+    scanning service's ``hermetic_judge`` and additionally re-seeds the
+    browser's script RNG from the visit index, so a visit's page content,
+    cloaking draws and script behaviour depend only on ``(seed, visit)``.
+    """
+
+    def pin(visit: Visit, visit_index: int) -> None:
+        ecosystem.seed_request_counter(visit_counter_for(visit_index))
+        browser._script_random = fork(seed, f"crawl-visit:{visit_index}").random
+
+    return pin
 
 
 @dataclass
@@ -46,13 +92,34 @@ class CrawlStats:
             return 0.0
         return self.ad_iframes / self.iframes_seen
 
+    def merge(self, other: "CrawlStats") -> None:
+        """Fold another crawl's statistics into this one.
+
+        Every field is a sum or a set union, so merging per-shard stats in
+        any order reproduces exactly the serial crawl's aggregate.
+        """
+        self.pages_visited += other.pages_visited
+        self.pages_failed += other.pages_failed
+        self.iframes_seen += other.iframes_seen
+        self.ad_iframes += other.ad_iframes
+        self.non_ad_iframes += other.non_ad_iframes
+        self.sandboxed_ad_iframes += other.sandboxed_ad_iframes
+        self.sites_using_sandbox |= other.sites_using_sandbox
+        self.sites_with_ads |= other.sites_with_ads
+
 
 class Crawler:
     """Crawl a set of sites and build the advertisement corpus."""
 
-    def __init__(self, browser: Browser, filter_engine: FilterEngine) -> None:
+    def __init__(self, browser: Browser, filter_engine: FilterEngine,
+                 pin_visit: Optional[VisitPinner] = None) -> None:
         self.browser = browser
         self.filter_engine = filter_engine
+        self.pin_visit = pin_visit
+        # Visit URLs repeat across every refresh of every daily visit;
+        # parsing + eTLD+1 extraction is pure in the URL, so cache it.
+        # Keyed by page URL — bounded by the size of the crawl set.
+        self._site_domain_cache: dict[str, str] = {}
 
     def crawl(self, schedule: CrawlSchedule,
               corpus: Optional[AdCorpus] = None,
@@ -66,12 +133,20 @@ class Crawler:
         """
         corpus = corpus if corpus is not None else AdCorpus()
         stats = stats if stats is not None else CrawlStats()
-        for visit in schedule:
-            self.visit(visit, corpus, stats)
+        for visit_index, visit in enumerate(schedule):
+            self.visit(visit, corpus, stats, visit_index=visit_index)
         return corpus, stats
 
-    def visit(self, visit: Visit, corpus: AdCorpus, stats: CrawlStats) -> Optional[PageLoad]:
-        """Perform one page visit, folding results into ``corpus``/``stats``."""
+    def visit(self, visit: Visit, corpus: AdCorpus, stats: CrawlStats,
+              visit_index: Optional[int] = None) -> Optional[PageLoad]:
+        """Perform one page visit, folding results into ``corpus``/``stats``.
+
+        When the crawler has a ``pin_visit`` hook and the caller supplies
+        the visit's schedule position, order-dependent world state is
+        pinned first, making the visit hermetic.
+        """
+        if self.pin_visit is not None and visit_index is not None:
+            self.pin_visit(visit, visit_index)
         load = self.browser.load(visit.url)
         stats.pages_visited += 1
         if not load.ok:
@@ -83,10 +158,7 @@ class Crawler:
         ads = extract_ad_frames(frames, self.filter_engine)
         stats.ad_iframes += len(ads)
         stats.non_ad_iframes += len(iframes) - len(ads)
-        try:
-            site_domain = etld_plus_one(parse_url(visit.url).host)
-        except UrlError:
-            site_domain = visit.url
+        site_domain = self._site_domain(visit.url)
         if ads:
             stats.sites_with_ads.add(site_domain)
         for ad in ads:
@@ -107,3 +179,13 @@ class Crawler:
             )
             corpus.add(ad.frame.source_html, impression, sandboxed=ad.sandboxed)
         return load
+
+    def _site_domain(self, url: str) -> str:
+        domain = self._site_domain_cache.get(url)
+        if domain is None:
+            try:
+                domain = etld_plus_one(parse_url(url).host)
+            except UrlError:
+                domain = url
+            self._site_domain_cache[url] = domain
+        return domain

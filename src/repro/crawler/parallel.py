@@ -1,0 +1,269 @@
+"""Sharded parallel crawling with a deterministic merge.
+
+The paper's measurement is ~673k ads over 90 days × 5 refreshes — far too
+many page loads to walk through one :class:`~repro.crawler.crawler.Crawler`
+at a time.  :class:`ParallelCrawler` deals the schedule round-robin across
+N workers, each owning a **private crawl stack** (browser + filter engine
++ simulated world), crawls the shards concurrently, and merges the
+per-visit results back **in schedule order**.
+
+Determinism is the whole design:
+
+* every visit is *hermetic* — the worker's crawler pins the ecosystem's
+  impression counter and the browser's script RNG to values derived from
+  the visit's global schedule index (see
+  :func:`repro.crawler.crawler.hermetic_visit_pinner`), so a visit's
+  outcome is a pure function of ``(seed, world params, visit)``, never of
+  which worker ran it or what ran before it;
+* workers record a *tape* of ``corpus.add`` calls per visit instead of
+  touching a shared corpus, and the merge replays the tapes sorted by
+  visit index — exactly the call sequence the serial crawl would have
+  made, so ad ids, dedup decisions and the persistence fingerprint come
+  out bit-identical at any worker count;
+* statistics are sums and set-unions (:meth:`CrawlStats.merge`), which
+  are order-independent by construction.
+
+Worker isolation comes in two flavours:
+
+* ``process`` (default where available): workers are ``fork``-started
+  child processes.  The fork gives each child a private copy-on-write copy of
+  the parent's world — the "private Browser over the shared World" model —
+  and sidesteps the GIL, so page rendering genuinely runs in parallel.
+* ``thread``: workers are threads, each building a *fresh* private world
+  from ``(seed, params)`` via the factory.  Threads cannot beat the GIL
+  on this pure-Python workload, but the mode exists for platforms without
+  ``fork`` and for embedding inside already-threaded hosts (the scanning
+  service), and produces the identical corpus.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.crawler.corpus import AdCorpus, AdRecord, Impression
+from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.schedule import CrawlSchedule, Visit
+
+
+@dataclass
+class CrawlWorker:
+    """One worker's private crawl stack.
+
+    ``served_log`` optionally points at the worker world's ground-truth
+    ``Ecosystem.served_log`` so served impressions can be carried back to
+    the coordinating world (evaluation and tests read it; the measurement
+    pipeline never does).
+    """
+
+    crawler: Crawler
+    served_log: Optional[list] = None
+
+
+#: Builds a worker's stack.  Called once per worker, *inside* the worker.
+#: The argument says whether the worker runs in a private address space
+#: (forked child) — in that case a factory may safely reuse the parent's
+#: world, since the fork isolates it; thread workers must build their own.
+WorkerFactory = Callable[[bool], CrawlWorker]
+
+#: One taped ``corpus.add`` call: (creative html, impression, sandboxed).
+AdTapeEntry = Tuple[str, Impression, bool]
+
+
+class _TapeCorpus(AdCorpus):
+    """An :class:`AdCorpus` that also records every ``add`` call.
+
+    Workers crawl into one of these; the coordinator replays the tapes in
+    schedule order against the real corpus, reproducing the exact call
+    sequence (and therefore ad-id assignment) of a serial crawl.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tape: list[AdTapeEntry] = []
+
+    def add(self, html: str, impression: Impression,
+            sandboxed: bool = False) -> AdRecord:
+        self.tape.append((html, impression, sandboxed))
+        return super().add(html, impression, sandboxed=sandboxed)
+
+
+@dataclass
+class _ShardResult:
+    """Everything one worker observed, keyed by global visit index."""
+
+    visit_ads: list[tuple[int, list[AdTapeEntry]]] = field(default_factory=list)
+    visit_served: list[tuple[int, list]] = field(default_factory=list)
+    stats: CrawlStats = field(default_factory=CrawlStats)
+
+
+@dataclass
+class _ShardFailure:
+    """A worker crash, shipped back instead of a result."""
+
+    worker: int
+    error: str
+
+
+def _crawl_shard(factory: WorkerFactory, shard: list[tuple[int, Visit]],
+                 isolated: bool) -> _ShardResult:
+    """Crawl one shard of ``(visit_index, visit)`` pairs."""
+    worker = factory(isolated)
+    result = _ShardResult()
+    tape_corpus = _TapeCorpus()
+    served_log = worker.served_log
+    for visit_index, visit in shard:
+        tape_mark = len(tape_corpus.tape)
+        served_mark = len(served_log) if served_log is not None else 0
+        worker.crawler.visit(visit, tape_corpus, result.stats,
+                             visit_index=visit_index)
+        result.visit_ads.append((visit_index, tape_corpus.tape[tape_mark:]))
+        if served_log is not None:
+            result.visit_served.append((visit_index, served_log[served_mark:]))
+    return result
+
+
+def _fork_child(conn, factory: WorkerFactory, shard: list[tuple[int, Visit]],
+                worker: int) -> None:
+    try:
+        result = _crawl_shard(factory, shard, isolated=True)
+        conn.send(result)
+    except BaseException:
+        conn.send(_ShardFailure(worker, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def fork_available() -> bool:
+    """Whether ``fork``-started worker processes are supported here."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_mode(mode: str) -> str:
+    """Resolve a requested worker mode to ``process`` or ``thread``."""
+    if mode == "auto":
+        return "process" if fork_available() else "thread"
+    if mode not in ("process", "thread"):
+        raise ValueError(f"unknown crawl worker mode: {mode!r}")
+    if mode == "process" and not fork_available():
+        raise RuntimeError("process mode requires fork-style multiprocessing")
+    return mode
+
+
+class ParallelCrawler:
+    """Crawl a schedule with N workers; merge results deterministically.
+
+    Drop-in for :meth:`Crawler.crawl`: same ``(corpus, stats)`` return,
+    same support for caller-supplied corpora (including the streaming
+    corpus — the ordered merge drives its ``add`` hook exactly as a serial
+    crawl would).
+    """
+
+    def __init__(self, worker_factory: WorkerFactory, n_workers: int = 2,
+                 mode: str = "auto", served_sink: Optional[list] = None) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.worker_factory = worker_factory
+        self.n_workers = n_workers
+        self.mode = resolve_mode(mode)
+        self.served_sink = served_sink
+
+    def crawl(self, schedule: CrawlSchedule,
+              corpus: Optional[AdCorpus] = None,
+              stats: Optional[CrawlStats] = None) -> tuple[AdCorpus, CrawlStats]:
+        corpus = corpus if corpus is not None else AdCorpus()
+        stats = stats if stats is not None else CrawlStats()
+        indexed = list(enumerate(schedule))
+        n_workers = min(self.n_workers, len(indexed)) or 1
+        shards = [indexed[w::n_workers] for w in range(n_workers)]
+        if self.mode == "process" and n_workers > 1:
+            results = self._run_processes(shards)
+        else:
+            results = self._run_threads(shards)
+        self._merge(results, corpus, stats)
+        return corpus, stats
+
+    # -- execution backends --------------------------------------------------
+
+    def _run_processes(self, shards: list[list[tuple[int, Visit]]]) -> List[_ShardResult]:
+        ctx = multiprocessing.get_context("fork")
+        children = []
+        for worker, shard in enumerate(shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_fork_child,
+                args=(child_conn, self.worker_factory, shard, worker),
+                name=f"crawl-worker-{worker}",
+            )
+            process.start()
+            child_conn.close()  # parent keeps only the read end
+            children.append((worker, process, parent_conn))
+        results: List[_ShardResult] = []
+        failures: list[_ShardFailure] = []
+        for worker, process, conn in children:
+            try:
+                payload = conn.recv()
+            except EOFError:
+                payload = _ShardFailure(
+                    worker, "worker exited without sending a result")
+            finally:
+                conn.close()
+            process.join()
+            if isinstance(payload, _ShardFailure):
+                failures.append(payload)
+            else:
+                results.append(payload)
+        if failures:
+            details = "\n".join(f"[worker {f.worker}]\n{f.error}" for f in failures)
+            raise RuntimeError(f"{len(failures)} crawl worker(s) failed:\n{details}")
+        return results
+
+    def _run_threads(self, shards: list[list[tuple[int, Visit]]]) -> List[_ShardResult]:
+        slots: list[Optional[_ShardResult]] = [None] * len(shards)
+        errors: list[BaseException] = []
+
+        def run(worker: int, shard: list[tuple[int, Visit]]) -> None:
+            try:
+                slots[worker] = _crawl_shard(self.worker_factory, shard,
+                                             isolated=False)
+            except BaseException as exc:  # re-raised in the caller
+                errors.append(exc)
+
+        if len(shards) == 1:
+            run(0, shards[0])
+        else:
+            threads = [
+                threading.Thread(target=run, args=(worker, shard),
+                                 name=f"crawl-worker-{worker}")
+                for worker, shard in enumerate(shards)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        return [result for result in slots if result is not None]
+
+    # -- deterministic merge -------------------------------------------------
+
+    def _merge(self, results: List[_ShardResult], corpus: AdCorpus,
+               stats: CrawlStats) -> None:
+        visit_ads: list[tuple[int, list[AdTapeEntry]]] = []
+        for result in results:
+            visit_ads.extend(result.visit_ads)
+            stats.merge(result.stats)
+        visit_ads.sort(key=lambda entry: entry[0])
+        for _, tape in visit_ads:
+            for html, impression, sandboxed in tape:
+                corpus.add(html, impression, sandboxed=sandboxed)
+        if self.served_sink is not None:
+            visit_served: list[tuple[int, list]] = []
+            for result in results:
+                visit_served.extend(result.visit_served)
+            visit_served.sort(key=lambda entry: entry[0])
+            for _, served in visit_served:
+                self.served_sink.extend(served)

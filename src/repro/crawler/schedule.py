@@ -40,3 +40,19 @@ class CrawlSchedule:
 
     def __len__(self) -> int:
         return self.days * len(self.site_urls) * self.refreshes_per_visit
+
+    def shard(self, worker: int, n_workers: int) -> Iterator[tuple[int, Visit]]:
+        """Yield this worker's ``(visit_index, visit)`` pairs.
+
+        Visits are dealt round-robin by schedule position: worker ``w`` of
+        ``n`` gets visits ``w, w + n, w + 2n, …``.  Indices are global
+        schedule positions, so shards can be crawled independently and
+        merged back in index order to reproduce the serial crawl exactly.
+        """
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if not 0 <= worker < n_workers:
+            raise ValueError(f"worker must be in [0, {n_workers})")
+        for index, visit in enumerate(self):
+            if index % n_workers == worker:
+                yield index, visit

@@ -18,10 +18,11 @@ what an online service ships.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Union
 
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
 from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.parallel import ParallelCrawler
 from repro.crawler.schedule import CrawlSchedule
 from repro.service.service import ScanService, ScanTicket
 
@@ -44,7 +45,7 @@ class StreamingCorpus(AdCorpus):
 
 
 def stream_crawl(
-    crawler: Crawler,
+    crawler: Union[Crawler, ParallelCrawler],
     schedule: CrawlSchedule,
     service: ScanService,
 ) -> tuple[StreamingCorpus, CrawlStats, dict[str, ScanTicket]]:
@@ -54,6 +55,14 @@ def stream_crawl(
     The service's backpressure applies to the crawler itself: with a
     ``block`` queue the crawl slows to the oracle's pace, with ``reject``
     a full queue raises out of the crawl loop.
+
+    A :class:`~repro.crawler.parallel.ParallelCrawler` works here too —
+    its deterministic merge replays every first-sight creative through
+    this corpus in schedule order, so the tickets (and the first-sight
+    verdicts behind them) are identical to a serial streamed crawl.
+    Submission then happens at merge time rather than mid-crawl, trading
+    some crawl/scan overlap for the parallel crawl itself; prefer
+    ``mode="thread"`` so worker forks never race live service threads.
     """
     corpus = StreamingCorpus(service)
     _, stats = crawler.crawl(schedule, corpus=corpus)

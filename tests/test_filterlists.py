@@ -169,6 +169,88 @@ class TestShortcutIndex:
         assert e.is_ad_url("http://adhost137.com/x")
         assert not e.is_ad_url("http://example.com/x")
 
+    def test_winner_is_first_defined_rule(self):
+        # Both rules match; the reported rule must be the first-defined
+        # one regardless of which n-gram bucket surfaces it first.
+        e = engine("/banner/creative/", "/banner/")
+        result = e.match(RequestContext.for_url("http://x.com/banner/creative/1"))
+        assert result.blocked
+        assert result.rule.pattern == "/banner/creative/"
+
+    def test_winner_order_mixes_indexed_and_unindexed(self):
+        # "/ad^" is too short to index; it still wins over a later
+        # indexable rule that matches the same URL.
+        e = engine("/ad^", "||x.com/ad/banner^")
+        result = e.match(RequestContext.for_url("http://x.com/ad/banner"))
+        assert result.blocked
+        assert result.rule.pattern == "/ad^"
+
+    def test_candidates_are_duplicate_free(self):
+        from repro.filterlists.matcher import _ShortcutIndex
+        from repro.filterlists.parser import parse_rule
+
+        rules = [parse_rule("/longbanner/"), parse_rule("/ad^")]
+        index = _ShortcutIndex(rules)
+        # The shortcut "longba" occurs once but the URL repeats it.
+        url = "http://x.com/longbanner/longbanner/x"
+        candidates = index.candidates(url)
+        assert len(candidates) == len(set(id(r) for r in candidates))
+
+    def test_differential_against_unindexed_engine(self):
+        lines = [f"||adhost{i}.example^" for i in range(50)]
+        lines += ["/banner/", "/ad^", "*/promo/*.swf", "|http://start.biz/a",
+                  "track.js|", "@@||adhost7.example/ok/*"]
+        indexed = engine(*lines)
+        flat = engine(*lines)
+        # Disable the n-gram index on `flat`: every rule becomes a
+        # linear-scan candidate, the pre-index behaviour.
+        for idx in (flat._block_index, flat._exception_index):
+            idx._unindexed = sorted(
+                idx._unindexed
+                + [e for b in idx._by_shortcut.values() for e in b])
+            idx._by_shortcut = {}
+        urls = (
+            [f"http://adhost{i}.example/x.js" for i in range(0, 50, 3)]
+            + ["http://adhost7.example/ok/y", "http://x.com/banner/1",
+               "http://x.com/ad/2", "http://x.com/admin", "http://c.com/promo/a.swf",
+               "http://start.biz/abc", "http://cdn.net/track.js",
+               "http://cdn.net/track.js?x=1", "http://clean.org/page"]
+        )
+        for url in urls:
+            ctx = RequestContext.for_url(url)
+            a, b = indexed.match(ctx), flat.match(ctx)
+            assert (a.blocked, a.rule, a.exception) == (b.blocked, b.rule, b.exception)
+
+
+class TestMemo:
+    def test_memo_returns_consistent_verdicts(self):
+        e = engine("||ads.net^")
+        assert e.is_ad_url("http://ads.net/x")
+        assert e.is_ad_url("http://ads.net/x")  # served from the memo
+        assert not e.is_ad_url("http://clean.net/x")
+
+    def test_memo_is_bounded(self):
+        e = engine("||ads.net^")
+        e.MEMO_CAPACITY = 8
+        for i in range(50):
+            e.is_ad_url(f"http://host{i}.com/x")
+        assert len(e._memo) <= 8
+
+    def test_eviction_does_not_change_verdicts(self):
+        e = engine("||ads.net^")
+        e.MEMO_CAPACITY = 4
+        urls = [f"http://ads.net/{i}" for i in range(10)] + \
+               [f"http://ok{i}.org/" for i in range(10)]
+        first = [e.is_ad_url(u) for u in urls]
+        second = [e.is_ad_url(u) for u in urls]
+        assert first == second
+        assert all(first[:10]) and not any(first[10:])
+
+    def test_memo_keys_on_full_context(self):
+        e = engine("||tracker.com^$third-party")
+        assert e.is_ad_url("http://tracker.com/t.js", "http://site.com/")
+        assert not e.is_ad_url("http://tracker.com/t.js", "http://tracker.com/")
+
 
 class TestEasylistBuilder:
     def test_full_coverage_blocks_all_ad_domains(self):
