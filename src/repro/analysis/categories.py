@@ -26,11 +26,12 @@ class CategoryBreakdown:
     def shares(self) -> dict[str, float]:
         if self.total == 0:
             return {}
-        return {k: v / self.total for k, v in
-                sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)}
+        return {k: v / self.total for k, v in self.ranked()}
 
     def ranked(self) -> list[tuple[str, int]]:
-        return sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+        # Equal counts tie-break on the category name, so rendered tables
+        # are byte-stable under hash randomization.
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
 
     def render(self) -> str:
         lines = ["Figure 3: categories of sites serving malvertisements"]

@@ -109,7 +109,9 @@ def analyze_networks(results: StudyResults) -> NetworkAnalysis:
             if verdict.is_malicious:
                 per_network[name].malicious_served += 1
 
+    # Final name tie-break keeps fully tied networks in a byte-stable
+    # order under hash randomization.
     ordered = sorted(per_network.values(),
-                     key=lambda s: (s.malicious_ratio, s.malicious_served),
-                     reverse=True)
+                     key=lambda s: (-s.malicious_ratio, -s.malicious_served,
+                                    s.name))
     return NetworkAnalysis(stats=ordered, total_impressions=total_impressions)

@@ -34,7 +34,9 @@ class TldBreakdown:
         return sum(self.share(tld) for tld in GENERIC_TLDS)
 
     def ranked(self) -> list[tuple[str, int]]:
-        return sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+        # Equal counts tie-break on the TLD, so rendered tables are
+        # byte-stable under hash randomization.
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
 
     def render(self) -> str:
         lines = ["Figure 4: TLDs of sites serving malvertisements"]

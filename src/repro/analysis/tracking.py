@@ -36,7 +36,8 @@ class TrackingReport:
     sites_crawled: int
 
     def top_trackers(self, n: int = 10) -> list[TrackerStats]:
-        return sorted(self.trackers, key=lambda t: t.reach, reverse=True)[:n]
+        # Equal reach tie-breaks on the domain for byte-stable tables.
+        return sorted(self.trackers, key=lambda t: (-t.reach, t.domain))[:n]
 
     def render(self) -> str:
         lines = [f"tracking: {len(self.trackers)} cookie-setting domains "

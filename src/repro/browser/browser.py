@@ -200,6 +200,28 @@ class Browser:
         finally:
             self.client.remove_observer(load.har.observe)
 
+    # -- transport failures -------------------------------------------------------
+
+    @staticmethod
+    def _chain_failure(chain) -> Optional[str]:
+        """The failure kind if a redirect chain died mid-flight, else ``None``.
+
+        The HTTP layer terminates a broken chain with a synthetic 502 whose
+        ``x-failure`` header names the actual transport failure (nxdomain,
+        connection, timeout) instead of assuming NXDOMAIN.
+        """
+        if not chain:
+            return None
+        last = chain[-1].response
+        if last.status == 502 and "x-failure" in last.headers:
+            return last.headers["x-failure"]
+        return None
+
+    @staticmethod
+    def _failure_event(failure: str) -> str:
+        """NX failures keep feeding the cloaking heuristic; the rest don't."""
+        return ev.NX_REDIRECT if failure == "nxdomain" else ev.TRANSPORT_FAILURE
+
     # -- frame loading ----------------------------------------------------------
 
     def _load_frame(
@@ -227,10 +249,11 @@ class Browser:
         for exchange in chain[:-1]:
             load.events.record(ev.REDIRECT, str(exchange.request.url),
                                location=exchange.response.headers.get("location", ""))
-        if chain and chain[-1].response.status == 502 and \
-                chain[-1].response.headers.get("x-failure") == "nxdomain":
-            load.events.record(ev.NX_REDIRECT, str(chain[-1].request.url))
-            load.error = "redirect chain hit NXDOMAIN"
+        failure = self._chain_failure(chain)
+        if failure is not None:
+            load.events.record(self._failure_event(failure),
+                               str(chain[-1].request.url), failure=failure)
+            load.error = f"redirect chain failed: {failure}"
             return None
         final_url = response.url or target
         if response.content_type.split(";")[0].strip() in EXECUTABLE_TYPES | FLASH_TYPES:
@@ -409,9 +432,11 @@ class Browser:
         for exchange in chain[:-1]:
             ctx.load.events.record(ev.REDIRECT, str(exchange.request.url),
                                    location=exchange.response.headers.get("location", ""))
-        if chain[-1].response.status == 502 and \
-                chain[-1].response.headers.get("x-failure") == "nxdomain":
-            ctx.record(ev.NX_REDIRECT, url=str(chain[-1].request.url), resource=kind)
+        failure = self._chain_failure(chain)
+        if failure is not None:
+            ctx.record(self._failure_event(failure),
+                       url=str(chain[-1].request.url), resource=kind,
+                       failure=failure)
             return None
         ctx.record(ev.RESOURCE_LOAD, url=str(response.url or url), resource=kind,
                    status=response.status)
@@ -441,9 +466,10 @@ class Browser:
         for exchange in chain[:-1]:
             ctx.load.events.record(ev.REDIRECT, str(exchange.request.url),
                                    location=exchange.response.headers.get("location", ""))
-        if chain[-1].response.status == 502 and \
-                chain[-1].response.headers.get("x-failure") == "nxdomain":
-            ctx.record(ev.NX_REDIRECT, url=str(chain[-1].request.url))
+        failure = self._chain_failure(chain)
+        if failure is not None:
+            ctx.record(self._failure_event(failure),
+                       url=str(chain[-1].request.url), failure=failure)
             return
         content_type = response.content_type.split(";")[0].strip()
         final_url = str(response.url or resolved)

@@ -30,6 +30,7 @@ POPUP = "popup"                          # window.open
 COOKIE_SET = "cookie_set"
 REDIRECT = "redirect"                    # HTTP-level redirect observed
 NX_REDIRECT = "nx_redirect"              # redirect chain hit NXDOMAIN
+TRANSPORT_FAILURE = "transport_failure"  # chain died for a non-DNS reason
 
 
 @dataclass

@@ -1,0 +1,39 @@
+"""Deterministic chaos: seeded fault injection for the crawl/scan pipeline.
+
+The paper's measurement infrastructure survived three months of a
+decaying, adversarial web.  This package makes that hostility a
+first-class, *replayable* test input: a :class:`FaultPlan` derives every
+fault decision from a seed by hashing, so the same seed produces the
+bit-identical fault sequence at any worker count, and the recovery
+machinery (crawler retries, checkpoints, worker supervision, the scan
+service's circuit breakers) can be regression-tested differentially
+against the fault-free run.
+"""
+
+from repro.chaos.faults import (
+    ChaosDnsResolver,
+    ChaosHttpClient,
+    ChaosStats,
+    InjectedFault,
+)
+from repro.chaos.plan import (
+    BENIGN_KINDS,
+    FAULT_KINDS,
+    PROFILES,
+    Fault,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "BENIGN_KINDS",
+    "ChaosDnsResolver",
+    "ChaosHttpClient",
+    "ChaosStats",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PROFILES",
+]

@@ -1,0 +1,213 @@
+"""Fault-injecting wrappers for the simulated transport layer.
+
+:class:`ChaosHttpClient` and :class:`ChaosDnsResolver` sit in front of the
+real :class:`~repro.web.http.HttpClient` / :class:`~repro.web.dns.DnsResolver`
+and consult a :class:`~repro.chaos.plan.FaultPlan` on every request.  The
+wrappers are transparent proxies — everything they do not intercept
+delegates to the wrapped object — so the browser, HAR capture and cookie
+machinery work unchanged on top of them.
+
+The crawl retry loop drives the attempt protocol: before each attempt it
+calls :meth:`ChaosHttpClient.begin_attempt` with a scope naming the unit
+of work and the retry counter, which resets per-URL repeat numbering.
+Fault decisions are then pure in ``(plan, scope, url, repeat, attempt)``
+— identical at any worker count and across resumed runs.  Between
+``begin_attempt`` calls the wrapper injects nothing extra; the plan alone
+decides.
+
+Injected faults split into *corrupting* (the observed content differs
+from the fault-free world: connection/timeout/NXDOMAIN/5xx/truncation/
+garbling) and *benign* (``slow`` — latency is simulated and accounted,
+content is untouched).  The crawler only retries attempts that saw a
+corrupting fault.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chaos.plan import BENIGN_KINDS, Fault, FaultPlan
+from repro.web.dns import NxDomainError
+from repro.web.http import (
+    ConnectionFailed,
+    Exchange,
+    HttpRequest,
+    HttpResponse,
+    RequestTimeout,
+)
+from repro.web.url import UrlError, parse_url
+
+
+@dataclass
+class InjectedFault:
+    """One fault the wrapper actually fired (the replayable chaos log)."""
+
+    scope: str
+    url: str
+    repeat: int
+    attempt: int
+    kind: str
+
+
+@dataclass
+class ChaosStats:
+    """What one chaos wrapper injected, by kind; merge-safe sums."""
+
+    by_kind: dict[str, int] = field(default_factory=dict)
+    injected_total: int = 0
+    corrupting_total: int = 0
+    slow_seconds: float = 0.0
+    log: list[InjectedFault] = field(default_factory=list)
+
+    def record(self, fault: InjectedFault, delay: float = 0.0) -> None:
+        self.by_kind[fault.kind] = self.by_kind.get(fault.kind, 0) + 1
+        self.injected_total += 1
+        if fault.kind in BENIGN_KINDS:
+            self.slow_seconds += delay
+        else:
+            self.corrupting_total += 1
+        self.log.append(fault)
+
+    def merge(self, other: "ChaosStats") -> None:
+        for kind, count in other.by_kind.items():
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        self.injected_total += other.injected_total
+        self.corrupting_total += other.corrupting_total
+        self.slow_seconds += other.slow_seconds
+        self.log.extend(other.log)
+
+
+class ChaosHttpClient:
+    """An :class:`~repro.web.http.HttpClient` proxy that injects faults.
+
+    Only :meth:`fetch` is intercepted; every other attribute (``mount``,
+    ``add_observer``, ``cookie_jar``, ``resolver`` …) passes through to
+    the wrapped client.
+    """
+
+    def __init__(self, inner: Any, plan: FaultPlan,
+                 stats: Optional[ChaosStats] = None) -> None:
+        self._inner = inner
+        self.plan = plan
+        self.stats = stats if stats is not None else ChaosStats()
+        self._lock = threading.Lock()
+        self._scope = ""
+        self._attempt = 0
+        self._repeats: dict[str, int] = {}
+        #: Monotonic count of corrupting faults; the crawl retry loop
+        #: snapshots it around an attempt to detect a dirty page load.
+        self.corrupting_faults = 0
+
+    # -- attempt protocol ----------------------------------------------------
+
+    def begin_attempt(self, scope: str, attempt: int) -> None:
+        """Open a new attempt scope; resets per-URL repeat numbering."""
+        with self._lock:
+            self._scope = scope
+            self._attempt = attempt
+            self._repeats = {}
+
+    # -- the intercepted call ------------------------------------------------
+
+    def fetch(self, url: Any, **kwargs: Any):
+        key = str(url)
+        with self._lock:
+            repeat = self._repeats.get(key, 0)
+            self._repeats[key] = repeat + 1
+            scope, attempt = self._scope, self._attempt
+        fault = self.plan.decide(scope, key, repeat, attempt)
+        if fault is None:
+            return self._inner.fetch(url, **kwargs)
+        self._record(InjectedFault(scope, key, repeat, attempt, fault.kind),
+                     fault)
+        return self._inject(url, key, fault, kwargs)
+
+    def _record(self, entry: InjectedFault, fault: Fault) -> None:
+        with self._lock:
+            self.stats.record(entry, delay=fault.delay)
+            if fault.kind not in BENIGN_KINDS:
+                self.corrupting_faults += 1
+
+    def _inject(self, url: Any, key: str, fault: Fault, kwargs: dict):
+        if fault.kind == "slow":
+            # Latency is simulated (accounted in stats), content untouched.
+            return self._inner.fetch(url, **kwargs)
+        if fault.kind == "connection":
+            raise ConnectionFailed(f"chaos: injected connection failure ({key})")
+        if fault.kind == "timeout":
+            raise RequestTimeout(f"chaos: injected timeout ({key})")
+        if fault.kind == "nxdomain":
+            raise NxDomainError(self._host_of(key))
+        if fault.kind == "http_503":
+            parsed = self._parse(url)
+            response = HttpResponse(503, {"x-chaos": "http_503"},
+                                    b"chaos: service unavailable", url=parsed)
+            request = HttpRequest(parsed) if parsed is not None else None
+            chain = [Exchange(request, response)] if request is not None else []
+            return response, chain
+        # truncate / garble: real fetch, then corrupt a copy of the body.
+        response, chain = self._inner.fetch(url, **kwargs)
+        body = response.body
+        if fault.kind == "truncate":
+            body = body[: len(body) // 2]
+        else:  # garble
+            prefix = bytes(b ^ 0x2A for b in body[:256])
+            body = prefix + body[256:]
+        corrupted = HttpResponse(response.status, dict(response.headers),
+                                 body, url=response.url)
+        return corrupted, chain
+
+    @staticmethod
+    def _parse(url: Any):
+        try:
+            return parse_url(url) if isinstance(url, str) else url
+        except UrlError:
+            return None
+
+    @classmethod
+    def _host_of(cls, key: str) -> str:
+        parsed = cls._parse(key)
+        return parsed.host if parsed is not None else key
+
+    # -- transparent proxy ---------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class ChaosDnsResolver:
+    """A :class:`~repro.web.dns.DnsResolver` proxy with flapping NXDOMAIN.
+
+    Each name's resolution count plays the ``attempt`` role, so a plan
+    with sticky ``nxdomain`` faults makes a name fail its first k lookups
+    and then recover — the mid-study takedown-and-return pattern.  Only
+    ``nxdomain`` faults apply at this layer; other kinds are ignored.
+    """
+
+    SCOPE = "dns"
+
+    def __init__(self, inner: Any, plan: FaultPlan,
+                 stats: Optional[ChaosStats] = None) -> None:
+        self._inner = inner
+        self.plan = plan
+        self.stats = stats if stats is not None else ChaosStats()
+        self._lock = threading.Lock()
+        self._lookups: dict[str, int] = {}
+
+    def resolve(self, name: str):
+        key = name.lower().rstrip(".")
+        with self._lock:
+            lookup = self._lookups.get(key, 0)
+            self._lookups[key] = lookup + 1
+        fault = self.plan.decide(self.SCOPE, key, 0, lookup)
+        if fault is not None and fault.kind == "nxdomain":
+            with self._lock:
+                self.stats.record(
+                    InjectedFault(self.SCOPE, key, 0, lookup, fault.kind))
+            raise NxDomainError(key)
+        return self._inner.resolve(name)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)

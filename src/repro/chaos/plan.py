@@ -1,0 +1,188 @@
+"""Seeded, deterministic fault planning.
+
+The paper's three-month crawl ran against a web that kept breaking
+underneath it: publishers died, ad servers flapped, campaigns were taken
+down mid-study.  Reproducing that hostility on demand — and *exactly* the
+same way every run — is what :class:`FaultPlan` does.
+
+A plan never flips a coin at call time.  Every decision is a pure
+function of ``(plan seed, scope, url, repeat, attempt)``:
+
+* ``scope`` identifies the unit of work being attempted (the crawler uses
+  ``"day:refresh:page-url"``, the DNS wrapper uses ``"dns"``), so the
+  fault pattern for a visit does not depend on which worker runs it or
+  what ran before it;
+* ``repeat`` numbers same-URL fetches within one attempt (a page that
+  loads the same tracker twice gets two independent draws);
+* ``attempt`` is the retry counter.  A drawn fault carries a *stickiness*
+  (how many consecutive attempts it keeps firing for); once ``attempt``
+  reaches that stickiness the fault clears.  With ``max_sticky`` no larger
+  than the retry budget every injected fault is transient, which is what
+  lets a chaos crawl converge to the fault-free corpus fingerprint.
+
+Because the decision is hash-addressed rather than drawn from a stream,
+the same seed produces bit-identical fault sequences at any worker count,
+in any execution order, and across resumed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Everything the injection layer knows how to break.
+FAULT_KINDS = (
+    "connection",   # transport-level connection failure
+    "timeout",      # request never completes
+    "nxdomain",     # name resolution fails (flapping NXDOMAIN)
+    "http_503",     # transient upstream 5xx
+    "truncate",     # response body cut short mid-transfer
+    "garble",       # response body corrupted in flight
+    "slow",         # response arrives, but late (benign to content)
+)
+
+#: Kinds that delay but do not corrupt the observed content.
+BENIGN_KINDS = frozenset({"slow"})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault: what breaks and for how many attempts."""
+
+    kind: str
+    sticky: int = 1        # fires while attempt < sticky
+    delay: float = 0.0     # simulated extra latency (``slow`` faults)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """A schedule-targeted fault: break requests matching a substring.
+
+    Rules are checked before the rate draw, so tests (and reproductions of
+    a specific outage) can pin exactly which requests fail and for how
+    many attempts, independent of the plan's random rate.
+    """
+
+    match: str             # substring of the request URL / DNS name
+    kind: str
+    attempts: int = 1      # fault the first N attempts, then clear
+
+
+class FaultPlan:
+    """Deterministic fault schedule for one chaos run.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed; the entire fault sequence is a pure function of it.
+    rate:
+        Probability in ``[0, 1]`` that any given request draws a fault.
+    kinds:
+        Fault kinds the rate draw chooses between.
+    max_sticky:
+        Upper bound on a drawn fault's stickiness (attempts it survives).
+        Keep ``max_sticky <= retry budget`` for transient-only chaos.
+    rules:
+        Schedule-targeted :class:`FaultRule` entries, checked first.
+    slow_delay:
+        Simulated latency attached to ``slow`` faults.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 0.0,
+        kinds: Sequence[str] = FAULT_KINDS,
+        max_sticky: int = 1,
+        rules: Sequence[FaultRule] = (),
+        slow_delay: float = 0.25,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if max_sticky < 1:
+            raise ValueError("max_sticky must be at least 1")
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {unknown}")
+        for rule in rules:
+            if rule.kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind in rule: {rule.kind!r}")
+            if rule.attempts < 1:
+                raise ValueError("rule attempts must be at least 1")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.max_sticky = max_sticky
+        self.rules = tuple(rules)
+        self.slow_delay = slow_delay
+
+    def decide(self, scope: str, url: str, repeat: int,
+               attempt: int) -> Optional[Fault]:
+        """The fault (if any) for this request, or ``None``.
+
+        Pure in ``(seed, scope, url, repeat, attempt)`` — no internal
+        state, so the same arguments always return the same answer.
+        """
+        for rule in self.rules:
+            if rule.match in url:
+                if attempt < rule.attempts:
+                    return Fault(rule.kind, sticky=rule.attempts,
+                                 delay=self.slow_delay)
+                return None
+        if self.rate <= 0.0 or not self.kinds:
+            return None
+        digest = hashlib.sha256(
+            f"{self.seed}|{scope}|{url}|{repeat}".encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        if draw >= self.rate:
+            return None
+        kind = self.kinds[digest[8] % len(self.kinds)]
+        sticky = 1 + digest[9] % self.max_sticky
+        if attempt >= sticky:
+            return None  # transient fault already cleared
+        return Fault(kind, sticky=sticky, delay=self.slow_delay)
+
+    def fingerprint(self, scope: str, urls: Sequence[str]) -> str:
+        """Stable hash of the fault sequence this plan assigns to ``urls``.
+
+        Two plans with the same seed and config fingerprint identically —
+        the replayability check chaos tests assert on.
+        """
+        parts = []
+        for repeat, url in enumerate(urls):
+            fault = self.decide(scope, url, repeat, attempt=0)
+            parts.append(f"{url}:{fault.kind if fault else '-'}")
+        joined = "\n".join(parts)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    # -- profiles ------------------------------------------------------------
+
+    @classmethod
+    def profile(cls, name: str, seed: int) -> "FaultPlan":
+        """A named chaos profile (what ``--chaos-profile`` selects)."""
+        try:
+            factory = PROFILES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown chaos profile: {name!r} "
+                f"(expected one of {sorted(PROFILES)})") from None
+        return factory(seed)
+
+
+#: Named profiles: name -> seed -> plan.  ``max_sticky`` stays within the
+#: default retry budget so every profile is transient-recoverable.
+PROFILES = {
+    "none": lambda seed: FaultPlan(seed, rate=0.0),
+    "transient": lambda seed: FaultPlan(
+        seed, rate=0.08,
+        kinds=("connection", "timeout", "nxdomain", "http_503",
+               "truncate", "garble"),
+        max_sticky=1),
+    "flaky-dns": lambda seed: FaultPlan(
+        seed, rate=0.15, kinds=("nxdomain",), max_sticky=1),
+    "slow": lambda seed: FaultPlan(
+        seed, rate=0.25, kinds=("slow",), max_sticky=1),
+    "aggressive": lambda seed: FaultPlan(
+        seed, rate=0.2, kinds=FAULT_KINDS, max_sticky=2),
+}

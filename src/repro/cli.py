@@ -47,12 +47,35 @@ def _add_crawl_worker_args(parser: argparse.ArgumentParser,
                              "bit-identical at any worker count)")
 
 
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    from repro.chaos.plan import PROFILES
+
+    parser.add_argument("--chaos-profile", choices=sorted(PROFILES),
+                        default="none",
+                        help="seeded fault-injection profile for the crawl's "
+                             "transport layer")
+    parser.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                        help="fault-plan seed (default: the study seed); the "
+                             "same seed replays the identical fault sequence")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra page-load attempts after a failed or "
+                             "chaos-corrupted visit")
+    parser.add_argument("--max-worker-restarts", type=int, default=0,
+                        metavar="N",
+                        help="crashed parallel-crawl workers respawned before "
+                             "the crawl gives up")
+
+
 def _config_from(args: argparse.Namespace) -> StudyConfig:
     return StudyConfig(
         seed=args.seed,
         days=args.days,
         refreshes_per_visit=args.refreshes,
         crawl_workers=getattr(args, "crawl_workers", 1),
+        chaos_profile=getattr(args, "chaos_profile", "none"),
+        chaos_seed=getattr(args, "chaos_seed", None),
+        crawl_retries=getattr(args, "retries", 0),
+        max_worker_restarts=getattr(args, "max_worker_restarts", 0),
         world_params=WorldParams(
             n_top_sites=args.sites,
             n_bottom_sites=args.sites,
@@ -63,7 +86,14 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    results = run_study(_config_from(args))
+    from repro.core.study import Study
+
+    study = Study(_config_from(args))
+    results = study.classify(study.crawl(
+        resume_from=args.resume_from,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    ))
     report = build_report(results)
     print(report.render_markdown() if args.markdown else report.render())
     if args.save_corpus:
@@ -258,14 +288,22 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run the full pipeline and report")
     _add_scale_args(study)
     _add_crawl_worker_args(study)
+    _add_chaos_args(study)
     study.add_argument("--markdown", action="store_true")
     study.add_argument("--save-corpus", metavar="PATH")
     study.add_argument("--save-verdicts", metavar="PATH")
+    study.add_argument("--checkpoint", metavar="PATH",
+                       help="snapshot crawl progress to this file")
+    study.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                       help="visits between crawl checkpoints")
+    study.add_argument("--resume-from", metavar="PATH",
+                       help="resume the crawl from a checkpoint file")
     study.set_defaults(fn=_cmd_study)
 
     figures = sub.add_parser("figures", help="print every table and figure")
     _add_scale_args(figures)
     _add_crawl_worker_args(figures)
+    _add_chaos_args(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     counter = sub.add_parser("countermeasures", help="evaluate the §5 defences")
@@ -289,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2,
                        help="oracle worker threads")
     _add_crawl_worker_args(serve, flag="--crawl-workers")
+    _add_chaos_args(serve)
     serve.add_argument("--corpus", metavar="PATH",
                        help="replay a saved corpus instead of crawling")
     serve.add_argument("--stream", action="store_true",

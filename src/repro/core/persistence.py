@@ -12,12 +12,14 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Union
 
 from repro.core.oracle import AdVerdict
 from repro.core.results import StudyResults
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
+from repro.crawler.crawler import CrawlStats
 
 PathLike = Union[str, Path]
 
@@ -104,11 +106,24 @@ def save_corpus(corpus: AdCorpus, path: PathLike) -> int:
     return count
 
 
+def _replay_record_into(corpus: AdCorpus, data: dict) -> None:
+    """Re-add one serialized record through the corpus's normal dedup path."""
+    impressions = [_impression_from_dict(i) for i in data["impressions"]]
+    if not impressions:
+        return
+    corpus.add(data["html"], impressions[0],
+               sandboxed=data.get("sandboxed_anywhere", False))
+    for impression in impressions[1:]:
+        corpus.add(data["html"], impression)
+
+
 def load_corpus(path: PathLike) -> AdCorpus:
     """Reload a corpus saved by :func:`save_corpus`.
 
     Records are re-added through the normal dedup path, so loading a file
     produced by concatenating two sessions' corpora merges them correctly.
+    Because records are stored in ad-id order, a single-session reload
+    also reproduces every ad id (and the corpus id counter) exactly.
     """
     corpus = AdCorpus()
     with Path(path).open("r", encoding="utf-8") as handle:
@@ -118,14 +133,7 @@ def load_corpus(path: PathLike) -> AdCorpus:
                 continue
             data = json.loads(line)
             check_format_version(data, what="corpus record")
-            impressions = [_impression_from_dict(i) for i in data["impressions"]]
-            if not impressions:
-                continue
-            record = corpus.add(data["html"], impressions[0],
-                                sandboxed=data.get("sandboxed_anywhere", False))
-            for impression in impressions[1:]:
-                corpus.add(data["html"], impression)
-            _ = record
+            _replay_record_into(corpus, data)
     return corpus
 
 
@@ -140,6 +148,133 @@ def corpus_fingerprint(corpus: AdCorpus) -> str:
     canonical = json.dumps([record_to_dict(r) for r in corpus.records()],
                            sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- crawl checkpoints -----------------------------------------------------------
+#
+# A checkpoint is one JSONL file: a header line carrying the schedule
+# cursor (the next visit index to run) and the crawl stats, followed by
+# the corpus in the usual one-record-per-line form.  Writes go through a
+# temp file + os.replace, so a crawl killed mid-checkpoint always leaves
+# the previous complete checkpoint behind — never a torn file.
+
+
+def crawl_stats_to_dict(stats: CrawlStats) -> dict:
+    """Serialize :class:`CrawlStats` (sets become sorted lists)."""
+    out: dict = {}
+    for name, value in vars(stats).items():
+        out[name] = sorted(value) if isinstance(value, set) else value
+    return out
+
+
+def crawl_stats_from_dict(data: dict) -> CrawlStats:
+    """Rebuild :class:`CrawlStats` from :func:`crawl_stats_to_dict` output.
+
+    Unknown keys are rejected (a torn or foreign file should fail loudly);
+    missing keys keep their defaults, so old checkpoints stay readable
+    when new counters are added.
+    """
+    stats = CrawlStats()
+    known = vars(stats)
+    for name, value in data.items():
+        if name not in known:
+            raise ValueError(f"crawl stats has unknown field {name!r}")
+        if isinstance(known[name], set):
+            value = set(value)
+        setattr(stats, name, value)
+    return stats
+
+
+def save_crawl_checkpoint(path: PathLike, cursor: int, corpus: AdCorpus,
+                          stats: CrawlStats) -> Path:
+    """Atomically write a crawl checkpoint; returns the final path.
+
+    ``cursor`` is the index of the next visit to execute — a crawl resumed
+    with ``start_at=cursor`` continues exactly where this snapshot left
+    off.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    header = {
+        "version": FORMAT_VERSION,
+        "kind": "crawl_checkpoint",
+        "cursor": cursor,
+        "stats": crawl_stats_to_dict(stats),
+    }
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True))
+        handle.write("\n")
+        for record in corpus.records():
+            handle.write(json.dumps(record_to_dict(record), sort_keys=True))
+            handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_crawl_checkpoint(path: PathLike) -> tuple[int, AdCorpus, CrawlStats]:
+    """Reload ``(cursor, corpus, stats)`` from a checkpoint file.
+
+    The corpus is rebuilt through the normal dedup path in stored (ad-id)
+    order, reproducing every ad id and the id counter exactly, so visits
+    run after a resume mint the same ids they would have in an unbroken
+    crawl.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline().strip()
+        if not header_line:
+            raise ValueError(f"checkpoint {path} is empty")
+        header = json.loads(header_line)
+        check_format_version(header, what="crawl checkpoint")
+        if header.get("kind") != "crawl_checkpoint":
+            raise ValueError(
+                f"{path} is not a crawl checkpoint "
+                f"(kind={header.get('kind')!r})")
+        cursor = header["cursor"]
+        if not isinstance(cursor, int) or cursor < 0:
+            raise ValueError(f"checkpoint cursor must be a non-negative int, "
+                             f"got {cursor!r}")
+        corpus = AdCorpus()
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            check_format_version(data, what="corpus record")
+            _replay_record_into(corpus, data)
+    return cursor, corpus, crawl_stats_from_dict(header["stats"])
+
+
+class CrawlCheckpointer:
+    """A crawl ``progress`` hook that snapshots every N completed visits.
+
+    Pass an instance as ``Crawler.crawl(progress=...)`` (or via
+    ``Study.crawl(checkpoint_path=..., checkpoint_every=...)``).  The
+    cursor written is ``visit_index + 1`` — checkpoints describe *completed*
+    work, so a crawl killed between checkpoints replays at most
+    ``every - 1`` visits on resume, and replayed visits are hermetic so the
+    result is identical either way.
+    """
+
+    def __init__(self, path: PathLike, every: int = 25) -> None:
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.path = Path(path)
+        self.every = every
+        self.saves = 0
+        self.last_cursor: int | None = None
+
+    def __call__(self, visit_index: int, corpus: AdCorpus,
+                 stats: CrawlStats) -> None:
+        if (visit_index + 1) % self.every:
+            return
+        self.save(visit_index + 1, corpus, stats)
+
+    def save(self, cursor: int, corpus: AdCorpus, stats: CrawlStats) -> None:
+        """Force a snapshot at ``cursor`` regardless of the interval."""
+        save_crawl_checkpoint(self.path, cursor, corpus, stats)
+        self.saves += 1
+        self.last_cursor = cursor
 
 
 def verdicts_to_dicts(results: StudyResults) -> list[dict]:

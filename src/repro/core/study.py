@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.browser.browser import Browser
+from repro.chaos.faults import ChaosHttpClient
+from repro.chaos.plan import FaultPlan
 from repro.core.oracle import CombinedOracle
 from repro.core.results import StudyResults
-from repro.crawler.crawler import Crawler, hermetic_visit_pinner
+from repro.crawler.crawler import Crawler, RetryPolicy, hermetic_visit_pinner
 from repro.crawler.parallel import CrawlWorker, ParallelCrawler
 from repro.crawler.schedule import CrawlSchedule
 from repro.datasets.world import World, WorldParams, build_world
@@ -42,6 +44,21 @@ class StudyConfig:
     crawl_workers: int = 1
     #: ``process`` (fork), ``thread``, or ``auto`` (process if available).
     crawl_worker_mode: str = "auto"
+    #: Fault-injection profile (see :data:`repro.chaos.plan.PROFILES`).
+    #: ``"none"`` crawls the unperturbed world.
+    chaos_profile: str = "none"
+    #: Seed for the fault plan; defaults to the study seed so a chaos run
+    #: is fully determined by the study config.
+    chaos_seed: Optional[int] = None
+    #: Extra page-load attempts after a failed/corrupted visit.  With the
+    #: ``transient`` chaos profile, 1 retry is enough to reconverge on the
+    #: fault-free corpus (every fault clears after its first attempt).
+    crawl_retries: int = 0
+    #: Cap on total retries per crawl (per worker); ``None`` = unlimited.
+    crawl_retry_budget: Optional[int] = None
+    #: How many crashed parallel-crawl workers may be respawned before
+    #: the crawl gives up.
+    max_worker_restarts: int = 0
 
 
 class Study:
@@ -57,20 +74,49 @@ class Study:
         self.config = config or StudyConfig()
         self.world = world or build_world(self.config.seed, self.config.world_params)
 
+    def build_fault_plan(self) -> Optional[FaultPlan]:
+        """The study's fault plan, or ``None`` for a fault-free crawl.
+
+        Pure in the config: the same ``(chaos_profile, chaos_seed)`` builds
+        a plan making identical decisions everywhere — which is why every
+        parallel worker can hold its own wrapper around its own transport
+        and the crawl still sees one consistent faulty world.
+        """
+        if self.config.chaos_profile == "none":
+            return None
+        seed = self.config.chaos_seed
+        if seed is None:
+            seed = self.config.seed
+        return FaultPlan.profile(self.config.chaos_profile, seed)
+
+    def build_retry_policy(self) -> Optional[RetryPolicy]:
+        if self.config.crawl_retries <= 0:
+            return None
+        return RetryPolicy(max_retries=self.config.crawl_retries,
+                           budget=self.config.crawl_retry_budget)
+
     def build_crawler(self, world: Optional[World] = None) -> Crawler:
         """Build a hermetic crawler over ``world`` (default: the study's).
 
         The crawler carries the per-visit pinning hook, so every visit's
         outcome depends only on ``(seed, world params, visit)`` — the
         property the sharded parallel crawl relies on, and what makes the
-        serial crawl independent of schedule slicing.
+        serial crawl independent of schedule slicing.  With a chaos
+        profile configured, the world's transport is wrapped in a
+        fault-injecting proxy (one private wrapper per crawler, shared
+        pure plan).
         """
         world = world if world is not None else self.world
+        client = world.client
+        plan = self.build_fault_plan()
+        if plan is not None:
+            client = ChaosHttpClient(client, plan)
         rng = fork(self.config.seed, "crawler-browser")
-        browser = Browser(world.client, script_random=rng.random)
+        browser = Browser(client, script_random=rng.random)
         engine = FilterEngine.from_text(world.easylist_text)
         pin = hermetic_visit_pinner(world.ecosystem, browser, self.config.seed)
-        return Crawler(browser, engine, pin_visit=pin)
+        return Crawler(browser, engine, pin_visit=pin,
+                       retry=self.build_retry_policy())
 
     def build_crawl_worker(self, isolated: bool) -> CrawlWorker:
         """:class:`ParallelCrawler` worker factory (runs inside the worker).
@@ -96,6 +142,7 @@ class Study:
             n_workers=workers if workers is not None else self.config.crawl_workers,
             mode=mode if mode is not None else self.config.crawl_worker_mode,
             served_sink=self.world.ecosystem.served_log,
+            max_restarts=self.config.max_worker_restarts,
         )
 
     def build_schedule(self) -> CrawlSchedule:
@@ -114,18 +161,49 @@ class Study:
         return CombinedOracle(wepawet, blacklists, virustotal,
                               vt_threshold=self.config.vt_threshold)
 
-    def crawl(self) -> StudyResults:
+    def crawl(self, resume_from: Optional[str] = None,
+              checkpoint_path: Optional[str] = None,
+              checkpoint_every: int = 25) -> StudyResults:
         """Phase 1: crawl every site on the schedule.
 
         With ``config.crawl_workers > 1`` the schedule is sharded across
         parallel workers; the merged corpus and stats are bit-identical to
         the serial crawl's.
+
+        ``resume_from`` reloads a checkpoint written by an earlier crawl
+        and continues at its cursor; visits are hermetic, so the resumed
+        crawl's result is bit-identical to an uninterrupted run.
+        ``checkpoint_path`` enables snapshotting every
+        ``checkpoint_every`` completed visits (serial crawl; a parallel
+        crawl checkpoints at merge time), plus a final snapshot at the end
+        of the schedule.
         """
+        from repro.core.persistence import (
+            CrawlCheckpointer,
+            load_crawl_checkpoint,
+        )
+
         schedule = self.build_schedule()
+        start_at = 0
+        corpus = stats = None
+        if resume_from is not None:
+            start_at, corpus, stats = load_crawl_checkpoint(resume_from)
+        progress = None
+        checkpointer = None
+        if checkpoint_path is not None:
+            checkpointer = CrawlCheckpointer(checkpoint_path,
+                                             every=checkpoint_every)
+            progress = checkpointer
         if self.config.crawl_workers > 1:
-            corpus, stats = self.build_parallel_crawler().crawl(schedule)
+            corpus, stats = self.build_parallel_crawler().crawl(
+                schedule, corpus=corpus, stats=stats,
+                start_at=start_at, progress=progress)
         else:
-            corpus, stats = self.build_crawler().crawl(schedule)
+            corpus, stats = self.build_crawler().crawl(
+                schedule, corpus=corpus, stats=stats,
+                start_at=start_at, progress=progress)
+        if checkpointer is not None:
+            checkpointer.save(len(schedule), corpus, stats)
         return StudyResults(world=self.world, corpus=corpus, crawl_stats=stats)
 
     def classify(self, results: StudyResults) -> StudyResults:

@@ -21,6 +21,7 @@ the serial crawl at any worker count.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -73,6 +74,38 @@ class CrawlConfig:
     refreshes_per_visit: int = 5
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-visit retry with capped deterministic exponential backoff.
+
+    ``max_retries`` extra attempts follow a failed (or chaos-corrupted)
+    page load.  The backoff sequence is a pure function of the attempt
+    number — ``min(max_delay, base_delay * 2**attempt)`` — so a retried
+    crawl is as replayable as an unretried one.  ``budget`` caps total
+    retries across one ``crawl()`` call (per worker in a sharded crawl);
+    once spent, failures are accepted on their first attempt.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.0
+    max_delay: float = 2.0
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative (or None)")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-indexed)."""
+        if self.base_delay <= 0:
+            return 0.0
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+
 @dataclass
 class CrawlStats:
     """Aggregate statistics of one crawl."""
@@ -85,6 +118,12 @@ class CrawlStats:
     sandboxed_ad_iframes: int = 0
     sites_using_sandbox: set[str] = field(default_factory=set)
     sites_with_ads: set[str] = field(default_factory=set)
+    # Recovery bookkeeping (all zero on a fault-free, retry-free crawl,
+    # so stats equality with legacy runs is preserved).
+    retries: int = 0             # extra page-load attempts performed
+    visits_recovered: int = 0    # visits that failed first but succeeded on retry
+    faults_seen: int = 0         # corrupting chaos faults observed during loads
+    worker_restarts: int = 0     # crashed shard workers that were respawned
 
     @property
     def ad_iframe_fraction(self) -> float:
@@ -106,16 +145,31 @@ class CrawlStats:
         self.sandboxed_ad_iframes += other.sandboxed_ad_iframes
         self.sites_using_sandbox |= other.sites_using_sandbox
         self.sites_with_ads |= other.sites_with_ads
+        self.retries += other.retries
+        self.visits_recovered += other.visits_recovered
+        self.faults_seen += other.faults_seen
+        self.worker_restarts += other.worker_restarts
+
+
+#: Progress hook for checkpointing: called after every completed visit
+#: with (visit_index, corpus, stats).  See CrawlCheckpointer in
+#: :mod:`repro.core.persistence`.
+CrawlProgress = Callable[[int, AdCorpus, "CrawlStats"], None]
 
 
 class Crawler:
     """Crawl a set of sites and build the advertisement corpus."""
 
     def __init__(self, browser: Browser, filter_engine: FilterEngine,
-                 pin_visit: Optional[VisitPinner] = None) -> None:
+                 pin_visit: Optional[VisitPinner] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.browser = browser
         self.filter_engine = filter_engine
         self.pin_visit = pin_visit
+        self.retry = retry
+        self._sleep = sleep
+        self._retry_budget_left: Optional[int] = None if retry is None else retry.budget
         # Visit URLs repeat across every refresh of every daily visit;
         # parsing + eTLD+1 extraction is pure in the URL, so cache it.
         # Keyed by page URL — bounded by the size of the crawl set.
@@ -123,18 +177,30 @@ class Crawler:
 
     def crawl(self, schedule: CrawlSchedule,
               corpus: Optional[AdCorpus] = None,
-              stats: Optional[CrawlStats] = None) -> tuple[AdCorpus, CrawlStats]:
+              stats: Optional[CrawlStats] = None,
+              start_at: int = 0,
+              progress: Optional[CrawlProgress] = None) -> tuple[AdCorpus, CrawlStats]:
         """Run the whole schedule.
 
         ``corpus``/``stats`` default to fresh instances; passing them in
         lets callers resume an earlier session or substitute a streaming
         corpus (see :mod:`repro.service.streaming`) that reacts to every
-        newly seen creative.
+        newly seen creative.  ``start_at`` skips visits below that global
+        schedule index (checkpoint resume); visit indices stay global, so
+        hermetic pinning is unaffected by where the crawl starts.
+        ``progress`` is invoked after every completed visit — the
+        checkpointing hook.
         """
         corpus = corpus if corpus is not None else AdCorpus()
         stats = stats if stats is not None else CrawlStats()
+        if self.retry is not None:
+            self._retry_budget_left = self.retry.budget
         for visit_index, visit in enumerate(schedule):
+            if visit_index < start_at:
+                continue
             self.visit(visit, corpus, stats, visit_index=visit_index)
+            if progress is not None:
+                progress(visit_index, corpus, stats)
         return corpus, stats
 
     def visit(self, visit: Visit, corpus: AdCorpus, stats: CrawlStats,
@@ -143,11 +209,12 @@ class Crawler:
 
         When the crawler has a ``pin_visit`` hook and the caller supplies
         the visit's schedule position, order-dependent world state is
-        pinned first, making the visit hermetic.
+        pinned first, making the visit hermetic.  With a
+        :class:`RetryPolicy`, a failed or chaos-corrupted load is retried
+        (each attempt re-pinned, so a retried visit replays identically);
+        only the final accepted attempt is extracted into the corpus.
         """
-        if self.pin_visit is not None and visit_index is not None:
-            self.pin_visit(visit, visit_index)
-        load = self.browser.load(visit.url)
+        load = self._load_with_retries(visit, stats, visit_index)
         stats.pages_visited += 1
         if not load.ok:
             stats.pages_failed += 1
@@ -179,6 +246,52 @@ class Crawler:
             )
             corpus.add(ad.frame.source_html, impression, sandboxed=ad.sandboxed)
         return load
+
+    def _load_with_retries(self, visit: Visit, stats: CrawlStats,
+                           visit_index: Optional[int]) -> PageLoad:
+        """Load the visit's page, retrying failed/corrupted attempts.
+
+        Every attempt is re-pinned (hermetic visits replay identically)
+        and announced to a chaos transport via ``begin_attempt``, so the
+        fault plan can key decisions on the attempt number.  An attempt is
+        *dirty* when the chaos client's ``corrupting_faults`` counter
+        advanced during it — sub-resource faults do not flip ``load.ok``
+        but still corrupt the extracted corpus, so they are retried too.
+        """
+        policy = self.retry
+        scope = f"visit:{visit.day}:{visit.refresh}:{visit.url}"
+        client = getattr(self.browser, "client", None)
+        max_attempts = 1 if policy is None else 1 + policy.max_retries
+        attempt = 0
+        recovered_candidate = False
+        while True:
+            if self.pin_visit is not None and visit_index is not None:
+                self.pin_visit(visit, visit_index)
+            begin = getattr(client, "begin_attempt", None)
+            if begin is not None:
+                begin(scope, attempt)
+            before = getattr(client, "corrupting_faults", 0)
+            load = self.browser.load(visit.url)
+            dirty = getattr(client, "corrupting_faults", 0) - before
+            if dirty:
+                stats.faults_seen += dirty
+            clean = load.ok and not dirty
+            if clean:
+                if recovered_candidate:
+                    stats.visits_recovered += 1
+                return load
+            if attempt + 1 >= max_attempts:
+                return load
+            if self._retry_budget_left is not None:
+                if self._retry_budget_left <= 0:
+                    return load
+                self._retry_budget_left -= 1
+            stats.retries += 1
+            recovered_candidate = True
+            delay = policy.delay_for(attempt)
+            if delay > 0:
+                self._sleep(delay)
+            attempt += 1
 
     def _site_domain(self, url: str) -> str:
         domain = self._site_domain_cache.get(url)

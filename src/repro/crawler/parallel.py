@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
-from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.crawler import Crawler, CrawlProgress, CrawlStats
 from repro.crawler.schedule import CrawlSchedule, Visit
 
 
@@ -163,103 +163,152 @@ class ParallelCrawler:
     """
 
     def __init__(self, worker_factory: WorkerFactory, n_workers: int = 2,
-                 mode: str = "auto", served_sink: Optional[list] = None) -> None:
+                 mode: str = "auto", served_sink: Optional[list] = None,
+                 max_restarts: int = 0) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
         self.worker_factory = worker_factory
         self.n_workers = n_workers
         self.mode = resolve_mode(mode)
         self.served_sink = served_sink
+        #: Supervision budget: how many crashed shard workers may be
+        #: respawned (in total, across the whole crawl) before the crawl
+        #: gives up and raises.  A respawned shard reruns from its start —
+        #: visits are hermetic, so the rerun reproduces the lost work
+        #: exactly and the merged corpus is unaffected by the crash.
+        self.max_restarts = max_restarts
 
     def crawl(self, schedule: CrawlSchedule,
               corpus: Optional[AdCorpus] = None,
-              stats: Optional[CrawlStats] = None) -> tuple[AdCorpus, CrawlStats]:
+              stats: Optional[CrawlStats] = None,
+              start_at: int = 0,
+              progress: Optional[CrawlProgress] = None) -> tuple[AdCorpus, CrawlStats]:
+        """Crawl the schedule; ``start_at`` resumes at that global index.
+
+        ``progress`` fires once per merged visit, in schedule order,
+        during the deterministic merge.  Unlike the serial crawler the
+        merge runs after all shards finish, so treat mid-merge state as
+        end-of-crawl bookkeeping; for periodic mid-crawl checkpoints of a
+        parallel crawl, chunk the schedule (see ``Study.crawl``).
+        """
         corpus = corpus if corpus is not None else AdCorpus()
         stats = stats if stats is not None else CrawlStats()
-        indexed = list(enumerate(schedule))
+        indexed = [(i, v) for i, v in enumerate(schedule) if i >= start_at]
         n_workers = min(self.n_workers, len(indexed)) or 1
         shards = [indexed[w::n_workers] for w in range(n_workers)]
         if self.mode == "process" and n_workers > 1:
-            results = self._run_processes(shards)
+            results, restarts = self._run_processes(shards)
         else:
-            results = self._run_threads(shards)
-        self._merge(results, corpus, stats)
+            results, restarts = self._run_threads(shards)
+        stats.worker_restarts += restarts
+        self._merge(results, corpus, stats, progress)
         return corpus, stats
 
     # -- execution backends --------------------------------------------------
 
-    def _run_processes(self, shards: list[list[tuple[int, Visit]]]) -> List[_ShardResult]:
+    def _run_processes(
+            self, shards: list[list[tuple[int, Visit]]],
+    ) -> tuple[List[_ShardResult], int]:
         ctx = multiprocessing.get_context("fork")
-        children = []
-        for worker, shard in enumerate(shards):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_fork_child,
-                args=(child_conn, self.worker_factory, shard, worker),
-                name=f"crawl-worker-{worker}",
-            )
-            process.start()
-            child_conn.close()  # parent keeps only the read end
-            children.append((worker, process, parent_conn))
-        results: List[_ShardResult] = []
-        failures: list[_ShardFailure] = []
-        for worker, process, conn in children:
-            try:
-                payload = conn.recv()
-            except EOFError:
-                payload = _ShardFailure(
-                    worker, "worker exited without sending a result")
-            finally:
-                conn.close()
-            process.join()
-            if isinstance(payload, _ShardFailure):
-                failures.append(payload)
+        results: dict[int, _ShardResult] = {}
+        restarts = 0
+        pending = list(range(len(shards)))
+        while pending:
+            children = []
+            for worker in pending:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_fork_child,
+                    args=(child_conn, self.worker_factory, shards[worker], worker),
+                    name=f"crawl-worker-{worker}",
+                )
+                process.start()
+                child_conn.close()  # parent keeps only the read end
+                children.append((worker, process, parent_conn))
+            respawn: list[int] = []
+            failures: list[_ShardFailure] = []
+            for worker, process, conn in children:
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = _ShardFailure(
+                        worker, "worker exited without sending a result")
+                finally:
+                    conn.close()
+                process.join()
+                if isinstance(payload, _ShardFailure):
+                    if restarts < self.max_restarts:
+                        restarts += 1
+                        respawn.append(worker)
+                    else:
+                        failures.append(payload)
+                else:
+                    results[worker] = payload
+            if failures:
+                details = "\n".join(f"[worker {f.worker}]\n{f.error}"
+                                    for f in failures)
+                raise RuntimeError(
+                    f"{len(failures)} crawl worker(s) failed "
+                    f"(supervision budget {self.max_restarts} spent, "
+                    f"{restarts} restart(s) used):\n{details}")
+            pending = respawn
+        return [results[w] for w in sorted(results)], restarts
+
+    def _run_threads(
+            self, shards: list[list[tuple[int, Visit]]],
+    ) -> tuple[List[_ShardResult], int]:
+        slots: dict[int, _ShardResult] = {}
+        restarts = 0
+        pending = list(range(len(shards)))
+        while pending:
+            errors: dict[int, BaseException] = {}
+
+            def run(worker: int) -> None:
+                try:
+                    slots[worker] = _crawl_shard(
+                        self.worker_factory, shards[worker], isolated=False)
+                except BaseException as exc:  # handled by the supervisor
+                    errors[worker] = exc
+
+            if len(pending) == 1:
+                run(pending[0])
             else:
-                results.append(payload)
-        if failures:
-            details = "\n".join(f"[worker {f.worker}]\n{f.error}" for f in failures)
-            raise RuntimeError(f"{len(failures)} crawl worker(s) failed:\n{details}")
-        return results
-
-    def _run_threads(self, shards: list[list[tuple[int, Visit]]]) -> List[_ShardResult]:
-        slots: list[Optional[_ShardResult]] = [None] * len(shards)
-        errors: list[BaseException] = []
-
-        def run(worker: int, shard: list[tuple[int, Visit]]) -> None:
-            try:
-                slots[worker] = _crawl_shard(self.worker_factory, shard,
-                                             isolated=False)
-            except BaseException as exc:  # re-raised in the caller
-                errors.append(exc)
-
-        if len(shards) == 1:
-            run(0, shards[0])
-        else:
-            threads = [
-                threading.Thread(target=run, args=(worker, shard),
-                                 name=f"crawl-worker-{worker}")
-                for worker, shard in enumerate(shards)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        if errors:
-            raise errors[0]
-        return [result for result in slots if result is not None]
+                threads = [
+                    threading.Thread(target=run, args=(worker,),
+                                     name=f"crawl-worker-{worker}")
+                    for worker in pending
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            respawn: list[int] = []
+            for worker in sorted(errors):
+                if restarts < self.max_restarts:
+                    restarts += 1
+                    respawn.append(worker)
+                else:
+                    raise errors[worker]
+            pending = respawn
+        return [slots[w] for w in sorted(slots)], restarts
 
     # -- deterministic merge -------------------------------------------------
 
     def _merge(self, results: List[_ShardResult], corpus: AdCorpus,
-               stats: CrawlStats) -> None:
+               stats: CrawlStats,
+               progress: Optional[CrawlProgress] = None) -> None:
         visit_ads: list[tuple[int, list[AdTapeEntry]]] = []
         for result in results:
             visit_ads.extend(result.visit_ads)
             stats.merge(result.stats)
         visit_ads.sort(key=lambda entry: entry[0])
-        for _, tape in visit_ads:
+        for visit_index, tape in visit_ads:
             for html, impression, sandboxed in tape:
                 corpus.add(html, impression, sandboxed=sandboxed)
+            if progress is not None:
+                progress(visit_index, corpus, stats)
         if self.served_sink is not None:
             visit_served: list[tuple[int, list]] = []
             for result in results:

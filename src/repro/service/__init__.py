@@ -7,6 +7,12 @@ and a metrics registry — composed by :class:`ScanService`.
 """
 
 from repro.service.batcher import MicroBatcher
+from repro.service.breaker import (
+    BreakerOpenError,
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterLog,
+)
 from repro.service.cache import VerdictCache
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.queue import (
@@ -14,7 +20,12 @@ from repro.service.queue import (
     QueueClosedError,
     QueueFullError,
 )
-from repro.service.service import ScanService, ScanTicket, ServiceConfig
+from repro.service.service import (
+    ScanService,
+    ScanTicket,
+    ServiceConfig,
+    ServiceDegradedError,
+)
 from repro.service.streaming import StreamingCorpus, stream_crawl
 from repro.service.workers import (
     OracleWorkerPool,
@@ -24,7 +35,11 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "BreakerOpenError",
+    "CircuitBreaker",
     "Counter",
+    "DeadLetter",
+    "DeadLetterLog",
     "Gauge",
     "Histogram",
     "IngestQueue",
@@ -38,6 +53,7 @@ __all__ = [
     "ScanTicket",
     "ScanWorker",
     "ServiceConfig",
+    "ServiceDegradedError",
     "StreamingCorpus",
     "VerdictCache",
     "hermetic_judge",

@@ -66,6 +66,8 @@ class VerdictCache:
         self.evictions = 0
         self.expirations = 0
         self.insertions = 0
+        #: Corrupt JSONL lines skipped during :meth:`load` warm-start.
+        self.load_skipped = 0
 
     # -- core operations -----------------------------------------------------
 
@@ -142,6 +144,7 @@ class VerdictCache:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "insertions": self.insertions,
+            "load_skipped": self.load_skipped,
         }
 
     # -- persistence ---------------------------------------------------------
@@ -177,16 +180,40 @@ class VerdictCache:
         ttl: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
     ) -> "VerdictCache":
-        """Rebuild a cache from :meth:`save` output (entries enter fresh)."""
+        """Rebuild a cache from :meth:`save` output (entries enter fresh).
+
+        A warm-start file lives across crashes, so it may carry torn or
+        garbled lines (a kill mid-``save``, disk trouble).  Corrupt lines
+        are *skipped and counted* (``load_skipped``, surfaced in
+        :meth:`stats`) rather than aborting the whole warm-up — a cold
+        entry costs one rescan, a refused warm-start costs them all.  A
+        well-formed line declaring an incompatible format version is not
+        corruption, though: that means the whole file is foreign or from
+        a newer build, and still fails loudly.
+        """
         cache = cls(capacity=capacity, ttl=ttl, clock=clock)
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
-                data = json.loads(line)
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    cache.load_skipped += 1
+                    continue
+                if not isinstance(data, dict) or not isinstance(
+                        data.get("version"), int):
+                    cache.load_skipped += 1
+                    continue
                 check_format_version(data, what="verdict cache entry")
-                cache.put(data["content_hash"], verdict_from_dict(data["verdict"]))
+                try:
+                    verdict = verdict_from_dict(data["verdict"])
+                    content_hash = data["content_hash"]
+                except (ValueError, KeyError, TypeError):
+                    cache.load_skipped += 1
+                    continue
+                cache.put(content_hash, verdict)
         # Loading is warm-up, not traffic: don't let it skew the counters.
         cache.insertions = 0
         return cache

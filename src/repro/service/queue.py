@@ -53,6 +53,7 @@ class IngestQueue:
         self.accepted = 0
         self.rejected = 0
         self.drained = 0
+        self.requeued = 0
 
     # -- producer side -------------------------------------------------------
 
@@ -86,6 +87,25 @@ class IngestQueue:
             self._items.append(item)
             self.accepted += 1
             self._not_empty.notify()
+
+    def requeue(self, item: Any) -> bool:
+        """Put ``item`` back at the *front* of the queue.
+
+        Used by workers handing back work they cannot finish (retry after
+        a scan fault, or a breaker-open refusal): the item keeps its place
+        at the head of the line instead of starting over, and capacity is
+        deliberately ignored — the item already consumed its slot once and
+        rejecting it now would drop accepted work.  Returns ``False`` when
+        the queue is closed (shutdown: the caller must fail the item
+        instead of re-enqueueing it).
+        """
+        with self._mutex:
+            if self._closed:
+                return False
+            self._items.appendleft(item)
+            self.requeued += 1
+            self._not_empty.notify()
+            return True
 
     def close(self) -> None:
         """Stop accepting items; wakes every waiter.  Idempotent."""
@@ -141,5 +161,6 @@ class IngestQueue:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "drained": self.drained,
+            "requeued": self.requeued,
             "closed": self._closed,
         }

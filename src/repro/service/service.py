@@ -26,10 +26,15 @@ from repro.core.study import StudyConfig
 from repro.crawler.corpus import AdCorpus, AdRecord
 from repro.datasets.world import WorldParams
 from repro.service.batcher import MicroBatcher
+from repro.service.breaker import DeadLetterLog
 from repro.service.cache import VerdictCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.queue import IngestQueue, QueueClosedError, QueueFullError
-from repro.service.workers import OracleWorkerPool, ScanTask
+from repro.service.workers import OracleWorkerPool, ScanFaultHook, ScanTask
+
+
+class ServiceDegradedError(RuntimeError):
+    """Every worker breaker is open; only cached verdicts can be served."""
 
 
 @dataclass
@@ -47,6 +52,20 @@ class ServiceConfig:
     blacklist_threshold: int = 5
     vt_threshold: int = 4
     world_params: Optional[WorldParams] = None
+    #: Attempt budget per submission (1 = no retries).  A failed scan is
+    #: requeued — usually onto a different worker — until the budget is
+    #: spent, then dead-lettered.
+    scan_max_attempts: int = 3
+    #: Consecutive failures that trip one worker's circuit breaker; None
+    #: disables the breakers (pre-supervision behaviour).
+    breaker_threshold: Optional[int] = 3
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 0.2
+    #: Dead-letter log capacity (oldest letters are dropped beyond it).
+    dead_letter_capacity: int = 1024
+    #: Test/chaos hook: (worker_index, task) → None, raise to simulate a
+    #: worker's scan stack failing.
+    fault_hook: Optional[ScanFaultHook] = None
 
     def study_config(self) -> StudyConfig:
         """The equivalent batch-pipeline config (for oracle construction)."""
@@ -115,16 +134,25 @@ class ScanService:
         self.batcher = MicroBatcher(self.queue,
                                     max_size=self.config.batch_max_size,
                                     max_delay=self.config.batch_max_delay)
+        self.dead_letters = DeadLetterLog(
+            capacity=self.config.dead_letter_capacity)
         self.pool = OracleWorkerPool(
             self.config.n_workers, self.config.study_config(),
             next_batch=self.batcher.next_batch,
             on_result=self._on_result,
             on_batch=self._on_batch,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown,
+            requeue=self.queue.requeue,
+            max_attempts=self.config.scan_max_attempts,
+            fault_hook=self.config.fault_hook,
+            on_retry=self._on_retry,
         )
         # Pre-register the standard metrics so stats() has stable keys
         # even before the first submission/scan touches them.
         for name in ("submitted", "cache_hits", "cache_misses", "coalesced",
-                     "scanned", "scan_errors", "rejected"):
+                     "scanned", "scan_errors", "rejected", "scan_retries",
+                     "dead_lettered", "degraded_rejections"):
             self.metrics.counter(name)
         self.metrics.gauge("queue_depth")
         self.metrics.histogram("batch_size")
@@ -211,6 +239,13 @@ class ScanService:
                 self.metrics.counter("coalesced").inc()
                 entry.tickets.append(ticket)
                 return ticket
+            if self.pool.all_breakers_open:
+                # Degraded mode: every worker is refusing work.  Cached
+                # verdicts (above) still resolve; fresh scans are refused
+                # at the edge instead of piling onto a dead pool.
+                self.metrics.counter("degraded_rejections").inc()
+                raise ServiceDegradedError(
+                    "all worker breakers open; serving cached verdicts only")
             entry = _PendingScan()
             entry.tickets.append(ticket)
             self._pending[record.content_hash] = entry
@@ -257,6 +292,9 @@ class ScanService:
         self.metrics.histogram("batch_size").observe(size)
         self.metrics.gauge("queue_depth").set(self.queue.depth)
 
+    def _on_retry(self, task: ScanTask) -> None:
+        self.metrics.counter("scan_retries").inc()
+
     def _on_result(self, task: ScanTask, verdict: Optional[AdVerdict],
                    error: Optional[BaseException]) -> None:
         latency = time.monotonic() - task.submitted_at
@@ -268,6 +306,11 @@ class ScanService:
                 self.metrics.histogram("scan_latency").observe(latency)
             else:
                 self.metrics.counter("scan_errors").inc()
+                assert error is not None
+                self.dead_letters.record(task.record.ad_id,
+                                         task.record.content_hash,
+                                         task.attempts, error)
+                self.metrics.counter("dead_lettered").inc()
             if entry is not None:
                 for ticket in entry.tickets:
                     if verdict is not None:
@@ -290,7 +333,10 @@ class ScanService:
             "workers": len(self.pool.workers),
             "alive": self.pool.alive,
             "scanned": self.pool.total_scanned,
+            "breakers": self.pool.breaker_stats(),
+            "degraded": self.pool.all_breakers_open,
         }
+        snapshot["dead_letter"] = self.dead_letters.stats()
         return snapshot
 
 

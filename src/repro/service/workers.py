@@ -27,6 +27,7 @@ from repro.core.oracle import AdVerdict, CombinedOracle
 from repro.core.study import Study, StudyConfig
 from repro.crawler.corpus import AdRecord
 from repro.datasets.world import World, build_world
+from repro.service.breaker import BreakerOpenError, CircuitBreaker
 from repro.util.rand import fork
 
 # Scan-time counter values start far above anything a crawl mints, so a
@@ -63,10 +64,28 @@ class ScanTask:
 
     record: AdRecord
     submitted_at: float
+    #: How many scan attempts this task has consumed (across workers).
+    attempts: int = 0
+
+
+#: Test/chaos hook: called with (worker_index, task) before each scan
+#: attempt; raising simulates that worker's oracle stack failing.
+ScanFaultHook = Callable[[int, ScanTask], None]
 
 
 class ScanWorker(threading.Thread):
-    """One oracle worker: private world + oracle, fed by the batcher."""
+    """One oracle worker: private world + oracle, fed by the batcher.
+
+    With a :class:`~repro.service.breaker.CircuitBreaker` attached, the
+    worker refuses tasks while its breaker is open and hands them back via
+    ``requeue`` (preserving queue position) so healthier workers pick them
+    up; a failed scan is likewise requeued until the task's attempt budget
+    (``max_attempts``) is spent, after which the error is surfaced.
+    """
+
+    #: Pause after a breaker-open refusal, so an all-open pool does not
+    #: spin on the queue while cooling down.
+    REQUEUE_PAUSE = 0.005
 
     def __init__(
         self,
@@ -75,13 +94,25 @@ class ScanWorker(threading.Thread):
         next_batch: Callable[[], Optional[list]],
         on_result: Callable[[ScanTask, Optional[AdVerdict], Optional[BaseException]], None],
         on_batch: Optional[Callable[[int], None]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        requeue: Optional[Callable[[ScanTask], bool]] = None,
+        max_attempts: int = 1,
+        fault_hook: Optional[ScanFaultHook] = None,
+        on_retry: Optional[Callable[[ScanTask], None]] = None,
     ) -> None:
         super().__init__(name=f"scan-worker-{index}", daemon=True)
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.index = index
         self._config = config
         self._next_batch = next_batch
         self._on_result = on_result
         self._on_batch = on_batch
+        self.breaker = breaker
+        self._requeue = requeue
+        self._max_attempts = max_attempts
+        self._fault_hook = fault_hook
+        self._on_retry = on_retry
         self.world: Optional[World] = None
         self.oracle: Optional[CombinedOracle] = None
         self.scanned = 0
@@ -101,15 +132,42 @@ class ScanWorker(threading.Thread):
                 return
             if self._on_batch is not None:
                 self._on_batch(len(batch))
+            refused = False
             for task in batch:
-                try:
-                    verdict = hermetic_judge(self.oracle, self.world,
-                                             task.record, self._config.seed)
-                except BaseException as exc:  # surface, never kill the pool
-                    self._on_result(task, None, exc)
-                else:
-                    self.scanned += 1
-                    self._on_result(task, verdict, None)
+                refused |= self._process(task)
+            if refused:
+                time.sleep(self.REQUEUE_PAUSE)
+
+    def _process(self, task: ScanTask) -> bool:
+        """Scan one task; returns True if it was refused (breaker open)."""
+        if self.breaker is not None and not self.breaker.allow():
+            # Hand the task back untouched — refusal is not an attempt.
+            if self._requeue is not None and self._requeue(task):
+                return True
+            self._on_result(task, None, BreakerOpenError(
+                f"worker {self.index} breaker open and queue closed"))
+            return False
+        task.attempts += 1
+        try:
+            if self._fault_hook is not None:
+                self._fault_hook(self.index, task)
+            verdict = hermetic_judge(self.oracle, self.world,
+                                     task.record, self._config.seed)
+        except BaseException as exc:  # surface, never kill the pool
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if (task.attempts < self._max_attempts
+                    and self._requeue is not None and self._requeue(task)):
+                if self._on_retry is not None:
+                    self._on_retry(task)
+                return False
+            self._on_result(task, None, exc)
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
+            self.scanned += 1
+            self._on_result(task, verdict, None)
+        return False
 
 
 class OracleWorkerPool:
@@ -128,11 +186,29 @@ class OracleWorkerPool:
         next_batch: Callable[[], Optional[list]],
         on_result: Callable[[ScanTask, Optional[AdVerdict], Optional[BaseException]], None],
         on_batch: Optional[Callable[[int], None]] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 0.2,
+        requeue: Optional[Callable[[ScanTask], bool]] = None,
+        max_attempts: int = 1,
+        fault_hook: Optional[ScanFaultHook] = None,
+        on_retry: Optional[Callable[[ScanTask], None]] = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
+        self.breakers: list[CircuitBreaker] = []
+        if breaker_threshold is not None:
+            self.breakers = [
+                CircuitBreaker(threshold=breaker_threshold,
+                               cooldown=breaker_cooldown)
+                for _ in range(n_workers)
+            ]
         self.workers = [
-            ScanWorker(index, config, next_batch, on_result, on_batch)
+            ScanWorker(
+                index, config, next_batch, on_result, on_batch,
+                breaker=self.breakers[index] if self.breakers else None,
+                requeue=requeue, max_attempts=max_attempts,
+                fault_hook=fault_hook, on_retry=on_retry,
+            )
             for index in range(n_workers)
         ]
 
@@ -156,3 +232,18 @@ class OracleWorkerPool:
     @property
     def total_scanned(self) -> int:
         return sum(worker.scanned for worker in self.workers)
+
+    @property
+    def all_breakers_open(self) -> bool:
+        """True when breakers exist and *none* will admit a task right now.
+
+        Half-open counts as available (a probe could run), so this is the
+        strict "no worker can possibly serve a scan" condition the service
+        uses to enter degraded mode.
+        """
+        if not self.breakers:
+            return False
+        return all(breaker.state == "open" for breaker in self.breakers)
+
+    def breaker_stats(self) -> list[dict]:
+        return [breaker.stats() for breaker in self.breakers]

@@ -49,6 +49,26 @@ class ConnectionFailed(HttpError):
     """No server is listening for the requested host."""
 
 
+class RequestTimeout(HttpError):
+    """The request never completed (chaos-injected or upstream hang)."""
+
+
+def failure_kind(exc: BaseException) -> str:
+    """Short wire-format label for a transport failure exception.
+
+    This is what the synthetic 502's ``x-failure`` header carries, so
+    observers (and the honeyclient's NX-redirect heuristic) can tell a
+    dead name from a dead server from a hung connection.
+    """
+    if isinstance(exc, NxDomainError):
+        return "nxdomain"
+    if isinstance(exc, RequestTimeout):
+        return "timeout"
+    if isinstance(exc, ConnectionFailed):
+        return "connection"
+    return "transport"
+
+
 @dataclass
 class HttpRequest:
     """An outgoing request."""
@@ -206,10 +226,11 @@ class HttpClient:
         for hop in range(MAX_REDIRECTS + 1):
             try:
                 exchange = self._round_trip(current, referer, headers or {})
-            except (NxDomainError, ConnectionFailed):
+            except (NxDomainError, ConnectionFailed, RequestTimeout) as exc:
                 if not chain:
                     raise
-                synthetic = HttpResponse(502, {"x-failure": "nxdomain"}, b"", url=current)
+                synthetic = HttpResponse(
+                    502, {"x-failure": failure_kind(exc)}, b"", url=current)
                 broken = Exchange(HttpRequest(current, referer=referer), synthetic)
                 chain.append(broken)
                 self._notify(broken)

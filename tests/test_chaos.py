@@ -1,0 +1,439 @@
+"""Tests for the deterministic chaos layer.
+
+The load-bearing guarantee is *differential*: a crawl under a transient
+fault plan, given retries, produces a corpus whose persistence
+fingerprint is bit-identical to the fault-free crawl's — serially and at
+any worker count — because every fault decision is a pure hash of
+``(seed, scope, url, repeat, attempt)`` and every transient fault clears
+within the retry budget.
+"""
+
+import pytest
+
+from repro.chaos import (
+    BENIGN_KINDS,
+    FAULT_KINDS,
+    PROFILES,
+    ChaosDnsResolver,
+    ChaosHttpClient,
+    ChaosStats,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from repro.core.persistence import corpus_fingerprint
+from repro.core.study import Study, StudyConfig
+from repro.crawler.crawler import RetryPolicy
+from repro.datasets.world import WorldParams, build_world
+from repro.web.dns import NxDomainError
+from repro.web.http import ConnectionFailed, RequestTimeout
+
+SEED = 7
+
+PARAMS = WorldParams(n_top_sites=6, n_bottom_sites=6, n_other_sites=6,
+                     n_feed_sites=2)
+
+STUDY_CONFIG = StudyConfig(seed=SEED, days=2, refreshes_per_visit=2,
+                           world_params=PARAMS)
+
+
+def make_study(**overrides) -> Study:
+    config = StudyConfig(**{**STUDY_CONFIG.__dict__, **overrides})
+    return Study(config)
+
+
+class TestFaultPlan:
+    def test_decisions_are_pure(self):
+        a = FaultPlan(seed=1, rate=0.5)
+        b = FaultPlan(seed=1, rate=0.5)
+        for repeat in range(50):
+            url = f"http://site{repeat}.com/ad"
+            assert a.decide("s", url, repeat, 0) == b.decide("s", url, repeat, 0)
+
+    def test_decisions_ignore_call_order(self):
+        plan = FaultPlan(seed=3, rate=0.4)
+        urls = [f"http://x{i}.com/" for i in range(30)]
+        forward = [plan.decide("visit", u, i, 0) for i, u in enumerate(urls)]
+        backward = [plan.decide("visit", u, i, 0)
+                    for i, u in reversed(list(enumerate(urls)))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_the_sequence(self):
+        urls = [f"http://x{i}.com/" for i in range(64)]
+        one = FaultPlan(seed=1, rate=0.3).fingerprint("s", urls)
+        two = FaultPlan(seed=2, rate=0.3).fingerprint("s", urls)
+        assert one != two
+
+    def test_fingerprint_is_replayable(self):
+        urls = [f"http://x{i}.com/" for i in range(64)]
+        assert (FaultPlan(seed=5, rate=0.3).fingerprint("s", urls)
+                == FaultPlan(seed=5, rate=0.3).fingerprint("s", urls))
+
+    def test_zero_rate_never_faults(self):
+        plan = FaultPlan(seed=1, rate=0.0)
+        assert all(plan.decide("s", f"http://x{i}.com/", i, 0) is None
+                   for i in range(100))
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=11, rate=0.2)
+        n = sum(plan.decide("s", f"http://x{i}.com/", 0, 0) is not None
+                for i in range(1000))
+        assert 120 < n < 280
+
+    def test_sticky_faults_clear_after_their_attempts(self):
+        plan = FaultPlan(seed=1, rate=1.0, kinds=("connection",), max_sticky=1)
+        assert plan.decide("s", "http://a.com/", 0, attempt=0) is not None
+        assert plan.decide("s", "http://a.com/", 0, attempt=1) is None
+
+    def test_max_sticky_bounds_stickiness(self):
+        plan = FaultPlan(seed=1, rate=1.0, max_sticky=3)
+        for i in range(50):
+            fault = plan.decide("s", f"http://x{i}.com/", 0, 0)
+            assert fault is not None and 1 <= fault.sticky <= 3
+            assert plan.decide("s", f"http://x{i}.com/", 0, fault.sticky) is None
+
+    def test_rules_checked_before_rate(self):
+        plan = FaultPlan(seed=1, rate=0.0,
+                         rules=(FaultRule("unlucky.com", "timeout", attempts=2),))
+        fault = plan.decide("s", "http://unlucky.com/ad", 0, 0)
+        assert fault is not None and fault.kind == "timeout"
+        assert plan.decide("s", "http://unlucky.com/ad", 0, 1) is not None
+        assert plan.decide("s", "http://unlucky.com/ad", 0, 2) is None
+        assert plan.decide("s", "http://lucky.com/", 0, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, max_sticky=0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, kinds=("asteroid",))
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rules=(FaultRule("x", "asteroid"),))
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rules=(FaultRule("x", "timeout", attempts=0),))
+
+    def test_profiles(self):
+        for name in PROFILES:
+            plan = FaultPlan.profile(name, seed=9)
+            assert isinstance(plan, FaultPlan)
+        assert FaultPlan.profile("none", 9).rate == 0.0
+        with pytest.raises(ValueError):
+            FaultPlan.profile("hurricane", 9)
+
+    def test_benign_kinds_subset(self):
+        assert BENIGN_KINDS < set(FAULT_KINDS)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(SEED, PARAMS)
+
+
+def rule_plan(match: str, kind: str, attempts: int = 1) -> FaultPlan:
+    return FaultPlan(seed=1, rules=(FaultRule(match, kind, attempts=attempts),))
+
+
+class TestChaosHttpClient:
+    def url(self, world):
+        return world.crawl_sites[0].url
+
+    def test_transparent_without_faults(self, world):
+        chaos = ChaosHttpClient(world.client, FaultPlan(seed=1, rate=0.0))
+        response, chain = chaos.fetch(self.url(world))
+        clean, _ = world.client.fetch(self.url(world))
+        assert response.status == clean.status
+        assert chaos.stats.injected_total == 0
+
+    def test_proxies_unknown_attributes(self, world):
+        chaos = ChaosHttpClient(world.client, FaultPlan(seed=1))
+        assert chaos.resolver is world.client.resolver
+
+    def test_connection_fault_raises(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "connection"))
+        with pytest.raises(ConnectionFailed):
+            chaos.fetch(url)
+        assert chaos.corrupting_faults == 1
+        assert chaos.stats.by_kind == {"connection": 1}
+
+    def test_timeout_fault_raises(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "timeout"))
+        with pytest.raises(RequestTimeout):
+            chaos.fetch(url)
+
+    def test_nxdomain_fault_raises(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "nxdomain"))
+        with pytest.raises(NxDomainError):
+            chaos.fetch(url)
+
+    def test_http_503_synthesized(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "http_503"))
+        response, chain = chaos.fetch(url)
+        assert response.status == 503
+        assert response.headers["x-chaos"] == "http_503"
+
+    def pinned_fetch(self, world, client, url):
+        # Page content rotates with the ecosystem's request counter, so
+        # comparative fetches must pin it (exactly what hermetic visits do).
+        world.ecosystem.seed_request_counter(5000)
+        return client.fetch(url)
+
+    def test_truncate_halves_body(self, world):
+        url = self.url(world)
+        clean, _ = self.pinned_fetch(world, world.client, url)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "truncate"))
+        response, _ = self.pinned_fetch(world, chaos, url)
+        assert response.body == clean.body[: len(clean.body) // 2]
+
+    def test_garble_corrupts_but_keeps_length(self, world):
+        url = self.url(world)
+        clean, _ = self.pinned_fetch(world, world.client, url)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "garble"))
+        response, _ = self.pinned_fetch(world, chaos, url)
+        assert len(response.body) == len(clean.body)
+        assert response.body != clean.body
+
+    def test_slow_is_benign(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "slow"))
+        response, _ = self.pinned_fetch(world, chaos, url)
+        clean, _ = self.pinned_fetch(world, world.client, url)
+        assert response.body == clean.body
+        assert chaos.corrupting_faults == 0
+        assert chaos.stats.injected_total == 1
+        assert chaos.stats.slow_seconds > 0
+
+    def test_begin_attempt_clears_faults(self, world):
+        url = self.url(world)
+        chaos = ChaosHttpClient(world.client, rule_plan(url, "connection"))
+        chaos.begin_attempt("visit", 0)
+        with pytest.raises(ConnectionFailed):
+            chaos.fetch(url)
+        chaos.begin_attempt("visit", 1)
+        response, _ = chaos.fetch(url)
+        assert response.ok
+
+    def test_stats_merge(self):
+        a, b = ChaosStats(), ChaosStats()
+        a.record(InjectedFault("s", "u", 0, 0, "connection"))
+        b.record(InjectedFault("s", "u", 0, 0, "slow"), delay=0.5)
+        a.merge(b)
+        assert a.injected_total == 2
+        assert a.corrupting_total == 1
+        assert a.slow_seconds == 0.5
+
+
+class TestChaosDnsResolver:
+    def host(self, world):
+        from repro.web.url import parse_url
+
+        return parse_url(world.crawl_sites[0].url).host
+
+    def test_flapping_nxdomain(self, world):
+        host = self.host(world)
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(host, "nxdomain", attempts=2),))
+        chaos = ChaosDnsResolver(world.resolver, plan)
+        with pytest.raises(NxDomainError):
+            chaos.resolve(host)
+        with pytest.raises(NxDomainError):
+            chaos.resolve(host)
+        # Third lookup: the flap clears — the mid-study takedown-and-return.
+        record = chaos.resolve(host)
+        assert record.name
+        assert chaos.stats.injected_total == 2
+
+    def test_only_nxdomain_kind_applies(self, world):
+        host = self.host(world)
+        plan = FaultPlan(seed=1, rules=(FaultRule(host, "connection"),))
+        chaos = ChaosDnsResolver(world.resolver, plan)
+        assert chaos.resolve(host).name
+        assert chaos.stats.injected_total == 0
+
+    def test_transparent_without_faults(self, world):
+        host = self.host(world)
+        chaos = ChaosDnsResolver(world.resolver, FaultPlan(seed=1, rate=0.0))
+        assert chaos.resolve(host) == world.resolver.resolve(host)
+        assert chaos.queries  # proxied attribute of the inner resolver
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_and_deterministic(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.5, max_delay=2.0)
+        assert [policy.delay_for(a) for a in range(4)] == [0.5, 1.0, 2.0, 2.0]
+
+    def test_zero_base_delay_means_no_sleep(self):
+        assert RetryPolicy(max_retries=2).delay_for(3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(budget=-1)
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    study = make_study()
+    corpus, stats = study.build_crawler().crawl(study.build_schedule())
+    return {
+        "fingerprint": corpus_fingerprint(corpus),
+        "stats": stats,
+    }
+
+
+class TestDifferentialFingerprint:
+    """Chaos + retries must reconverge on the fault-free corpus."""
+
+    def check(self, fault_free, **overrides):
+        study = make_study(chaos_profile="transient", crawl_retries=1,
+                           **overrides)
+        results = study.crawl()
+        assert corpus_fingerprint(results.corpus) == fault_free["fingerprint"]
+        stats = results.crawl_stats
+        # Faults really were injected and recovered from.
+        assert stats.faults_seen > 0
+        assert stats.retries > 0
+        assert stats.visits_recovered > 0
+        assert stats.pages_visited == fault_free["stats"].pages_visited
+        assert stats.pages_failed == fault_free["stats"].pages_failed
+        assert stats.ad_iframes == fault_free["stats"].ad_iframes
+
+    def test_serial_chaos_crawl_matches_fault_free(self, fault_free):
+        self.check(fault_free)
+
+    def test_parallel_chaos_crawl_matches_fault_free(self, fault_free):
+        self.check(fault_free, crawl_workers=4, crawl_worker_mode="thread")
+
+    def test_chaos_without_retries_diverges(self, fault_free):
+        # Sanity check on the harness: the faults do change the corpus
+        # when nothing recovers from them.
+        study = make_study(chaos_profile="transient", crawl_retries=0)
+        results = study.crawl()
+        assert (corpus_fingerprint(results.corpus)
+                != fault_free["fingerprint"])
+
+    def test_chaos_crawl_is_replayable(self):
+        runs = []
+        for _ in range(2):
+            study = make_study(chaos_profile="transient", crawl_retries=0)
+            runs.append(corpus_fingerprint(study.crawl().corpus))
+        assert runs[0] == runs[1]
+
+
+class _Killed(Exception):
+    """Stands in for SIGKILL in the kill/resume tests."""
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_matches_unbroken_crawl(self, fault_free, tmp_path):
+        checkpoint = tmp_path / "crawl.ckpt"
+        study = make_study()
+        schedule = study.build_schedule()
+        kill_at = len(schedule) // 2
+
+        from repro.core.persistence import CrawlCheckpointer
+
+        checkpointer = CrawlCheckpointer(checkpoint, every=5)
+
+        def progress(visit_index, corpus, stats):
+            checkpointer(visit_index, corpus, stats)
+            if visit_index == kill_at:
+                raise _Killed()
+
+        with pytest.raises(_Killed):
+            study.build_crawler().crawl(schedule, progress=progress)
+        assert checkpoint.exists()
+        assert checkpointer.last_cursor is not None
+        assert checkpointer.last_cursor <= kill_at + 1
+
+        # Resume in a FRESH study (fresh world): nothing carries over but
+        # the checkpoint file — exactly the crash-recovery situation.
+        resumed = make_study().crawl(resume_from=str(checkpoint))
+        assert corpus_fingerprint(resumed.corpus) == fault_free["fingerprint"]
+        assert resumed.crawl_stats == fault_free["stats"]
+
+    def test_resume_into_parallel_crawl(self, fault_free, tmp_path):
+        from repro.core.persistence import save_crawl_checkpoint
+
+        checkpoint = tmp_path / "crawl.ckpt"
+        study = make_study()
+        schedule = study.build_schedule()
+        cursor = len(schedule) // 3
+
+        # Crawl a prefix serially, checkpoint it, resume sharded 3-ways.
+        from repro.crawler.corpus import AdCorpus
+        from repro.crawler.crawler import CrawlStats
+
+        corpus, stats = AdCorpus(), CrawlStats()
+        crawler = study.build_crawler()
+        for visit_index, visit in enumerate(schedule):
+            if visit_index >= cursor:
+                break
+            crawler.visit(visit, corpus, stats, visit_index=visit_index)
+        save_crawl_checkpoint(checkpoint, cursor, corpus, stats)
+
+        resumed = make_study(crawl_workers=3, crawl_worker_mode="thread") \
+            .crawl(resume_from=str(checkpoint))
+        assert corpus_fingerprint(resumed.corpus) == fault_free["fingerprint"]
+        assert resumed.crawl_stats == fault_free["stats"]
+
+    def test_final_checkpoint_written(self, fault_free, tmp_path):
+        from repro.core.persistence import load_crawl_checkpoint
+
+        checkpoint = tmp_path / "crawl.ckpt"
+        study = make_study()
+        results = study.crawl(checkpoint_path=str(checkpoint),
+                              checkpoint_every=7)
+        cursor, corpus, stats = load_crawl_checkpoint(checkpoint)
+        assert cursor == len(study.build_schedule())
+        assert corpus_fingerprint(corpus) == corpus_fingerprint(results.corpus)
+        assert stats == results.crawl_stats
+
+    def test_checkpoint_roundtrip_preserves_ad_ids(self, tmp_path):
+        from repro.core.persistence import (
+            load_crawl_checkpoint,
+            save_crawl_checkpoint,
+        )
+
+        study = make_study()
+        results = study.crawl()
+        path = tmp_path / "c.ckpt"
+        save_crawl_checkpoint(path, 42, results.corpus, results.crawl_stats)
+        cursor, corpus, stats = load_crawl_checkpoint(path)
+        assert cursor == 42
+        assert stats == results.crawl_stats
+        assert ([r.ad_id for r in corpus.records()]
+                == [r.ad_id for r in results.corpus.records()])
+
+    def test_load_rejects_garbage(self, tmp_path):
+        from repro.core.persistence import load_crawl_checkpoint
+
+        empty = tmp_path / "empty.ckpt"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_crawl_checkpoint(empty)
+        wrong_kind = tmp_path / "wrong.ckpt"
+        wrong_kind.write_text('{"version": 1, "kind": "pancake"}\n')
+        with pytest.raises(ValueError):
+            load_crawl_checkpoint(wrong_kind)
+
+    def test_checkpointer_interval(self, tmp_path):
+        from repro.core.persistence import CrawlCheckpointer
+        from repro.crawler.corpus import AdCorpus
+        from repro.crawler.crawler import CrawlStats
+
+        checkpointer = CrawlCheckpointer(tmp_path / "c.ckpt", every=10)
+        corpus, stats = AdCorpus(), CrawlStats()
+        for i in range(25):
+            checkpointer(i, corpus, stats)
+        assert checkpointer.saves == 2  # after visits 10 and 20
+        assert checkpointer.last_cursor == 20
+        with pytest.raises(ValueError):
+            CrawlCheckpointer(tmp_path / "x.ckpt", every=0)

@@ -1,0 +1,155 @@
+"""Unit tests for the circuit breaker, dead-letter log, and requeue."""
+
+import pytest
+
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    DeadLetterLog,
+)
+from repro.service.queue import IngestQueue
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def tripped(clock, threshold=3, cooldown=10.0) -> CircuitBreaker:
+    breaker = CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                             clock=clock)
+    for _ in range(threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_half_open_after_cooldown(self, clock):
+        breaker = tripped(clock, cooldown=10.0)
+        clock.advance(9.9)
+        assert breaker.state == STATE_OPEN
+        clock.advance(0.2)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_half_open_admits_one_probe(self, clock):
+        breaker = tripped(clock, cooldown=10.0)
+        clock.advance(10.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # no second probe until it reports
+
+    def test_probe_success_closes(self, clock):
+        breaker = tripped(clock, cooldown=10.0)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = tripped(clock, cooldown=10.0)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 2
+        # ...and the next cooldown yields another probe.
+        clock.advance(10.0)
+        assert breaker.allow()
+
+    def test_stats(self, clock):
+        breaker = tripped(clock, threshold=2, cooldown=5.0)
+        stats = breaker.stats()
+        assert stats["state"] == STATE_OPEN
+        assert stats["failures_total"] == 2
+        assert stats["times_opened"] == 1
+        assert stats["threshold"] == 2
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0, clock=clock)
+
+
+class TestDeadLetterLog:
+    def test_records_and_lists(self, clock):
+        log = DeadLetterLog(capacity=10, clock=clock)
+        log.record("ad-1", "hash1", 3, RuntimeError("oracle died"))
+        letters = log.letters()
+        assert len(letters) == 1
+        assert letters[0].ad_id == "ad-1"
+        assert letters[0].attempts == 3
+        assert "oracle died" in letters[0].error
+
+    def test_bounded_capacity_drops_oldest(self, clock):
+        log = DeadLetterLog(capacity=2, clock=clock)
+        for i in range(4):
+            log.record(f"ad-{i}", f"h{i}", 1, ValueError("x"))
+        assert [l.ad_id for l in log.letters()] == ["ad-2", "ad-3"]
+        stats = log.stats()
+        assert stats["recorded_total"] == 4
+        assert stats["dropped"] == 2
+        assert stats["size"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadLetterLog(capacity=0)
+
+
+class TestRequeue:
+    def test_requeue_goes_to_the_front(self):
+        queue = IngestQueue(capacity=4)
+        queue.put("a")
+        queue.put("b")
+        assert queue.requeue("z")
+        assert queue.get(timeout=0.1) == "z"
+        assert queue.get(timeout=0.1) == "a"
+        assert queue.stats()["requeued"] == 1
+
+    def test_requeue_ignores_capacity(self):
+        queue = IngestQueue(capacity=1)
+        queue.put("a")
+        assert queue.requeue("z")
+        assert queue.depth == 2
+
+    def test_requeue_refused_after_close(self):
+        queue = IngestQueue(capacity=4)
+        queue.close()
+        assert not queue.requeue("z")
