@@ -72,6 +72,7 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         days=args.days,
         refreshes_per_visit=args.refreshes,
         crawl_workers=getattr(args, "crawl_workers", 1),
+        crawl_worker_mode=getattr(args, "crawl_worker_mode", "auto"),
         chaos_profile=getattr(args, "chaos_profile", "none"),
         chaos_seed=getattr(args, "chaos_seed", None),
         crawl_retries=getattr(args, "retries", 0),
@@ -190,7 +191,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.persistence import load_corpus
     from repro.core.study import Study
-    from repro.service import ScanService, ServiceConfig, VerdictCache, stream_crawl
+    from repro.service import ScanService, ServiceConfig, VerdictCache
 
     config = _config_from(args)
     service_config = ServiceConfig(
@@ -217,16 +218,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"({corpus.total_impressions} impressions) from {args.corpus}")
         else:
             study = Study(config)
-            if config.crawl_workers > 1:
-                # Thread mode: forking while service worker threads hold
-                # locks is unsafe, and the merged corpus is identical.
-                crawler = study.build_parallel_crawler(mode="thread")
-            else:
-                crawler = study.build_crawler()
-            schedule = study.build_schedule()
             if args.stream:
                 started = time.perf_counter()
-                corpus, _, tickets = stream_crawl(crawler, schedule, service)
+                corpus, _, tickets = study.stream(
+                    service,
+                    resume_from=args.resume_from,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                )
                 service.drain()
                 elapsed = time.perf_counter() - started
                 malicious = sum(
@@ -235,7 +234,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"classified during the crawl in {elapsed:.2f}s "
                       f"({malicious} malicious at first sight)")
             else:
-                corpus, _ = crawler.crawl(schedule)
+                if config.crawl_workers > 1:
+                    crawler = study.build_parallel_crawler()
+                else:
+                    crawler = study.build_crawler()
+                corpus, _ = crawler.crawl(study.build_schedule())
                 print(f"crawled {corpus.unique_ads} unique ads "
                       f"({corpus.total_impressions} impressions)")
 
@@ -267,6 +270,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(max {batch.get('max', 0.0):.0f})")
         print(f"scan latency:   p50 {latency.get('p50', 0.0) * 1000:.1f}ms, "
               f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms")
+        if counters.get("first_sight_submissions", 0):
+            sight_latency = stats["histograms"].get("first_sight_latency", {})
+            print(f"first sights:   {counters['first_sight_submissions']} "
+                  f"({counters.get('shard_dedup_hits', 0)} cross-shard "
+                  f"dedup hits)")
+            print(f"overlapped:     {counters.get('overlapped_scans', 0)} "
+                  f"scans finished mid-crawl")
+            print(f"sight latency:  "
+                  f"p50 {sight_latency.get('p50', 0.0) * 1000:.1f}ms, "
+                  f"p95 {sight_latency.get('p95', 0.0) * 1000:.1f}ms")
         if args.save_cache:
             n = service.cache.save(args.save_cache)
             print(f"wrote {n} cached verdicts to {args.save_cache}",
@@ -327,7 +340,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2,
                        help="oracle worker threads")
     _add_crawl_worker_args(serve, flag="--crawl-workers")
+    serve.add_argument("--crawl-worker-mode",
+                       choices=("auto", "process", "thread"),
+                       default="thread",
+                       help="parallel crawl worker isolation (default thread: "
+                            "safest inside the already-threaded service host; "
+                            "process streams sights over worker pipes)")
     _add_chaos_args(serve)
+    serve.add_argument("--checkpoint", metavar="PATH",
+                       help="snapshot streamed-crawl progress to this file")
+    serve.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                       help="visits between crawl checkpoints")
+    serve.add_argument("--resume-from", metavar="PATH",
+                       help="resume a streamed crawl from a checkpoint "
+                            "(already-ticketed creatives are not re-submitted)")
     serve.add_argument("--corpus", metavar="PATH",
                        help="replay a saved corpus instead of crawling")
     serve.add_argument("--stream", action="store_true",

@@ -206,6 +206,54 @@ class Study:
             checkpointer.save(len(schedule), corpus, stats)
         return StudyResults(world=self.world, corpus=corpus, crawl_stats=stats)
 
+    def stream(self, service, resume_from: Optional[str] = None,
+               checkpoint_path: Optional[str] = None,
+               checkpoint_every: int = 25):
+        """Phase 1+2 overlapped: crawl straight into a scanning service.
+
+        Returns ``(corpus, stats, tickets)`` from
+        :func:`repro.service.streaming.stream_crawl`.  With
+        ``config.crawl_workers > 1`` the crawl is sharded and workers
+        submit first-sight creatives mid-crawl; the service's
+        content-hash dedup index collapses cross-shard repeats, and the
+        deterministic merge keeps the corpus (and the first-sight
+        verdicts) bit-identical to a serial streamed crawl.
+
+        ``resume_from``/``checkpoint_path``/``checkpoint_every`` work as
+        in :meth:`crawl`; a resumed streamed crawl seeds the streaming
+        corpus from the checkpoint, so already-ticketed creatives are
+        never re-submitted.
+        """
+        # Imported lazily: the service package imports this module.
+        from repro.core.persistence import (
+            CrawlCheckpointer,
+            load_crawl_checkpoint,
+        )
+        from repro.service.streaming import StreamingCorpus, stream_crawl
+
+        schedule = self.build_schedule()
+        start_at = 0
+        corpus = stats = None
+        if resume_from is not None:
+            start_at, plain_corpus, stats = load_crawl_checkpoint(resume_from)
+            corpus = StreamingCorpus.resume(service, plain_corpus)
+        progress = None
+        checkpointer = None
+        if checkpoint_path is not None:
+            checkpointer = CrawlCheckpointer(checkpoint_path,
+                                             every=checkpoint_every)
+            progress = checkpointer
+        if self.config.crawl_workers > 1:
+            crawler = self.build_parallel_crawler()
+        else:
+            crawler = self.build_crawler()
+        corpus, stats, tickets = stream_crawl(
+            crawler, schedule, service, corpus=corpus, stats=stats,
+            start_at=start_at, progress=progress)
+        if checkpointer is not None:
+            checkpointer.save(len(schedule), corpus, stats)
+        return corpus, stats, tickets
+
     def classify(self, results: StudyResults) -> StudyResults:
         """Phase 2: run the combined oracle over every unique ad."""
         oracle = self.build_oracle()

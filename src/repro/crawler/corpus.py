@@ -96,6 +96,19 @@ class AdCorpus:
             record.sandboxed_anywhere = True
         return record
 
+    def seed_from(self, other: "AdCorpus") -> None:
+        """Pre-load this corpus with another's records (checkpoint resume).
+
+        Records are adopted by reference and the id counter advances past
+        the highest adopted id, so creatives first seen after the seeding
+        mint exactly the ids an unbroken crawl would have.  Subclasses
+        with first-sight side effects (the streaming corpus) inherit the
+        key property: seeded records are *not* new sights.
+        """
+        for record in other.records():
+            self._by_hash[record.content_hash] = record
+        self._counter = max(self._counter, other._counter)
+
     # -- accessors ---------------------------------------------------------
 
     @property

@@ -34,6 +34,16 @@ Worker isolation comes in two flavours:
   on this pure-Python workload, but the mode exists for platforms without
   ``fork`` and for embedding inside already-threaded hosts (the scanning
   service), and produces the identical corpus.
+
+Overlapped streaming: with a ``sight`` sink attached (see
+:mod:`repro.service.streaming`), every worker routes its shard-local
+first-sight creatives through a :class:`ShardSubmitter` into the
+scanning service *while it crawls* — thread workers by direct call, fork
+workers as messages on their result pipe drained by a parent-side
+submitter thread.  Sights are content-keyed and scans are hermetic, so
+the racy cross-shard submission order cannot perturb verdicts, and the
+tape-replay merge still assigns ad ids and builds the corpus exactly as
+a serial crawl would.
 """
 
 from __future__ import annotations
@@ -72,23 +82,61 @@ WorkerFactory = Callable[[bool], CrawlWorker]
 #: One taped ``corpus.add`` call: (creative html, impression, sandboxed).
 AdTapeEntry = Tuple[str, Impression, bool]
 
+#: Sink receiving first-sight creative html mid-crawl (usually
+#: ``ScanService.sight`` — content-keyed, so call order is irrelevant).
+SightSink = Callable[[str], None]
+
+
+class ShardSubmitter:
+    """One worker's first-sight channel into the scanning service.
+
+    Every creative a shard sees for the *first time* (shard-locally — the
+    service's content-hash dedup index collapses cross-shard repeats) is
+    pushed through the submitter the moment the worker records it, so
+    scanning starts mid-crawl instead of at the merge.
+
+    * **thread mode** — the sink is the service itself; the worker thread
+      calls straight into ``ScanService.sight`` and the service's
+      backpressure (a ``block`` queue) slows that worker down.
+    * **fork mode** — the sink writes ``(sight, html)`` messages onto the
+      worker's result pipe; a parent-side drainer thread replays them into
+      the service while the child keeps crawling.  The pipe buffer adds
+      slack, so a child only feels backpressure once the buffer and the
+      parent-side queue are both full.
+    """
+
+    def __init__(self, sink: SightSink) -> None:
+        self.sink = sink
+        self.submitted = 0
+
+    def submit(self, html: str) -> None:
+        self.submitted += 1
+        self.sink(html)
+
 
 class _TapeCorpus(AdCorpus):
     """An :class:`AdCorpus` that also records every ``add`` call.
 
     Workers crawl into one of these; the coordinator replays the tapes in
     schedule order against the real corpus, reproducing the exact call
-    sequence (and therefore ad-id assignment) of a serial crawl.
+    sequence (and therefore ad-id assignment) of a serial crawl.  With a
+    :class:`ShardSubmitter` attached, every shard-local first sight is
+    additionally pushed out mid-crawl.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, submitter: Optional[ShardSubmitter] = None) -> None:
         super().__init__()
         self.tape: list[AdTapeEntry] = []
+        self._submitter = submitter
 
     def add(self, html: str, impression: Impression,
             sandboxed: bool = False) -> AdRecord:
         self.tape.append((html, impression, sandboxed))
-        return super().add(html, impression, sandboxed=sandboxed)
+        first_sight = len(self)
+        record = super().add(html, impression, sandboxed=sandboxed)
+        if self._submitter is not None and len(self) > first_sight:
+            self._submitter.submit(html)
+        return record
 
 
 @dataclass
@@ -109,11 +157,12 @@ class _ShardFailure:
 
 
 def _crawl_shard(factory: WorkerFactory, shard: list[tuple[int, Visit]],
-                 isolated: bool) -> _ShardResult:
+                 isolated: bool,
+                 submitter: Optional[ShardSubmitter] = None) -> _ShardResult:
     """Crawl one shard of ``(visit_index, visit)`` pairs."""
     worker = factory(isolated)
     result = _ShardResult()
-    tape_corpus = _TapeCorpus()
+    tape_corpus = _TapeCorpus(submitter)
     served_log = worker.served_log
     for visit_index, visit in shard:
         tape_mark = len(tape_corpus.tape)
@@ -126,13 +175,24 @@ def _crawl_shard(factory: WorkerFactory, shard: list[tuple[int, Visit]],
     return result
 
 
+# Pipe message kinds for fork-mode workers.  A child streams zero or
+# more sight messages while it crawls, then exactly one result message.
+_MSG_SIGHT = "sight"
+_MSG_RESULT = "result"
+
+
 def _fork_child(conn, factory: WorkerFactory, shard: list[tuple[int, Visit]],
-                worker: int) -> None:
+                worker: int, streaming: bool) -> None:
     try:
-        result = _crawl_shard(factory, shard, isolated=True)
-        conn.send(result)
+        submitter = None
+        if streaming:
+            submitter = ShardSubmitter(
+                lambda html: conn.send((_MSG_SIGHT, html)))
+        result = _crawl_shard(factory, shard, isolated=True,
+                              submitter=submitter)
+        conn.send((_MSG_RESULT, result))
     except BaseException:
-        conn.send(_ShardFailure(worker, traceback.format_exc()))
+        conn.send((_MSG_RESULT, _ShardFailure(worker, traceback.format_exc())))
     finally:
         conn.close()
 
@@ -164,7 +224,8 @@ class ParallelCrawler:
 
     def __init__(self, worker_factory: WorkerFactory, n_workers: int = 2,
                  mode: str = "auto", served_sink: Optional[list] = None,
-                 max_restarts: int = 0) -> None:
+                 max_restarts: int = 0,
+                 sight: Optional[SightSink] = None) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if max_restarts < 0:
@@ -173,6 +234,13 @@ class ParallelCrawler:
         self.n_workers = n_workers
         self.mode = resolve_mode(mode)
         self.served_sink = served_sink
+        #: Optional mid-crawl first-sight sink (``ScanService.sight``):
+        #: when set, every shard routes shard-local first sights through a
+        #: :class:`ShardSubmitter` *while it crawls*.  The sink must be
+        #: thread-safe and content-keyed — workers race on it by design.
+        #: ``stream_crawl`` sets this for the duration of a streamed
+        #: crawl; the tape-replay merge is unaffected either way.
+        self.sight = sight
         #: Supervision budget: how many crashed shard workers may be
         #: respawned (in total, across the whole crawl) before the crawl
         #: gives up and raises.  A respawned shard reruns from its start —
@@ -212,32 +280,40 @@ class ParallelCrawler:
             self, shards: list[list[tuple[int, Visit]]],
     ) -> tuple[List[_ShardResult], int]:
         ctx = multiprocessing.get_context("fork")
+        streaming = self.sight is not None
         results: dict[int, _ShardResult] = {}
         restarts = 0
         pending = list(range(len(shards)))
         while pending:
-            children = []
+            drainers = []
+            payloads: dict[int, object] = {}
             for worker in pending:
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_fork_child,
-                    args=(child_conn, self.worker_factory, shards[worker], worker),
+                    args=(child_conn, self.worker_factory, shards[worker],
+                          worker, streaming),
                     name=f"crawl-worker-{worker}",
                 )
                 process.start()
                 child_conn.close()  # parent keeps only the read end
-                children.append((worker, process, parent_conn))
+                # One drainer thread per child: sight messages must be
+                # submitted *while the child crawls* (overlap), and a
+                # child blocked on a full pipe must never have to wait
+                # for a sibling's result to be read first.
+                drainer = threading.Thread(
+                    target=self._drain_child,
+                    args=(worker, process, parent_conn, payloads),
+                    name=f"crawl-drainer-{worker}",
+                )
+                drainer.start()
+                drainers.append(drainer)
+            for drainer in drainers:
+                drainer.join()
             respawn: list[int] = []
             failures: list[_ShardFailure] = []
-            for worker, process, conn in children:
-                try:
-                    payload = conn.recv()
-                except EOFError:
-                    payload = _ShardFailure(
-                        worker, "worker exited without sending a result")
-                finally:
-                    conn.close()
-                process.join()
+            for worker in pending:
+                payload = payloads[worker]
                 if isinstance(payload, _ShardFailure):
                     if restarts < self.max_restarts:
                         restarts += 1
@@ -256,6 +332,39 @@ class ParallelCrawler:
             pending = respawn
         return [results[w] for w in sorted(results)], restarts
 
+    def _drain_child(self, worker: int, process, conn,
+                     payloads: dict) -> None:
+        """Pump one fork child's pipe: sights into the sink, then the result."""
+        payload: object = None
+        shedding = False
+        try:
+            while True:
+                try:
+                    kind, body = conn.recv()
+                except EOFError:
+                    payload = _ShardFailure(
+                        worker, "worker exited without sending a result")
+                    break
+                if kind == _MSG_SIGHT:
+                    if self.sight is not None and not shedding:
+                        try:
+                            self.sight(body)
+                        except Exception:
+                            # Service-side refusal (reject backpressure,
+                            # degraded mode): shed this shard's remaining
+                            # mid-crawl sights but keep draining the pipe
+                            # so the child can finish.  The merge re-sights
+                            # every first-sight creative, so only overlap
+                            # is lost — never a scan.
+                            shedding = True
+                    continue
+                payload = body
+                break
+        finally:
+            conn.close()
+        process.join()
+        payloads[worker] = payload
+
     def _run_threads(
             self, shards: list[list[tuple[int, Visit]]],
     ) -> tuple[List[_ShardResult], int]:
@@ -267,8 +376,11 @@ class ParallelCrawler:
 
             def run(worker: int) -> None:
                 try:
+                    submitter = (ShardSubmitter(self.sight)
+                                 if self.sight is not None else None)
                     slots[worker] = _crawl_shard(
-                        self.worker_factory, shards[worker], isolated=False)
+                        self.worker_factory, shards[worker], isolated=False,
+                        submitter=submitter)
                 except BaseException as exc:  # handled by the supervisor
                     errors[worker] = exc
 

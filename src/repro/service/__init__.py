@@ -21,10 +21,12 @@ from repro.service.queue import (
     QueueFullError,
 )
 from repro.service.service import (
+    AttachedTicket,
     ScanService,
     ScanTicket,
     ServiceConfig,
     ServiceDegradedError,
+    sighting_record,
 )
 from repro.service.streaming import StreamingCorpus, stream_crawl
 from repro.service.workers import (
@@ -35,6 +37,7 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "AttachedTicket",
     "BreakerOpenError",
     "CircuitBreaker",
     "Counter",
@@ -57,5 +60,6 @@ __all__ = [
     "StreamingCorpus",
     "VerdictCache",
     "hermetic_judge",
+    "sighting_record",
     "stream_crawl",
 ]

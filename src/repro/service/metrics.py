@@ -39,20 +39,31 @@ class Counter:
 
 
 class Gauge:
-    """A named value that tracks a current level (queue depth, pool size)."""
+    """A named value that tracks a current level (queue depth, pool size).
+
+    Alongside the current level the gauge remembers its *peak* — the
+    highest level ever set.  For levels that spike and recede between
+    snapshots (queue depth under a bursty streamed crawl, concurrently
+    active crawls) the peak is the only record that the spike happened.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
+        self._peak = 0.0
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
             self._value = float(value)
+            if self._value > self._peak:
+                self._peak = self._value
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
             self._value += amount
+            if self._value > self._peak:
+                self._peak = self._value
 
     def dec(self, amount: float = 1.0) -> None:
         with self._lock:
@@ -61,6 +72,10 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+    @property
+    def peak(self) -> float:
+        return self._peak
 
 
 class Histogram:
@@ -120,7 +135,7 @@ class Histogram:
             count, total = self._count, self._total
         if not samples:
             return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0}
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
         def pct(q: float) -> float:
             rank = (q / 100.0) * (len(samples) - 1)
@@ -136,6 +151,7 @@ class Histogram:
             "max": samples[-1],
             "p50": pct(50.0),
             "p95": pct(95.0),
+            "p99": pct(99.0),
         }
 
 
@@ -179,5 +195,6 @@ class MetricsRegistry:
         return {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "gauge_peaks": {name: g.peak for name, g in sorted(gauges.items())},
             "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
         }

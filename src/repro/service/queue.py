@@ -54,6 +54,10 @@ class IngestQueue:
         self.rejected = 0
         self.drained = 0
         self.requeued = 0
+        #: Deepest the queue has ever been — under an overlapped streamed
+        #: crawl this is the backpressure record: how far submissions ran
+        #: ahead of the oracle workers at the worst moment.
+        self.high_water = 0
 
     # -- producer side -------------------------------------------------------
 
@@ -86,6 +90,8 @@ class IngestQueue:
                     raise QueueClosedError("queue closed while waiting for space")
             self._items.append(item)
             self.accepted += 1
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
             self._not_empty.notify()
 
     def requeue(self, item: Any) -> bool:
@@ -104,6 +110,8 @@ class IngestQueue:
                 return False
             self._items.appendleft(item)
             self.requeued += 1
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
             self._not_empty.notify()
             return True
 
@@ -162,5 +170,6 @@ class IngestQueue:
             "rejected": self.rejected,
             "drained": self.drained,
             "requeued": self.requeued,
+            "high_water": self.high_water,
             "closed": self._closed,
         }

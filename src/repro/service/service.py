@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.oracle import AdVerdict
 from repro.core.study import StudyConfig
-from repro.crawler.corpus import AdCorpus, AdRecord
+from repro.crawler.corpus import AdCorpus, AdRecord, content_hash
 from repro.datasets.world import WorldParams
 from repro.service.batcher import MicroBatcher
 from repro.service.breaker import DeadLetterLog
@@ -111,6 +111,59 @@ class ScanTicket:
         return self._verdict
 
 
+class AttachedTicket(ScanTicket):
+    """A sighting's verdict re-keyed to a corpus ad id.
+
+    Mid-crawl sightings are scanned under a canonical content-derived id
+    (no merged corpus exists yet to assign a global one); when the
+    deterministic merge assigns the creative its ad id, the streaming
+    corpus attaches to the sighting through one of these.  Resolution,
+    failure and cache provenance all mirror the primary ticket; the
+    verdict is relabelled with the adopted ad id on the way out, so the
+    bits a caller sees are identical to a serial streamed crawl's.
+    """
+
+    def __init__(self, ad_id: str, primary: ScanTicket) -> None:
+        # Deliberately no super().__init__: this ticket has no event or
+        # verdict of its own — everything delegates to the primary.
+        self.ad_id = ad_id
+        self.content_hash = primary.content_hash
+        self._primary = primary
+
+    @property
+    def from_cache(self) -> bool:
+        return self._primary.from_cache
+
+    @property
+    def done(self) -> bool:
+        return self._primary.done
+
+    def result(self, timeout: Optional[float] = None) -> AdVerdict:
+        verdict = self._primary.result(timeout)
+        if verdict.ad_id != self.ad_id:
+            verdict = replace(verdict, ad_id=self.ad_id)
+        return verdict
+
+
+def sighting_record(html: str, digest: Optional[str] = None) -> AdRecord:
+    """The canonical scan payload for one creative, derived from content only.
+
+    First-sight scans must be a pure function of the creative so that any
+    shard's submission — whichever wins the cross-shard race — produces
+    the identical verdict.  No impressions are attached (crawl-context
+    domains are a merge-time/batch refinement) and the ad id is minted
+    from the content hash.
+    """
+    digest = digest if digest is not None else content_hash(html)
+    return AdRecord(
+        ad_id=f"sight:{digest[:16]}",
+        content_hash=digest,
+        html=html,
+        first_seen_url="",
+        impressions=[],
+    )
+
+
 class _PendingScan:
     """In-flight bookkeeping for one creative (coalesced tickets)."""
 
@@ -118,6 +171,17 @@ class _PendingScan:
 
     def __init__(self) -> None:
         self.tickets: list[ScanTicket] = []
+
+
+class _Sighting:
+    """Dedup-index entry: the first-submit-wins ticket for one creative."""
+
+    __slots__ = ("ticket", "sighted_at", "latency_observed")
+
+    def __init__(self, ticket: ScanTicket, sighted_at: float) -> None:
+        self.ticket = ticket
+        self.sighted_at = sighted_at
+        self.latency_observed = False
 
 
 class ScanService:
@@ -152,12 +216,20 @@ class ScanService:
         # even before the first submission/scan touches them.
         for name in ("submitted", "cache_hits", "cache_misses", "coalesced",
                      "scanned", "scan_errors", "rejected", "scan_retries",
-                     "dead_lettered", "degraded_rejections"):
+                     "dead_lettered", "degraded_rejections",
+                     "first_sight_submissions", "shard_dedup_hits",
+                     "overlapped_scans"):
             self.metrics.counter(name)
         self.metrics.gauge("queue_depth")
+        self.metrics.gauge("active_crawls")
         self.metrics.histogram("batch_size")
         self.metrics.histogram("scan_latency")
+        self.metrics.histogram("first_sight_latency")
         self._pending: dict[str, _PendingScan] = {}
+        # Cross-shard first-sight dedup: content hash -> the winning
+        # sighting.  First submit wins; every later sighting of the same
+        # creative (other shards, repeat chunks) attaches to it.
+        self._sightings: dict[str, _Sighting] = {}
         self._state_lock = threading.Lock()
         self._idle = threading.Condition(self._state_lock)
         self._started = False
@@ -230,6 +302,11 @@ class ScanService:
             verdict = self.cache.get(record.content_hash)
             if verdict is not None:
                 self.metrics.counter("cache_hits").inc()
+                if verdict.ad_id != record.ad_id:
+                    # The cached scan may carry another session's (or a
+                    # sighting's canonical) ad id; the verdict bits are
+                    # content-pure, so relabel for this submission.
+                    verdict = replace(verdict, ad_id=record.ad_id)
                 ticket.from_cache = True
                 ticket._resolve(verdict)
                 return ticket
@@ -272,6 +349,76 @@ class ScanService:
         """Submit every unique advertisement of a corpus (in corpus order)."""
         return [self.submit(record) for record in corpus.records()]
 
+    # -- streaming first sights ----------------------------------------------
+
+    def sight(self, html: str, timeout: Optional[float] = None) -> ScanTicket:
+        """Submit one first-sight creative, deduplicated across shards.
+
+        The scan payload is the canonical :func:`sighting_record` — a pure
+        function of the creative — so it does not matter which shard's
+        sighting wins the race: the verdict is identical.  First submit
+        wins; later sightings of the same creative attach to the winning
+        ticket (in flight or already resolved) and count as
+        ``shard_dedup_hits``.  Raising behaviour matches :meth:`submit`
+        (``reject`` backpressure and degraded mode propagate).
+        """
+        digest = content_hash(html)
+        with self._state_lock:
+            entry = self._sightings.get(digest)
+            if entry is not None:
+                self.metrics.counter("shard_dedup_hits").inc()
+                return entry.ticket
+        sighted_at = time.monotonic()
+        ticket = self.submit(sighting_record(html, digest), timeout=timeout)
+        with self._state_lock:
+            entry = self._sightings.get(digest)
+            if entry is not None:
+                # Lost a submission race with another shard; the two
+                # scans already coalesced inside submit().
+                self.metrics.counter("shard_dedup_hits").inc()
+                return entry.ticket
+            entry = _Sighting(ticket, sighted_at)
+            self._sightings[digest] = entry
+            self.metrics.counter("first_sight_submissions").inc()
+            if ticket.done:
+                # Resolved before the index entry existed (cache hit, or
+                # a scan faster than this bookkeeping).
+                self._observe_first_sight(entry)
+            return ticket
+
+    def adopt_sighting(self, record: AdRecord,
+                       timeout: Optional[float] = None) -> ScanTicket:
+        """Attach ``record`` (with its corpus ad id) to its sighting.
+
+        The deterministic merge calls this as it assigns global ad ids:
+        the creative was usually already sighted mid-crawl by some shard,
+        so this just re-keys the existing ticket.  A creative that never
+        made it through a shard submitter (serial streaming, or a shard
+        whose mid-crawl submissions were shed) is sighted now — nothing
+        is ever lost, only overlap.
+        """
+        with self._state_lock:
+            entry = self._sightings.get(record.content_hash)
+            primary = entry.ticket if entry is not None else None
+        if primary is None:
+            primary = self.sight(record.html, timeout=timeout)
+        return AttachedTicket(record.ad_id, primary)
+
+    def crawl_started(self) -> None:
+        """Mark a crawl as feeding this service (overlap accounting)."""
+        self.metrics.gauge("active_crawls").inc()
+
+    def crawl_finished(self) -> None:
+        """Mark the end of a crawl started with :meth:`crawl_started`."""
+        self.metrics.gauge("active_crawls").dec()
+
+    def _observe_first_sight(self, entry: _Sighting) -> None:
+        """Record one sighting's submission→verdict latency (locked, once)."""
+        if not entry.latency_observed:
+            entry.latency_observed = True
+            self.metrics.histogram("first_sight_latency").observe(
+                time.monotonic() - entry.sighted_at)
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every accepted submission has a verdict."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -304,6 +451,10 @@ class ScanService:
                 self.cache.put(task.record.content_hash, verdict)
                 self.metrics.counter("scanned").inc()
                 self.metrics.histogram("scan_latency").observe(latency)
+                if self.metrics.gauge("active_crawls").value > 0:
+                    # A verdict landed while a crawl is still running —
+                    # the crawl/scan overlap the pipeline exists for.
+                    self.metrics.counter("overlapped_scans").inc()
             else:
                 self.metrics.counter("scan_errors").inc()
                 assert error is not None
@@ -311,6 +462,9 @@ class ScanService:
                                          task.record.content_hash,
                                          task.attempts, error)
                 self.metrics.counter("dead_lettered").inc()
+            sighting = self._sightings.get(task.record.content_hash)
+            if sighting is not None:
+                self._observe_first_sight(sighting)
             if entry is not None:
                 for ticket in entry.tickets:
                     if verdict is not None:

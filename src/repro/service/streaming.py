@@ -1,46 +1,100 @@
 """Crawler → service streaming: classify ads while the crawl runs.
 
 The batch pipeline waits for the whole crawl before the oracle sees a
-single ad; a real ad-safety service cannot.  :class:`StreamingCorpus` is
-a drop-in :class:`~repro.crawler.corpus.AdCorpus` that submits every
-*newly seen* creative to a :class:`~repro.service.service.ScanService`
-the moment the crawler records its first impression, so scanning overlaps
-crawling.  Repeat impressions of a known creative dedup as usual and
-cost nothing.
+single ad; a real ad-safety service cannot.  This module wires a crawl
+directly into a :class:`~repro.service.service.ScanService` so that
+scanning overlaps crawling:
 
-Note the semantic difference from the batch pass: a first-sight scan
-judges the creative with only the impressions observed *so far*, so the
-blacklist check sees fewer arbitration-chain domains than an end-of-crawl
-scan would.  Verdicts are still deterministic (the scan itself is
-hermetic); they are simply verdicts *at first sight*, which is exactly
-what an online service ships.
+* a serial :class:`~repro.crawler.crawler.Crawler` crawls into a
+  :class:`StreamingCorpus`, which sights every newly seen creative the
+  moment its first impression is recorded;
+* a :class:`~repro.crawler.parallel.ParallelCrawler` goes further —
+  every shard worker pushes its shard-local first sights through a
+  :class:`~repro.crawler.parallel.ShardSubmitter` **mid-crawl** (thread
+  workers call the service directly; fork workers stream sight messages
+  over their result pipe to a parent-side drainer thread), and the
+  service's content-hash dedup index collapses cross-shard repeats onto
+  one first-submit-wins scan.  The deterministic tape-replay merge then
+  assigns global ad ids and *attaches* each record to its already
+  running (or finished) sighting.
+
+First-sight semantics and determinism
+-------------------------------------
+
+A first-sight scan judges the creative **alone**: the scan payload is
+the canonical :func:`~repro.service.service.sighting_record`, a pure
+function of the creative's content.  Crawl-context domains (arbitration
+chains, publisher domains) are a merge-time/batch refinement — an
+online service ships a verdict on the creative the instant it appears,
+before any corpus context exists.  Because the payload is content-pure
+and scans are hermetic, the verdict cannot depend on which shard's
+sighting won the cross-shard race, on worker count, or on submission
+order — so an overlapped parallel streamed crawl produces bit-identical
+first-sight verdicts (and, via the tape-replay merge, a bit-identical
+corpus fingerprint) to a serial streamed crawl.
+
+Backpressure
+------------
+
+The service's ingest queue polices submissions in every mode:
+
+* **serial** — ``block`` pauses the crawl loop inside ``corpus.add``
+  until the oracle catches up; ``reject`` raises out of the crawl.
+* **thread workers** — ``block`` slows only the submitting worker
+  thread; ``reject`` raises inside that worker (the supervisor may
+  respawn it; a respawned shard's re-sights dedup onto existing
+  tickets).
+* **fork workers** — the child feels backpressure only once its pipe
+  buffer fills; on a service-side refusal (``reject``/degraded) the
+  parent drainer *sheds* that shard's remaining mid-crawl sights and
+  the merge re-sights them instead — overlap degrades, no scan is lost.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.crawler.corpus import AdCorpus, AdRecord, Impression
-from repro.crawler.crawler import Crawler, CrawlStats
+from repro.crawler.crawler import Crawler, CrawlProgress, CrawlStats
 from repro.crawler.parallel import ParallelCrawler
 from repro.crawler.schedule import CrawlSchedule
 from repro.service.service import ScanService, ScanTicket
 
 
 class StreamingCorpus(AdCorpus):
-    """An ad corpus that streams first-sight creatives into a service."""
+    """An ad corpus that attaches first-sight scan tickets as ids are minted.
+
+    Every newly seen creative is adopted into the service's sighting
+    index: if a shard already sighted it mid-crawl the existing ticket is
+    re-keyed to the fresh ad id, otherwise it is sighted now.  Repeat
+    impressions of a known creative dedup as usual and cost nothing.
+    """
 
     def __init__(self, service: ScanService) -> None:
         super().__init__()
         self.service = service
         self.tickets: dict[str, ScanTicket] = {}  # by ad_id
 
+    @classmethod
+    def resume(cls, service: ScanService, corpus: AdCorpus) -> "StreamingCorpus":
+        """Seed a streaming corpus from a checkpointed crawl's corpus.
+
+        Seeded records are *not* re-sighted — their creatives were
+        already submitted (and usually scanned) before the crawl died, so
+        a resumed streamed crawl never double-submits already-ticketed
+        creatives.  Only creatives first seen after the resume point mint
+        tickets here.
+        """
+        streaming = cls(service)
+        streaming.seed_from(corpus)
+        return streaming
+
     def add(self, html: str, impression: Impression,
             sandboxed: bool = False) -> AdRecord:
         first_sight = len(self)
         record = super().add(html, impression, sandboxed=sandboxed)
         if len(self) > first_sight:
-            self.tickets[record.ad_id] = self.service.submit(record)
+            self.tickets[record.ad_id] = self.service.adopt_sighting(record)
         return record
 
 
@@ -48,22 +102,46 @@ def stream_crawl(
     crawler: Union[Crawler, ParallelCrawler],
     schedule: CrawlSchedule,
     service: ScanService,
+    corpus: Optional[StreamingCorpus] = None,
+    stats: Optional[CrawlStats] = None,
+    start_at: int = 0,
+    progress: Optional[CrawlProgress] = None,
 ) -> tuple[StreamingCorpus, CrawlStats, dict[str, ScanTicket]]:
     """Run ``schedule`` with ads flowing straight into ``service``.
 
-    Returns the corpus, the crawl stats, and one ticket per unique ad.
-    The service's backpressure applies to the crawler itself: with a
-    ``block`` queue the crawl slows to the oracle's pace, with ``reject``
-    a full queue raises out of the crawl loop.
+    Returns the corpus, the crawl stats, and one ticket per unique ad
+    (keyed by the corpus ad id; verdicts are relabelled to match).
 
-    A :class:`~repro.crawler.parallel.ParallelCrawler` works here too —
-    its deterministic merge replays every first-sight creative through
-    this corpus in schedule order, so the tickets (and the first-sight
-    verdicts behind them) are identical to a serial streamed crawl.
-    Submission then happens at merge time rather than mid-crawl, trading
-    some crawl/scan overlap for the parallel crawl itself; prefer
-    ``mode="thread"`` so worker forks never race live service threads.
+    With a :class:`~repro.crawler.parallel.ParallelCrawler` the pipeline
+    is truly overlapped: shard workers submit first-sight creatives
+    mid-crawl through per-worker submitters and the service deduplicates
+    cross-shard sightings by content hash, so a creative seen by two
+    shards is scanned exactly once.  The deterministic merge still
+    replays every ``corpus.add`` in schedule order, so ad ids, the
+    corpus fingerprint, and the first-sight verdicts behind the tickets
+    are bit-identical to a serial streamed crawl at any worker count.
+
+    ``corpus`` (a :class:`StreamingCorpus`, e.g. from
+    :meth:`StreamingCorpus.resume`), ``stats``, ``start_at`` and
+    ``progress`` support checkpointed/resumed streamed crawls exactly
+    like :meth:`Crawler.crawl`.  See the module docstring for the
+    backpressure contract per worker mode.
     """
-    corpus = StreamingCorpus(service)
-    _, stats = crawler.crawl(schedule, corpus=corpus)
+    if corpus is None:
+        corpus = StreamingCorpus(service)
+    elif not isinstance(corpus, StreamingCorpus):
+        raise TypeError("stream_crawl needs a StreamingCorpus "
+                        f"(got {type(corpus).__name__})")
+    parallel = isinstance(crawler, ParallelCrawler)
+    previous_sight = crawler.sight if parallel else None
+    if parallel:
+        crawler.sight = service.sight
+    service.crawl_started()
+    try:
+        _, stats = crawler.crawl(schedule, corpus=corpus, stats=stats,
+                                 start_at=start_at, progress=progress)
+    finally:
+        service.crawl_finished()
+        if parallel:
+            crawler.sight = previous_sight
     return corpus, stats, corpus.tickets
