@@ -1,0 +1,158 @@
+"""Scan throughput: cold vs. warm-cache honeyclient renders.
+
+The Wepawet honeyclient re-renders every unique creative, and the crawler
+re-renders every page five times per visit — so the render/scan hot path
+sees the same markup and the same scripts over and over.  This benchmark
+measures what the hash-addressed compile caches (DESIGN §11) buy on that
+re-render workload:
+
+* **cold pass** — every cache empty: each render lexes + parses its
+  script and tokenizes its HTML from scratch (and pays the cache fills).
+* **warm pass** — the same creatives again: every compile is a cache hit.
+
+Both passes must produce identical behavioural reports (the caches are an
+optimisation, not an observable); the ≥2× warm-over-cold floor is only
+asserted when the caches actually claim hits and ``BENCH_SMOKE`` is off.
+The floor is hardware-independent — the comparison is single-threaded on
+both sides — so unlike the crawl-throughput floor it is not core-gated.
+
+Emits a ``SCAN_THROUGHPUT_JSON`` line for the perf dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.datasets.world import WorldParams, build_world
+from repro.oracles.wepawet import Wepawet
+from repro.util.lru import cache_stats, clear_all_caches
+
+from conftest import BENCH_SEED
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+# Required warm-over-cold render speedup once the caches claim hits.
+WARM_SPEEDUP_FLOOR = 2.0
+
+if SMOKE:
+    N_CREATIVES = 8
+    LIB_FUNCTIONS = 60
+else:
+    N_CREATIVES = 30
+    LIB_FUNCTIONS = 150
+
+
+def emit(name: str, payload: dict) -> None:
+    print(f"\n{name} {json.dumps(payload, sort_keys=True)}")
+
+
+def _script_library() -> str:
+    """A template ad-tag library: big to parse, cheap to execute.
+
+    Mirrors real ad tags, where a creative ships a large shared runtime
+    (rendering, tracking, consent plumbing) and a tiny per-unit driver.
+    """
+    parts = []
+    for i in range(LIB_FUNCTIONS):
+        parts.append(
+            f"function helper{i}(x) {{\n"
+            f"  var acc = x + {i};\n"
+            f"  for (var j = 0; j < 3; j++) {{ acc = acc + j * {i % 7}; }}\n"
+            f"  if (acc % 2 === 0) {{ acc = acc + 1; }}\n"
+            f"  return acc;\n"
+            f"}}")
+    return "\n".join(parts)
+
+
+_LIBRARY = _script_library()
+
+
+def _creative(index: int) -> str:
+    # Each creative gets a unique driver so the cold pass never hits the
+    # program cache: pass 1 compiles N distinct scripts, pass 2 re-renders
+    # the same N (the honeyclient / refresh scenario).
+    return (
+        "<html><head><title>unit</title></head><body>"
+        f"<div id='slot{index}' class='ad-unit'>creative {index}</div>"
+        f"<script>{_LIBRARY}\n"
+        f"var unit = {index};\n"
+        f"var total = helper{index % LIB_FUNCTIONS}(unit) + helper0(unit);\n"
+        f"document.write('<span>' + total + '</span>');"
+        "</script></body></html>"
+    )
+
+
+def _render_pass(wepawet: Wepawet, creatives: list[str]):
+    reports = []
+    started = time.perf_counter()
+    for html in creatives:
+        reports.append(wepawet.analyze_html(html))
+    return time.perf_counter() - started, reports
+
+
+def _report_key(report):
+    """Everything observable about a render except the minted sample id."""
+    return (
+        report.features,
+        report.suspicious_redirection,
+        report.redirection_reasons,
+        report.driveby_heuristic,
+        report.heuristic_reasons,
+        report.model_detection,
+        round(report.model_score, 12),
+        report.contacted_domains,
+        len(report.downloads),
+    )
+
+
+class TestScanThroughput:
+    def test_warm_cache_renders_beat_cold(self):
+        world = build_world(seed=BENCH_SEED, params=WorldParams(
+            n_top_sites=4, n_bottom_sites=4, n_other_sites=4, n_feed_sites=2))
+        wepawet = Wepawet(world.client, world.resolver)
+        creatives = [_creative(i) for i in range(N_CREATIVES)]
+
+        clear_all_caches()
+        cold_time, cold_reports = _render_pass(wepawet, creatives)
+        programs_after_cold = cache_stats()["adscript_programs"]["hits"]
+
+        warm_time, warm_reports = _render_pass(wepawet, creatives)
+        stats = cache_stats()
+        warm_hits = stats["adscript_programs"]["hits"] - programs_after_cold
+
+        # The caches must be invisible in the reports.
+        assert [_report_key(r) for r in cold_reports] == \
+            [_report_key(r) for r in warm_reports]
+
+        speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+        floor_applies = not SMOKE and warm_hits >= N_CREATIVES
+        emit("SCAN_THROUGHPUT_JSON", {
+            "workload": {"creatives": N_CREATIVES,
+                         "library_functions": LIB_FUNCTIONS,
+                         "smoke": SMOKE},
+            "cold": {"seconds": round(cold_time, 3),
+                     "renders_per_sec": round(N_CREATIVES / cold_time, 1)},
+            "warm": {"seconds": round(warm_time, 3),
+                     "renders_per_sec": round(N_CREATIVES / warm_time, 1)},
+            "speedup": round(speedup, 2),
+            # The regex cache only registers once a script compiles a
+            # pattern; this workload does not, so it may be absent.
+            "cache_hits": {
+                name: cache["hits"]
+                for name, cache in sorted(stats.items())
+                if name.startswith(("adscript", "html", "url"))
+            },
+            "floor": {"warm_speedup": WARM_SPEEDUP_FLOOR,
+                      "enforced": floor_applies,
+                      "measured": round(speedup, 2)},
+        })
+
+        # Warm renders must actually hit: one program compile per creative
+        # in the cold pass, zero in the warm pass.
+        assert warm_hits >= N_CREATIVES
+        if floor_applies:
+            assert speedup >= WARM_SPEEDUP_FLOOR, (
+                f"warm renders only {speedup:.2f}x cold "
+                f"(floor {WARM_SPEEDUP_FLOOR}x)")

@@ -18,7 +18,7 @@ from repro.adscript.errors import (
 )
 from repro.adscript.interpreter import Interpreter
 from repro.adscript.lexer import tokenize
-from repro.adscript.parser import parse_program
+from repro.adscript.parser import compile_program, parse_program
 from repro.adscript.values import (
     JSFunction,
     JSObject,
@@ -32,6 +32,7 @@ from repro.adscript.values import (
 __all__ = [
     "AdScriptError",
     "BudgetExceededError",
+    "compile_program",
     "Interpreter",
     "JSFunction",
     "JSObject",

@@ -11,7 +11,21 @@ from typing import Optional
 
 
 class Node:
-    """Base class for AST nodes."""
+    """Base class for AST nodes.
+
+    Nodes start out mutable (the parser builds them field by field); once a
+    program is published to the process-wide compile cache it is frozen via
+    :func:`freeze`, after which any attribute write raises — concurrent
+    interpreters share cached ASTs and must never mutate them.
+    """
+
+    __frozen__ = False
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if self.__frozen__:
+            raise AttributeError(
+                f"cannot mutate frozen AST node: {type(self).__name__}.{name}")
+        object.__setattr__(self, name, value)
 
 
 # -- expressions -------------------------------------------------------------
@@ -266,3 +280,31 @@ class FunctionDeclaration(Node):
 @dataclass
 class EmptyStatement(Node):
     line: int = 0
+
+
+# -- immutability -------------------------------------------------------------
+
+
+def freeze(node: Node) -> Node:
+    """Recursively freeze ``node`` and every Node reachable from it.
+
+    Walks instance attributes plus lists/tuples (which cover every container
+    the parser emits: statement lists, parameter lists, ``(key, value)``
+    entry pairs, switch cases).  The containers themselves stay ordinary
+    lists — freezing guards the attribute writes the interpreter could
+    plausibly perform; nothing in the interpreter appends to AST lists.
+    """
+    _freeze_value(node)
+    return node
+
+
+def _freeze_value(value: object) -> None:
+    if isinstance(value, Node):
+        if value.__frozen__:
+            return
+        for child in vars(value).values():
+            _freeze_value(child)
+        object.__setattr__(value, "__frozen__", True)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _freeze_value(item)

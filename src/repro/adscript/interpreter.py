@@ -19,7 +19,7 @@ from repro.adscript.errors import (
     ScriptRuntimeError,
     ThrowSignal,
 )
-from repro.adscript.parser import parse_program
+from repro.adscript.parser import compile_program
 from repro.adscript.values import (
     HostObject,
     JSArray,
@@ -118,8 +118,11 @@ class Interpreter:
 
         Returns the value of the last expression statement, mirroring how an
         eval-style embedding reports results.
+
+        Parsing goes through the process-wide compile cache: every browser
+        context that executes the same script source shares one frozen AST.
         """
-        program = parse_program(source)
+        program = compile_program(source)
         return self.run_program(program)
 
     def run_program(self, program: ast.Program) -> Any:

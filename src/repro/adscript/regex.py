@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.util.lru import LruCache
+
 
 class RegexSyntaxError(ValueError):
     """The pattern is not valid."""
@@ -308,9 +310,17 @@ class RegexBudgetError(RuntimeError):
 
 
 class Regex:
-    """A compiled pattern."""
+    """A compiled pattern.
 
-    def __init__(self, pattern: str, flags: str = "") -> None:
+    The parsed pattern AST is immutable at match time (all per-match state —
+    the backtracking step counter, group spans — lives on the instance or in
+    locals), so :func:`compile_pattern` shares one AST between every
+    :class:`Regex` built from the same pattern while each instance keeps its
+    own flags and counters.
+    """
+
+    def __init__(self, pattern: str, flags: str = "",
+                 _compiled: "Optional[tuple[_Alternation, int]]" = None) -> None:
         unknown = set(flags) - set("gim")
         if unknown:
             raise RegexSyntaxError(f"unsupported flags: {''.join(sorted(unknown))}")
@@ -318,9 +328,10 @@ class Regex:
         self.flags = flags
         self.ignore_case = "i" in flags
         self.global_ = "g" in flags
-        parser = _Parser(pattern)
-        self._ast = parser.parse()
-        self.n_groups = parser.group_count
+        if _compiled is None:
+            parser = _Parser(pattern)
+            _compiled = (parser.parse(), parser.group_count)
+        self._ast, self.n_groups = _compiled
 
     # -- public API -----------------------------------------------------------
 
@@ -486,6 +497,22 @@ class Regex:
         raise RegexSyntaxError(f"unknown node {node!r}")
 
 
+# Pattern-text -> parsed (AST, group count).  Flags are not part of the key:
+# they only affect per-instance match behaviour, never the parse.  Invalid
+# patterns are not cached; they re-raise identically on every call.
+_PATTERN_CACHE = LruCache("adscript_regexes", capacity=2048)
+
+
 def compile_pattern(pattern: str, flags: str = "") -> Regex:
-    """Compile ``pattern`` (raises :class:`RegexSyntaxError` when invalid)."""
-    return Regex(pattern, flags)
+    """Compile ``pattern`` (raises :class:`RegexSyntaxError` when invalid).
+
+    The parse is memoised process-wide; each call still returns a fresh
+    :class:`Regex` (per-instance backtracking budget and flag state) that
+    shares the immutable pattern AST.
+    """
+    compiled = _PATTERN_CACHE.get(pattern)
+    if compiled is None:
+        parser = _Parser(pattern)
+        compiled = (parser.parse(), parser.group_count)
+        _PATTERN_CACHE.put(pattern, compiled)
+    return Regex(pattern, flags, _compiled=compiled)

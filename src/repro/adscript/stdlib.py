@@ -651,9 +651,9 @@ def install_globals(interp: "Interpreter") -> None:
         if not args or not isinstance(args[0], str):
             return args[0] if args else UNDEFINED
         interp.record_eval(args[0])
-        from repro.adscript.parser import parse_program
+        from repro.adscript.parser import compile_program
 
-        program = parse_program(args[0])
+        program = compile_program(args[0])
         interp._hoist(program.body, g)
         result: Any = UNDEFINED
         for statement in program.body:

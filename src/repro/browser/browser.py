@@ -129,10 +129,11 @@ class _FrameContext:
     def document_write(self, markup: str) -> None:
         """Append written markup to the document and queue it for processing."""
         target = self.frame.document.body or self.frame.document
-        for node in parse_fragment(markup):
+        nodes = parse_fragment(markup)
+        for node in nodes:
             target.append(node)
             self.dynamic_elements.append(node)
-        if not parse_fragment(markup):
+        if not nodes:
             # Pure text writes still land in the document.
             target.append_text(markup)
 

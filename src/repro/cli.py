@@ -264,6 +264,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"oracle scans:   {counters.get('scanned', 0)}")
         print(f"cache hits:     {counters.get('cache_hits', 0)} "
               f"(hit rate {stats['cache']['hit_rate']:.1%})")
+        for cache_name in sorted(stats.get("compile_caches", {})):
+            cc = stats["compile_caches"][cache_name]
+            lookups = cc["hits"] + cc["misses"]
+            if not lookups:
+                continue
+            print(f"compile cache:  {cache_name} {cc['hits']}/{lookups} hits "
+                  f"(hit rate {cc['hit_rate']:.1%}, "
+                  f"size {cc['size']}/{cc['capacity']})")
         print(f"coalesced:      {counters.get('coalesced', 0)}")
         print(f"rejected:       {counters.get('rejected', 0)}")
         print(f"batch size:     mean {batch.get('mean', 0.0):.1f} "

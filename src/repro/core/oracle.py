@@ -24,6 +24,21 @@ from repro.oracles.wepawet import Wepawet, WepawetReport
 
 VT_CONSENSUS_THRESHOLD = 4
 
+# classify_incident lives in repro.core.incidents, which imports this module
+# — the import must stay lazy, but resolving it inside every property call
+# put an import-system round trip on the per-verdict hot path.  Resolve it
+# once, on first use.
+_classify_incident = None
+
+
+def _resolve_classifier():
+    global _classify_incident
+    if _classify_incident is None:
+        from repro.core.incidents import classify_incident
+
+        _classify_incident = classify_incident
+    return _classify_incident
+
 
 @dataclass
 class AdVerdict:
@@ -38,15 +53,11 @@ class AdVerdict:
 
     @property
     def is_malicious(self) -> bool:
-        from repro.core.incidents import classify_incident
-
-        return classify_incident(self) is not None
+        return _resolve_classifier()(self) is not None
 
     @property
     def incident_type(self) -> Optional[str]:
-        from repro.core.incidents import classify_incident
-
-        return classify_incident(self)
+        return _resolve_classifier()(self)
 
 
 class CombinedOracle:

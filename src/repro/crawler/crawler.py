@@ -31,7 +31,7 @@ from repro.crawler.extraction import auction_hops, extract_ad_frames, observed_a
 from repro.crawler.schedule import CrawlSchedule, Visit
 from repro.filterlists.matcher import FilterEngine
 from repro.util.rand import fork
-from repro.web.url import UrlError, etld_plus_one, parse_url
+from repro.web.url import site_domain
 
 # Counter-space stride reserved per visit: each hermetic visit mints its
 # impression ids (and cloaking-rotation draws) from a private, disjoint
@@ -170,10 +170,6 @@ class Crawler:
         self.retry = retry
         self._sleep = sleep
         self._retry_budget_left: Optional[int] = None if retry is None else retry.budget
-        # Visit URLs repeat across every refresh of every daily visit;
-        # parsing + eTLD+1 extraction is pure in the URL, so cache it.
-        # Keyed by page URL — bounded by the size of the crawl set.
-        self._site_domain_cache: dict[str, str] = {}
 
     def crawl(self, schedule: CrawlSchedule,
               corpus: Optional[AdCorpus] = None,
@@ -294,11 +290,6 @@ class Crawler:
             attempt += 1
 
     def _site_domain(self, url: str) -> str:
-        domain = self._site_domain_cache.get(url)
-        if domain is None:
-            try:
-                domain = etld_plus_one(parse_url(url).host)
-            except UrlError:
-                domain = url
-            self._site_domain_cache[url] = domain
-        return domain
+        # Shared process-wide memo (repro.web.url): visit URLs repeat
+        # across refreshes, days, and thread-mode crawl workers.
+        return site_domain(url)

@@ -31,6 +31,17 @@ class BlacklistTracker:
             raise ValueError("threshold must be non-negative")
         self.feeds = list(feeds)
         self.threshold = threshold
+        # Inverted index: domain -> ascending indices of the feeds listing
+        # it.  Replaces a scan over all 49 feeds per checked domain with
+        # two dict probes; ascending index order preserves the feed-order
+        # name lists the scan produced.
+        index: dict[str, list[int]] = {}
+        for position, feed in enumerate(self.feeds):
+            for domain in feed.domains:
+                index.setdefault(domain, []).append(position)
+        self._index: dict[str, tuple[int, ...]] = {
+            domain: tuple(positions) for domain, positions in index.items()
+        }
 
     def listing_count(self, domain: str) -> int:
         """On how many feeds does ``domain`` (or its eTLD+1) appear?"""
@@ -57,8 +68,15 @@ class BlacklistTracker:
     def _listing_names(self, domain: str) -> list[str]:
         domain = domain.lower()
         registered = etld_plus_one(domain)
-        names = []
-        for feed in self.feeds:
-            if domain in feed.domains or registered in feed.domains:
-                names.append(feed.name)
-        return names
+        exact = self._index.get(domain, ())
+        if registered == domain:
+            positions: Sequence[int] = exact
+        else:
+            rolled = self._index.get(registered, ())
+            if not exact:
+                positions = rolled
+            elif not rolled:
+                positions = exact
+            else:
+                positions = sorted(set(exact) | set(rolled))
+        return [self.feeds[position].name for position in positions]

@@ -31,6 +31,7 @@ from repro.service.cache import VerdictCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.queue import IngestQueue, QueueClosedError, QueueFullError
 from repro.service.workers import OracleWorkerPool, ScanFaultHook, ScanTask
+from repro.util import lru
 
 
 class ServiceDegradedError(RuntimeError):
@@ -225,6 +226,13 @@ class ScanService:
         self.metrics.histogram("batch_size")
         self.metrics.histogram("scan_latency")
         self.metrics.histogram("first_sight_latency")
+        # Compile caches (repro.util.lru) are process-wide; mirror their
+        # totals into this service's counters as deltas observed since the
+        # service was constructed.
+        self._compile_cache_baseline: dict[tuple[str, str], int] = {}
+        for name, stats in lru.cache_stats().items():
+            for kind in ("hits", "misses"):
+                self._compile_cache_baseline[(name, kind)] = stats[kind]
         self._pending: dict[str, _PendingScan] = {}
         # Cross-shard first-sight dedup: content hash -> the winning
         # sighting.  First submit wins; every later sighting of the same
@@ -479,7 +487,9 @@ class ScanService:
 
     def stats(self) -> dict:
         """One dict with everything: metrics, cache, queue, batcher, pool."""
+        compile_caches = self._sync_compile_cache_metrics()
         snapshot = self.metrics.snapshot()
+        snapshot["compile_caches"] = compile_caches
         snapshot["cache"] = self.cache.stats()
         snapshot["queue"] = self.queue.stats()
         snapshot["batcher"] = self.batcher.stats()
@@ -492,6 +502,27 @@ class ScanService:
         }
         snapshot["dead_letter"] = self.dead_letters.stats()
         return snapshot
+
+    def _sync_compile_cache_metrics(self) -> dict:
+        """Mirror the process-wide compile caches into this registry.
+
+        Counters carry the hits/misses observed since this service was
+        constructed (delta-tracked — the caches are shared by the whole
+        process, including activity before the service existed); the
+        hit-ratio gauges report each cache's process-wide rate.
+        """
+        all_stats = lru.cache_stats()
+        for name, stats in all_stats.items():
+            for kind in ("hits", "misses"):
+                key = (name, kind)
+                last = self._compile_cache_baseline.get(key, 0)
+                delta = stats[kind] - last
+                if delta > 0:
+                    self.metrics.counter(f"compile_cache_{name}_{kind}").inc(delta)
+                self._compile_cache_baseline[key] = stats[kind]
+            self.metrics.gauge(f"compile_cache_{name}_hit_ratio").set(
+                stats["hit_rate"])
+        return all_stats
 
 
 def _snapshot(record: AdRecord) -> AdRecord:

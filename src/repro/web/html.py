@@ -5,13 +5,23 @@ ecosystem emits (and realistic sloppiness: unquoted attributes, unclosed
 tags, raw-text script bodies, comments, doctype).  It deliberately does not
 attempt the full HTML5 tree-construction algorithm; the subset here is the
 one the crawler, the honeyclient and the tests exercise.
+
+Parsing is split into two stages so the expensive one is cacheable:
+tokenization produces an **immutable** token-tuple stream (memoised
+process-wide, keyed by a hash of the markup — creatives are
+template-generated and repeat verbatim across refreshes and honeyclient
+re-renders), and tree building re-materialises a **fresh mutable**
+:class:`~repro.web.dom.Document` from that stream on every call, because
+pages mutate their DOM (``document.write``, attribute writes) and a shared
+tree would leak one load's mutations into the next.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
 from typing import Iterator, Optional
 
+from repro.util.lru import LruCache
 from repro.web.dom import (
     CommentNode,
     Document,
@@ -24,15 +34,15 @@ from repro.web.dom import (
 # Elements whose open tag implicitly closes a previous sibling of the same tag.
 IMPLICIT_CLOSERS = frozenset({"li", "p", "td", "tr", "option"})
 
+# Immutable token forms (the cacheable tokenizer output):
+#   (_TEXT, text)
+#   (_COMMENT, text)
+#   (_TAG, name, ((attr, value), ...), closing, self_closing)
+_TEXT = "text"
+_COMMENT = "comment"
+_TAG = "tag"
 
-@dataclass
-class Tag:
-    """A parsed start/end tag token."""
-
-    name: str
-    attributes: dict[str, str]
-    closing: bool
-    self_closing: bool
+Token = tuple
 
 
 def _unescape(text: str) -> str:
@@ -52,21 +62,21 @@ class _Tokenizer:
         self.markup = markup
         self.pos = 0
 
-    def tokens(self) -> Iterator[object]:
-        """Yield TextNode / CommentNode / Tag tokens."""
+    def tokens(self) -> Iterator[Token]:
+        """Yield immutable token tuples (see module constants)."""
         while self.pos < len(self.markup):
             lt = self.markup.find("<", self.pos)
             if lt == -1:
-                yield TextNode(_unescape(self.markup[self.pos:]))
+                yield (_TEXT, _unescape(self.markup[self.pos:]))
                 return
             if lt > self.pos:
-                yield TextNode(_unescape(self.markup[self.pos:lt]))
+                yield (_TEXT, _unescape(self.markup[self.pos:lt]))
             if self.markup.startswith("<!--", lt):
                 end = self.markup.find("-->", lt + 4)
                 if end == -1:
-                    yield CommentNode(self.markup[lt + 4:])
+                    yield (_COMMENT, self.markup[lt + 4:])
                     return
-                yield CommentNode(self.markup[lt + 4:end])
+                yield (_COMMENT, self.markup[lt + 4:end])
                 self.pos = end + 3
                 continue
             if self.markup.startswith("<!", lt):  # doctype etc.
@@ -76,17 +86,18 @@ class _Tokenizer:
             tag = self._read_tag(lt)
             if tag is None:
                 # A stray '<' that does not start a tag: emit as text.
-                yield TextNode("<")
+                yield (_TEXT, "<")
                 self.pos = lt + 1
                 continue
             yield tag
-            if not tag.closing and tag.name in RAW_TEXT_ELEMENTS and not tag.self_closing:
-                raw = self._read_raw_text(tag.name)
+            _, name, _, closing, self_closing = tag
+            if not closing and name in RAW_TEXT_ELEMENTS and not self_closing:
+                raw = self._read_raw_text(name)
                 if raw:
-                    yield TextNode(raw)
-                yield Tag(tag.name, {}, closing=True, self_closing=False)
+                    yield (_TEXT, raw)
+                yield (_TAG, name, (), True, False)
 
-    def _read_tag(self, lt: int) -> Optional[Tag]:
+    def _read_tag(self, lt: int) -> Optional[Token]:
         pos = lt + 1
         closing = False
         if pos < len(self.markup) and self.markup[pos] == "/":
@@ -139,7 +150,7 @@ class _Tokenizer:
             if attr_name:
                 attributes[attr_name] = _unescape(value)
         self.pos = pos
-        return Tag(name, attributes, closing=closing, self_closing=self_closing)
+        return (_TAG, name, tuple(attributes.items()), closing, self_closing)
 
     def _read_raw_text(self, tag_name: str) -> str:
         """Consume raw text until the matching close tag (e.g. </script>)."""
@@ -156,23 +167,41 @@ class _Tokenizer:
         return raw
 
 
+# Document-hash -> immutable token tuple stream.  The DOM itself is never
+# cached (loads mutate it); only this read-only intermediate is shared.
+_TOKEN_CACHE = LruCache("html_tokens", capacity=2048)
+
+
+def _token_stream(markup: str) -> tuple[Token, ...]:
+    key = hashlib.sha256(markup.encode("utf-8", "backslashreplace")).digest()
+    tokens = _TOKEN_CACHE.get(key)
+    if tokens is None:
+        tokens = tuple(_Tokenizer(markup).tokens())
+        _TOKEN_CACHE.put(key, tokens)
+    return tokens
+
+
 def parse_html(markup: str) -> Document:
-    """Parse ``markup`` into a :class:`Document`."""
+    """Parse ``markup`` into a fresh, mutable :class:`Document`."""
     document = Document()
     stack: list[Element] = [document]
-    for token in _Tokenizer(markup).tokens():
-        if isinstance(token, (TextNode, CommentNode)):
-            stack[-1].append(token)
+    for token in _token_stream(markup):
+        kind = token[0]
+        if kind == _TEXT:
+            stack[-1].append(TextNode(token[1]))
             continue
-        tag: Tag = token  # type: ignore[assignment]
-        if tag.closing:
-            _close(stack, tag.name)
+        if kind == _COMMENT:
+            stack[-1].append(CommentNode(token[1]))
             continue
-        if tag.name in IMPLICIT_CLOSERS and stack[-1].tag == tag.name:
+        _, name, attrs, closing, self_closing = token
+        if closing:
+            _close(stack, name)
+            continue
+        if name in IMPLICIT_CLOSERS and stack[-1].tag == name:
             stack.pop()
-        element = Element(tag.name, tag.attributes)
+        element = Element(name, dict(attrs))
         stack[-1].append(element)
-        if tag.self_closing or tag.name in VOID_ELEMENTS:
+        if self_closing or name in VOID_ELEMENTS:
             continue
         stack.append(element)
     return document

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.lru import LruCache
+
 DEFAULT_PORTS = {"http": 80, "https": 443}
 
 # A small public-suffix list sufficient for the simulated web.  Multi-label
@@ -150,6 +152,13 @@ def parse_url(raw: str) -> Url:
     return Url(scheme, host, port, path, query, fragment)
 
 
+# Host -> eTLD+1.  The same hosts recur across every oracle check, filter
+# match and crawl arbitration, and the derivation is pure in the host
+# string, so the whole pipeline (Wepawet, blacklists, analysis, crawler)
+# shares one process-wide memo.
+_ETLD_CACHE = LruCache("url_etld", capacity=16384)
+
+
 def etld_plus_one(host: str) -> str:
     """Return the registered domain (eTLD+1) for ``host``.
 
@@ -157,6 +166,15 @@ def etld_plus_one(host: str) -> str:
     ``example.com``.  A host that *is* a public suffix, or a single label,
     is returned unchanged.
     """
+    cached = _ETLD_CACHE.get(host)
+    if cached is not None:
+        return cached
+    result = _etld_plus_one_uncached(host)
+    _ETLD_CACHE.put(host, result)
+    return result
+
+
+def _etld_plus_one_uncached(host: str) -> str:
     host = host.lower().rstrip(".")
     labels = host.split(".")
     if len(labels) < 2:
@@ -177,6 +195,29 @@ def registered_domain(url: Url | str) -> str:
     if isinstance(url, str):
         url = parse_url(url)
     return url.registered_domain
+
+
+# Page URL -> site domain.  Promoted out of the crawler's per-instance
+# cache: visit URLs repeat across every refresh of every daily visit and
+# across crawl workers in thread mode, so the parse + eTLD+1 extraction is
+# memoised once per process.  Bounded by the size of the crawl set.
+_SITE_DOMAIN_CACHE = LruCache("url_site_domains", capacity=16384)
+
+
+def site_domain(url: str) -> str:
+    """The registered domain of a page URL string, tolerantly.
+
+    Unparseable URLs fall back to the raw string (crawl schedules may carry
+    synthetic site names), matching the crawler's historical behaviour.
+    """
+    domain = _SITE_DOMAIN_CACHE.get(url)
+    if domain is None:
+        try:
+            domain = etld_plus_one(parse_url(url).host)
+        except UrlError:
+            domain = url
+        _SITE_DOMAIN_CACHE.put(url, domain)
+    return domain
 
 
 def same_origin(a: Url, b: Url) -> bool:
