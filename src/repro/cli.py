@@ -186,6 +186,68 @@ def _cmd_scarecrow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_gateway(args: argparse.Namespace, service) -> tuple:
+    """Build the multi-tenant gateway for ``serve --tenants``.
+
+    Returns ``(gateway, keys)`` where ``keys`` maps tenant id to the
+    plaintext API key the CLI submits with: the key from the tenants
+    file when given, else the key minted deterministically from the
+    study seed (entries carrying only a ``key_hash`` cannot be driven by
+    the CLI and are skipped with a note).
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.gateway import GatewayConfig, ScanGateway, TenantRegistry, mint_key
+
+    registry = TenantRegistry.from_file(args.tenants, secret_seed=args.seed)
+    gateway = ScanGateway(service, registry=registry, config=GatewayConfig(
+        require_auth=args.require_auth, secret_seed=args.seed))
+    text = Path(args.tenants).read_text(encoding="utf-8").strip()
+    entries = (_json.loads(text) if text.startswith("[")
+               else [_json.loads(line) for line in text.splitlines() if line.strip()])
+    keys = {}
+    for entry in entries:
+        tenant_id = entry["tenant_id"]
+        if entry.get("api_key"):
+            keys[tenant_id] = entry["api_key"]
+        elif entry.get("key_hash"):
+            print(f"gateway: tenant {tenant_id!r} has only a key hash; "
+                  f"the CLI cannot submit on its behalf", file=sys.stderr)
+        else:
+            keys[tenant_id] = mint_key(args.seed, tenant_id)
+    return gateway, keys
+
+
+def _print_gateway_report(gateway) -> None:
+    stats = gateway.stats()
+    totals = stats["totals"]
+    admission = stats["admission"]
+    print("\n-- gateway report --")
+    print(f"requests:       {totals.get('gateway_requests', 0)} "
+          f"({totals.get('gateway_auth_failures', 0)} auth failures)")
+    print(f"admitted:       {totals.get('gateway_admitted', 0)} "
+          f"(throttled {totals.get('gateway_throttled', 0)}, "
+          f"quota-rejected {totals.get('gateway_quota_rejected', 0)}, "
+          f"buffer-rejected {totals.get('gateway_admission_rejected', 0)})")
+    print(f"admission:      depth high-water {admission['high_water']} "
+          f"of {admission['capacity']}")
+    for tenant_id, rollup in sorted(stats["tenants"].items()):
+        usage = rollup["usage"]
+        counters = rollup["counters"]
+        latency = rollup["admission_latency"]
+        print(f"tenant {tenant_id:<12} submitted {counters.get('submitted', 0)}, "
+              f"admitted {counters.get('admitted', 0)}, "
+              f"throttled {counters.get('throttled', 0)}, "
+              f"quota-rej {usage['quota_rejections']}")
+        print(f"  {'':<12} spend {usage['spend']:g} "
+              f"({usage['fresh_scans']} fresh, {usage['cached_hits']} cached), "
+              f"verdicts {counters.get('malicious', 0)} malicious / "
+              f"{counters.get('benign', 0)} benign, "
+              f"adm p50 {latency.get('p50', 0.0) * 1000:.1f}ms "
+              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -212,6 +274,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     with ScanService(service_config, cache=cache) as service:
+        gateway = None
+        tenant_keys: dict = {}
+        if args.tenants:
+            gateway, tenant_keys = _load_gateway(args, service)
+            print(f"gateway: {len(gateway.registry)} tenants from "
+                  f"{args.tenants} (auth "
+                  f"{'required' if args.require_auth else 'optional'})")
+        elif args.require_auth:
+            print("--require-auth needs --tenants <file>", file=sys.stderr)
+            return 2
         if args.corpus:
             corpus = load_corpus(args.corpus)
             print(f"loaded {corpus.unique_ads} unique ads "
@@ -244,6 +316,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         for replay in range(1, args.replays + 1):
             started = time.perf_counter()
+            if gateway is not None:
+                # Round-robin the corpus across the driveable tenants, as
+                # if each were a customer replaying its share of traffic.
+                from repro.gateway import GatewayError
+
+                order = sorted(tenant_keys)
+                tickets = []
+                refused = 0
+                for i, record in enumerate(corpus.records()):
+                    key = tenant_keys[order[i % len(order)]]
+                    try:
+                        tickets.append(gateway.submit_record(key, record))
+                    except GatewayError:
+                        refused += 1
+                gateway.drain()
+                elapsed = time.perf_counter() - started
+                malicious = sum(1 for t in tickets if t.result().is_malicious)
+                hits = sum(1 for t in tickets if t.from_cache)
+                rate = len(tickets) / elapsed if elapsed > 0 else float("inf")
+                print(f"replay {replay}: {len(tickets)} ads via gateway in "
+                      f"{elapsed:.2f}s ({rate:.0f} ads/s), {hits} cache hits, "
+                      f"{malicious} malicious, {refused} refused")
+                continue
             tickets = service.submit_corpus(corpus)
             service.drain()
             elapsed = time.perf_counter() - started
@@ -288,6 +383,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"sight latency:  "
                   f"p50 {sight_latency.get('p50', 0.0) * 1000:.1f}ms, "
                   f"p95 {sight_latency.get('p95', 0.0) * 1000:.1f}ms")
+        if gateway is not None:
+            _print_gateway_report(gateway)
         if args.save_cache:
             n = service.cache.save(args.save_cache)
             print(f"wrote {n} cached verdicts to {args.save_cache}",
@@ -379,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm the verdict cache from a saved file")
     serve.add_argument("--save-cache", metavar="PATH",
                        help="persist the verdict cache on shutdown")
+    serve.add_argument("--tenants", metavar="PATH",
+                       help="tenants file (JSON list or JSONL) enabling the "
+                            "multi-tenant gateway; replays route through "
+                            "auth → rate limit → quota → fair admission")
+    serve.add_argument("--require-auth", action="store_true",
+                       help="refuse keyless submissions (401) instead of "
+                            "mapping them to the anonymous tenant")
     serve.set_defaults(fn=_cmd_serve)
     return parser
 

@@ -1,0 +1,179 @@
+"""Weighted-fair admission in front of the bounded ingest queue.
+
+Authenticated, rate-limited, in-quota submissions still contend for one
+shared resource: the scan service's bounded :class:`IngestQueue` and the
+oracle workers behind it.  A plain FIFO would let one bulk tenant bury
+everyone else's requests behind its backlog.  The admission buffer here
+is a **stride scheduler** over per-tenant FIFOs:
+
+* each tenant owes a *pass* value; admitting one of its items advances
+  the pass by ``stride = STRIDE_UNIT / weight``, where the weight comes
+  from the tenant's priority class (``interactive`` 4, ``batch`` 2,
+  ``best_effort`` 1);
+* the next item admitted is always the queued tenant with the smallest
+  pass (ties broken by tenant id) — so over any backlogged interval,
+  tenants drain in proportion to their weights regardless of arrival
+  order or burst size;
+* a tenant going idle forfeits its unused share: on re-activation its
+  pass is advanced to the scheduler's virtual time, so saved-up credit
+  cannot be used to monopolise the queue later.
+
+The scheduler is pure bookkeeping — no clock, no randomness — so the
+admission *order* is a deterministic function of the push/pop sequence
+and the weights, which is what the differential and CI-matrix tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.gateway.errors import AdmissionRejectedError
+
+#: Pass-value numerator; any value large relative to the weights works,
+#: it just keeps strides integral for the standard weight set.
+STRIDE_UNIT = 1 << 16
+
+
+class _TenantLane:
+    """One tenant's FIFO plus its scheduling state."""
+
+    __slots__ = ("tenant_id", "weight", "items", "pass_value", "admitted")
+
+    def __init__(self, tenant_id: str, weight: int, start_pass: float) -> None:
+        self.tenant_id = tenant_id
+        self.weight = weight
+        self.items: deque = deque()
+        self.pass_value = start_pass
+        self.admitted = 0
+
+    @property
+    def stride(self) -> float:
+        return STRIDE_UNIT / self.weight
+
+
+class AdmissionBuffer:
+    """Bounded weighted-fair buffer between the gateway and the service."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lanes: dict[str, _TenantLane] = {}
+        self._lock = threading.Lock()
+        self._size = 0
+        #: Scheduler virtual time: the pass of the most recent admission.
+        self._virtual_time = 0.0
+        self.pushed_total = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.high_water = 0
+
+    # -- producer ------------------------------------------------------------
+
+    def push(self, tenant_id: str, weight: int, item: Any) -> int:
+        """Queue ``item`` for ``tenant_id``; returns the buffer depth.
+
+        Raises :class:`AdmissionRejectedError` when the buffer is at
+        capacity — the gateway's 503, distinct from the 429 a tenant
+        earns by exceeding its own rate limit.
+        """
+        with self._lock:
+            if self._size >= self.capacity:
+                self.rejected_total += 1
+                raise AdmissionRejectedError(
+                    f"admission buffer full ({self.capacity} queued)")
+            lane = self._lanes.get(tenant_id)
+            if lane is None:
+                lane = self._lanes[tenant_id] = _TenantLane(
+                    tenant_id, weight, self._virtual_time)
+            else:
+                lane.weight = weight
+                if not lane.items:
+                    # Re-activation: forfeit credit accrued while idle.
+                    lane.pass_value = max(lane.pass_value, self._virtual_time)
+            lane.items.append(item)
+            self._size += 1
+            self.pushed_total += 1
+            if self._size > self.high_water:
+                self.high_water = self._size
+            return self._size
+
+    # -- consumer ------------------------------------------------------------
+
+    def pop(self) -> Optional[tuple[str, Any]]:
+        """Admit the fairest next item as ``(tenant_id, item)``, or None."""
+        with self._lock:
+            lane = self._next_lane()
+            if lane is None:
+                return None
+            item = lane.items.popleft()
+            self._size -= 1
+            self._virtual_time = lane.pass_value
+            lane.pass_value += lane.stride
+            lane.admitted += 1
+            self.admitted_total += 1
+            return lane.tenant_id, item
+
+    def push_front(self, tenant_id: str, item: Any) -> None:
+        """Return an admitted-but-unforwardable item to the head of its lane.
+
+        Used when the service's ingest queue refuses the forward (full,
+        or degraded): the item keeps its admission priority — the pop
+        that failed is undone, pass value included, so retrying later
+        reproduces the same fair order.
+        """
+        with self._lock:
+            lane = self._lanes.get(tenant_id)
+            if lane is None:  # pragma: no cover - defensive
+                lane = self._lanes[tenant_id] = _TenantLane(
+                    tenant_id, 1, self._virtual_time)
+            lane.items.appendleft(item)
+            self._size += 1
+            lane.pass_value -= lane.stride
+            lane.admitted -= 1
+            self.admitted_total -= 1
+
+    def _next_lane(self) -> Optional[_TenantLane]:
+        best: Optional[_TenantLane] = None
+        for tenant_id in sorted(self._lanes):
+            lane = self._lanes[tenant_id]
+            if not lane.items:
+                continue
+            if best is None or lane.pass_value < best.pass_value:
+                best = lane
+        return best
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._size
+
+    def queued_for(self, tenant_id: str) -> int:
+        with self._lock:
+            lane = self._lanes.get(tenant_id)
+            return len(lane.items) if lane is not None else 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "depth": self._size,
+                "capacity": self.capacity,
+                "pushed_total": self.pushed_total,
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "high_water": self.high_water,
+                "lanes": {
+                    tid: {"queued": len(lane.items),
+                          "weight": lane.weight,
+                          "admitted": lane.admitted}
+                    for tid, lane in sorted(self._lanes.items())
+                },
+            }

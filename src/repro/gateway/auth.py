@@ -1,0 +1,227 @@
+"""Tenant identities and API-key authentication (hashed key storage).
+
+A tenant is the unit of accountability in front of the scan service:
+every submission is attributed to exactly one, and rate limits, quotas
+and priority all hang off the tenant record.  Keys are never stored in
+the clear — the registry keeps only ``sha256(key)`` and authenticates by
+hashing the presented key, so a leaked tenants file does not leak
+credentials (mirroring how real scanning services store API keys).
+
+Key minting is deterministic on request: :func:`mint_key` derives a key
+from ``(secret_seed, tenant_id)`` so test fixtures and seeded demos can
+reconstruct their keys without persisting plaintext anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.gateway.errors import AuthenticationError, TenantDisabledError
+
+PathLike = Union[str, Path]
+
+#: Priority classes, strongest first.  The weights feed the stride
+#: scheduler in :mod:`repro.gateway.admission`: an ``interactive``
+#: tenant's backlog drains 4× as fast as a ``best_effort`` tenant's
+#: when both are queued.
+PRIORITY_WEIGHTS = {
+    "interactive": 4,
+    "batch": 2,
+    "best_effort": 1,
+}
+PRIORITIES = tuple(PRIORITY_WEIGHTS)
+
+
+def hash_key(api_key: str) -> str:
+    """The stored form of an API key (sha256 hex)."""
+    return hashlib.sha256(api_key.encode("utf-8")).hexdigest()
+
+
+def mint_key(secret_seed: int, tenant_id: str) -> str:
+    """Derive a tenant's API key deterministically from a secret seed.
+
+    The seed plays the role of the key-server's secret: anyone holding it
+    can re-derive every key, anyone holding only the registry (hashes)
+    cannot.  Demos, tests and the CLI all mint through this so no
+    plaintext key ever needs to be written down.
+    """
+    digest = hashlib.sha256(
+        f"repro-gateway-key:{secret_seed}:{tenant_id}".encode("utf-8"))
+    return f"rg_{digest.hexdigest()[:40]}"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One customer of the scan service, with all its policy knobs."""
+
+    tenant_id: str
+    name: str = ""
+    #: Priority class; must be a key of :data:`PRIORITY_WEIGHTS`.
+    priority: str = "batch"
+    #: Sliding-window rate limit: at most ``rate_limit`` submissions per
+    #: ``rate_window`` seconds.  ``None`` disables rate limiting.
+    rate_limit: Optional[int] = 60
+    rate_window: float = 60.0
+    #: Lifetime submission-count quota (``None`` = unlimited).
+    max_submissions: Optional[int] = None
+    #: Lifetime scan-spend quota in cost units (``None`` = unlimited).
+    #: Fresh scans bill the full scan cost; cache/dedup hits bill the
+    #: (much cheaper) cached cost — see :mod:`repro.gateway.quota`.
+    max_spend: Optional[float] = None
+    #: Switched-off tenants authenticate but every request is refused.
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITY_WEIGHTS:
+            raise ValueError(
+                f"unknown priority {self.priority!r} "
+                f"(expected one of {PRIORITIES})")
+        if self.rate_limit is not None and self.rate_limit < 1:
+            raise ValueError("rate_limit must be >= 1 (or None)")
+        if self.rate_window <= 0:
+            raise ValueError("rate_window must be positive")
+
+    @property
+    def weight(self) -> int:
+        """The tenant's fair-share weight (from its priority class)."""
+        return PRIORITY_WEIGHTS[self.priority]
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant_id": self.tenant_id,
+            "name": self.name,
+            "priority": self.priority,
+            "rate_limit": self.rate_limit,
+            "rate_window": self.rate_window,
+            "max_submissions": self.max_submissions,
+            "max_spend": self.max_spend,
+            "enabled": self.enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tenant":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        fields = {k: v for k, v in data.items() if k in known}
+        return cls(**fields)
+
+
+class TenantRegistry:
+    """Hashed-key credential store: ``sha256(key) -> Tenant``.
+
+    The registry is the authentication half of the gateway; everything
+    else (limits, quotas, admission) consumes the :class:`Tenant` it
+    returns.  Registration accepts either a plaintext key (hashed
+    immediately, never retained) or a pre-hashed credential.
+    """
+
+    def __init__(self, secret_seed: int = 2014) -> None:
+        self.secret_seed = secret_seed
+        self._by_hash: dict[str, Tenant] = {}
+        self._by_id: dict[str, Tenant] = {}
+        self._hash_by_id: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, tenant: Tenant, api_key: Optional[str] = None,
+                 key_hash: Optional[str] = None) -> str:
+        """Add ``tenant``; returns the API key that authenticates it.
+
+        With neither ``api_key`` nor ``key_hash`` given, a key is minted
+        deterministically from the registry's secret seed.  When only a
+        hash is supplied the plaintext is unknown to the registry and the
+        returned string is empty — the caller holds the credential.
+        """
+        if tenant.tenant_id in self._by_id:
+            raise ValueError(f"tenant {tenant.tenant_id!r} already registered")
+        if api_key is None and key_hash is None:
+            api_key = mint_key(self.secret_seed, tenant.tenant_id)
+        digest = key_hash if key_hash is not None else hash_key(api_key or "")
+        if digest in self._by_hash:
+            raise ValueError("API key already in use by another tenant")
+        self._by_hash[digest] = tenant
+        self._by_id[tenant.tenant_id] = tenant
+        self._hash_by_id[tenant.tenant_id] = digest
+        return api_key or ""
+
+    def set_enabled(self, tenant_id: str, enabled: bool) -> Tenant:
+        """Switch a tenant on or off without touching its credential."""
+        tenant = replace(self.get(tenant_id), enabled=enabled)
+        digest = self._hash_by_id[tenant_id]
+        self._by_hash[digest] = tenant
+        self._by_id[tenant_id] = tenant
+        return tenant
+
+    # -- lookup --------------------------------------------------------------
+
+    def authenticate(self, api_key: Optional[str]) -> Tenant:
+        """Resolve a presented key to its tenant or refuse.
+
+        Raises :class:`AuthenticationError` for a missing or unknown key
+        and :class:`TenantDisabledError` for a valid key whose tenant has
+        been switched off (the distinction an HTTP edge maps to 401/403).
+        """
+        if not api_key:
+            raise AuthenticationError("missing API key")
+        tenant = self._by_hash.get(hash_key(api_key))
+        if tenant is None:
+            raise AuthenticationError("unknown API key")
+        if not tenant.enabled:
+            raise TenantDisabledError(
+                f"tenant {tenant.tenant_id!r} is disabled")
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        tenant = self._by_id.get(tenant_id)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        return tenant
+
+    def tenants(self) -> list[Tenant]:
+        """Every registered tenant, in stable id order."""
+        return [self._by_id[tid] for tid in sorted(self._by_id)]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._by_id
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: PathLike, secret_seed: int = 2014) -> "TenantRegistry":
+        """Load a registry from a tenants file (JSON list or JSONL).
+
+        Each entry is a :meth:`Tenant.to_dict` mapping plus exactly one
+        credential field: ``"api_key"`` (hashed at load) or
+        ``"key_hash"``.  Entries with neither get a key minted from the
+        secret seed — :func:`mint_key` re-derives it for callers.
+        """
+        text = Path(path).read_text(encoding="utf-8").strip()
+        if not text:
+            return cls(secret_seed)
+        if text.startswith("["):
+            entries: Iterable[dict] = json.loads(text)
+        else:
+            entries = [json.loads(line) for line in text.splitlines() if line.strip()]
+        registry = cls(secret_seed)
+        for entry in entries:
+            registry.register(Tenant.from_dict(entry),
+                              api_key=entry.get("api_key"),
+                              key_hash=entry.get("key_hash"))
+        return registry
+
+    def save(self, path: PathLike) -> int:
+        """Write the registry as a JSON list (hashes only, never keys)."""
+        entries = []
+        for tenant in self.tenants():
+            entry = tenant.to_dict()
+            entry["key_hash"] = self._hash_by_id[tenant.tenant_id]
+            entries.append(entry)
+        Path(path).write_text(json.dumps(entries, indent=2, sort_keys=True),
+                              encoding="utf-8")
+        return len(entries)

@@ -1,0 +1,52 @@
+"""Injectable clocks: every gateway decision is a function of one clock.
+
+Rate-limit windows, quota timestamps and admission-latency measurements
+all read time through a single injected callable, never ``time.time``
+directly.  In production that callable is ``time.monotonic``; in tests
+and the deterministic CI matrices it is a :class:`ManualClock`, which
+makes every admission/throttle/quota decision a pure function of
+``(config, call sequence, clock readings)`` — replayable bit for bit
+under any ``PYTHONHASHSEED`` or chaos profile.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The gateway's clock contract: a zero-argument monotonic float source.
+Clock = Callable[[], float]
+
+
+def wall_clock() -> Clock:
+    """The production clock (monotonic, immune to wall-time jumps)."""
+    return time.monotonic
+
+
+class ManualClock:
+    """A clock that only moves when told to — determinism on demand.
+
+    >>> clock = ManualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(1.5)
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += seconds
+        return self._now
+
+    def set(self, now: float) -> float:
+        if now < self._now:
+            raise ValueError("clocks only move forward")
+        self._now = float(now)
+        return self._now

@@ -1,0 +1,93 @@
+"""The gateway's refusal vocabulary, mapped onto HTTP status codes.
+
+Every way the gateway can say *no* is a distinct exception carrying the
+status code an HTTP front end would return, so the in-process API and
+the HTTP-shaped :meth:`~repro.gateway.gateway.ScanGateway.handle` route
+table refuse identically.  The hierarchy matters to callers: catching
+:class:`GatewayError` covers every policy refusal without swallowing
+programming errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class GatewayError(RuntimeError):
+    """Base class for every gateway policy refusal."""
+
+    #: The HTTP status an edge server would map this refusal to.
+    status = 400
+
+    def to_body(self) -> dict:
+        """The canonical JSON error body for the HTTP-shaped interface."""
+        return {"error": type(self).__name__, "detail": str(self)}
+
+
+class AuthenticationError(GatewayError):
+    """Missing or unknown API key (HTTP 401)."""
+
+    status = 401
+
+
+class TenantDisabledError(GatewayError):
+    """The key is valid but the tenant has been switched off (HTTP 403)."""
+
+    status = 403
+
+
+class QuotaExceededError(GatewayError):
+    """The tenant spent its submission or scan-spend budget (HTTP 403)."""
+
+    status = 403
+
+    def __init__(self, message: str, kind: str = "spend") -> None:
+        super().__init__(message)
+        #: Which budget ran out: ``"submissions"`` or ``"spend"``.
+        self.kind = kind
+
+    def to_body(self) -> dict:
+        body = super().to_body()
+        body["quota"] = self.kind
+        return body
+
+
+class RateLimitedError(GatewayError):
+    """The tenant exceeded its sliding-window request rate (HTTP 429)."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Seconds until the oldest in-window request expires — the
+        #: deterministic answer to "when may I try again?".
+        self.retry_after = retry_after
+
+    def to_body(self) -> dict:
+        body = super().to_body()
+        body["retry_after"] = self.retry_after
+        return body
+
+
+class AdmissionRejectedError(GatewayError):
+    """The weighted-fair admission buffer is full (HTTP 503)."""
+
+    status = 503
+
+
+class GatewayDegradedError(GatewayError):
+    """The backing service refused fresh scans — breakers open (HTTP 503)."""
+
+    status = 503
+
+
+def error_response(error: GatewayError) -> tuple[int, dict]:
+    """``(status, body)`` for any gateway refusal (the HTTP shape)."""
+    return error.status, error.to_body()
+
+
+def maybe_retry_after(error: Optional[GatewayError]) -> dict:
+    """Headers contributed by a refusal (``Retry-After`` for throttles)."""
+    if isinstance(error, RateLimitedError):
+        return {"retry-after": f"{error.retry_after:.3f}"}
+    return {}

@@ -1,0 +1,131 @@
+"""Per-tenant quotas: submission counts and scan "spend".
+
+Rate limits bound a tenant's *pace*; quotas bound its *total*.  The
+ledger tracks two budgets per tenant:
+
+* **submissions** — how many requests the tenant has ever had admitted;
+* **spend** — scan cost in abstract units, where a fresh oracle scan
+  bills the full ``scan_cost`` and a cache or dedup hit bills the far
+  cheaper ``cached_cost``.  The split mirrors the economics of a real
+  scanning service (a cached verdict is a dictionary lookup; a fresh
+  scan renders the creative through the whole oracle stack) and gives
+  tenants an incentive to submit deduplicatable traffic.
+
+Spend is billed when the outcome is known (forward time, when the
+service says whether the verdict came from cache), so admission checks
+compare *committed* spend against the budget — a tenant over budget is
+refused before its request takes an admission slot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.gateway.auth import Tenant
+from repro.gateway.errors import QuotaExceededError
+
+#: Default cost units: one fresh oracle scan / one cache-or-dedup hit.
+DEFAULT_SCAN_COST = 10.0
+DEFAULT_CACHED_COST = 1.0
+
+
+class TenantUsage:
+    """One tenant's running totals (mutated only under the ledger lock)."""
+
+    __slots__ = ("submissions", "spend", "fresh_scans", "cached_hits",
+                 "quota_rejections")
+
+    def __init__(self) -> None:
+        self.submissions = 0
+        self.spend = 0.0
+        self.fresh_scans = 0
+        self.cached_hits = 0
+        self.quota_rejections = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submissions": self.submissions,
+            "spend": round(self.spend, 6),
+            "fresh_scans": self.fresh_scans,
+            "cached_hits": self.cached_hits,
+            "quota_rejections": self.quota_rejections,
+        }
+
+
+class QuotaLedger:
+    """Admission-time quota checks plus outcome-time spend accounting."""
+
+    def __init__(self, scan_cost: float = DEFAULT_SCAN_COST,
+                 cached_cost: float = DEFAULT_CACHED_COST) -> None:
+        if cached_cost > scan_cost:
+            raise ValueError("cached_cost cannot exceed scan_cost")
+        self.scan_cost = scan_cost
+        self.cached_cost = cached_cost
+        self._usage: dict[str, TenantUsage] = {}
+        self._lock = threading.Lock()
+
+    def _entry(self, tenant_id: str) -> TenantUsage:
+        usage = self._usage.get(tenant_id)
+        if usage is None:
+            usage = self._usage[tenant_id] = TenantUsage()
+        return usage
+
+    # -- admission-time ------------------------------------------------------
+
+    def admit(self, tenant: Tenant) -> None:
+        """Charge one submission against ``tenant`` or refuse.
+
+        Refusal is budget-specific (:class:`QuotaExceededError` carries
+        which budget ran out) and is counted, so per-tenant rejection
+        totals in the rollup are exact.
+        """
+        with self._lock:
+            usage = self._entry(tenant.tenant_id)
+            if (tenant.max_submissions is not None
+                    and usage.submissions >= tenant.max_submissions):
+                usage.quota_rejections += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant.tenant_id!r} used all "
+                    f"{tenant.max_submissions} submissions",
+                    kind="submissions")
+            if (tenant.max_spend is not None
+                    and usage.spend >= tenant.max_spend):
+                usage.quota_rejections += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant.tenant_id!r} spent its budget "
+                    f"({usage.spend:g}/{tenant.max_spend:g} units)",
+                    kind="spend")
+            usage.submissions += 1
+
+    def refund_submission(self, tenant_id: str) -> None:
+        """Undo one :meth:`admit` charge (the request never took a slot)."""
+        with self._lock:
+            usage = self._entry(tenant_id)
+            if usage.submissions > 0:
+                usage.submissions -= 1
+
+    # -- outcome-time --------------------------------------------------------
+
+    def charge_scan(self, tenant_id: str, cached: bool) -> float:
+        """Bill one forwarded submission's actual cost; returns the cost."""
+        cost = self.cached_cost if cached else self.scan_cost
+        with self._lock:
+            usage = self._entry(tenant_id)
+            usage.spend += cost
+            if cached:
+                usage.cached_hits += 1
+            else:
+                usage.fresh_scans += 1
+        return cost
+
+    # -- introspection -------------------------------------------------------
+
+    def usage(self, tenant_id: str) -> TenantUsage:
+        with self._lock:
+            return self._entry(tenant_id)
+
+    def snapshot(self) -> dict:
+        """Every tenant's totals, in stable id order."""
+        with self._lock:
+            return {tid: usage.to_dict()
+                    for tid, usage in sorted(self._usage.items())}

@@ -141,6 +141,9 @@ class DeadLetter:
     attempts: int
     error: str
     recorded_at: float
+    #: Gateway tenant the failed scan belonged to (None = direct caller),
+    #: so a service operator can see *whose* work is dying.
+    tenant: Optional[str] = None
 
 
 class DeadLetterLog:
@@ -158,11 +161,13 @@ class DeadLetterLog:
         self.dropped = 0
 
     def record(self, ad_id: str, content_hash: str, attempts: int,
-               error: BaseException) -> DeadLetter:
+               error: BaseException,
+               tenant: Optional[str] = None) -> DeadLetter:
         letter = DeadLetter(ad_id=ad_id, content_hash=content_hash,
                             attempts=attempts,
                             error=f"{type(error).__name__}: {error}",
-                            recorded_at=self._clock())
+                            recorded_at=self._clock(),
+                            tenant=tenant)
         with self._lock:
             self.recorded_total += 1
             if len(self._letters) >= self.capacity:

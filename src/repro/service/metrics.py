@@ -186,6 +186,24 @@ class MetricsRegistry:
                 self._histograms[name] = metric
             return metric
 
+    def rollup(self, prefix: str) -> dict:
+        """Counters/gauges under ``prefix``, keyed by the stripped suffix.
+
+        Namespaced metric families (the gateway's per-tenant counters
+        live at ``tenant.<id>.<name>``) read back as one small dict:
+        ``rollup("tenant.acme.")`` → ``{"submitted": 3, ...}``.  Gauges
+        only appear when no counter claims the same suffix.
+        """
+        with self._lock:
+            counters = {name[len(prefix):]: c.value
+                        for name, c in sorted(self._counters.items())
+                        if name.startswith(prefix)}
+            gauges = {name[len(prefix):]: g.value
+                      for name, g in sorted(self._gauges.items())
+                      if name.startswith(prefix)}
+        gauges.update(counters)
+        return gauges
+
     def snapshot(self) -> dict:
         """Everything, as one nested plain dict (stable across calls)."""
         with self._lock:

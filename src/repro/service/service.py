@@ -81,9 +81,13 @@ class ServiceConfig:
 class ScanTicket:
     """A claim on one submission's verdict (a minimal future)."""
 
-    def __init__(self, ad_id: str, content_hash: str) -> None:
+    def __init__(self, ad_id: str, content_hash: str,
+                 tenant: Optional[str] = None) -> None:
         self.ad_id = ad_id
         self.content_hash = content_hash
+        #: Gateway tenant the submission is attributed to (None = direct
+        #: caller — the pre-gateway behaviour, bit-identical).
+        self.tenant = tenant
         self.from_cache = False
         self._event = threading.Event()
         self._verdict: Optional[AdVerdict] = None
@@ -129,6 +133,7 @@ class AttachedTicket(ScanTicket):
         # verdict of its own — everything delegates to the primary.
         self.ad_id = ad_id
         self.content_hash = primary.content_hash
+        self.tenant = primary.tenant
         self._primary = primary
 
     @property
@@ -291,15 +296,19 @@ class ScanService:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, record: AdRecord, timeout: Optional[float] = None) -> ScanTicket:
+    def submit(self, record: AdRecord, timeout: Optional[float] = None,
+               tenant: Optional[str] = None) -> ScanTicket:
         """Submit one advertisement; returns a :class:`ScanTicket`.
 
         Cache hits resolve immediately.  Misses for a creative already
         in flight coalesce onto the running scan.  Fresh misses enter the
         ingest queue, which applies the configured backpressure policy
-        (``timeout`` bounds a blocking put).
+        (``timeout`` bounds a blocking put).  ``tenant`` attributes the
+        submission (and any dead letter it becomes) to a gateway tenant;
+        the default ``None`` is the pre-gateway direct path, bit-identical
+        in fingerprints and verdicts.
         """
-        ticket = ScanTicket(record.ad_id, record.content_hash)
+        ticket = ScanTicket(record.ad_id, record.content_hash, tenant=tenant)
         task: Optional[ScanTask] = None
         with self._state_lock:
             if self._stopped:
@@ -307,9 +316,13 @@ class ScanService:
             if not self._started:
                 raise RuntimeError("service not started (call start())")
             self.metrics.counter("submitted").inc()
+            if tenant is not None:
+                self.metrics.counter(f"tenant.{tenant}.service_submitted").inc()
             verdict = self.cache.get(record.content_hash)
             if verdict is not None:
                 self.metrics.counter("cache_hits").inc()
+                if tenant is not None:
+                    self.metrics.counter(f"tenant.{tenant}.cache_hits").inc()
                 if verdict.ad_id != record.ad_id:
                     # The cached scan may carry another session's (or a
                     # sighting's canonical) ad id; the verdict bits are
@@ -322,6 +335,8 @@ class ScanService:
             entry = self._pending.get(record.content_hash)
             if entry is not None:
                 self.metrics.counter("coalesced").inc()
+                if tenant is not None:
+                    self.metrics.counter(f"tenant.{tenant}.coalesced").inc()
                 entry.tickets.append(ticket)
                 return ticket
             if self.pool.all_breakers_open:
@@ -336,7 +351,8 @@ class ScanService:
             self._pending[record.content_hash] = entry
             # Snapshot the record: streaming crawls keep appending
             # impressions to the live object while the scan runs.
-            task = ScanTask(record=_snapshot(record), submitted_at=time.monotonic())
+            task = ScanTask(record=_snapshot(record),
+                            submitted_at=time.monotonic(), tenant=tenant)
         try:
             self.queue.put(task, timeout=timeout)
         except (QueueFullError, QueueClosedError):
@@ -359,7 +375,8 @@ class ScanService:
 
     # -- streaming first sights ----------------------------------------------
 
-    def sight(self, html: str, timeout: Optional[float] = None) -> ScanTicket:
+    def sight(self, html: str, timeout: Optional[float] = None,
+              tenant: Optional[str] = None) -> ScanTicket:
         """Submit one first-sight creative, deduplicated across shards.
 
         The scan payload is the canonical :func:`sighting_record` — a pure
@@ -374,16 +391,17 @@ class ScanService:
         with self._state_lock:
             entry = self._sightings.get(digest)
             if entry is not None:
-                self.metrics.counter("shard_dedup_hits").inc()
+                self._count_dedup_hit(tenant)
                 return entry.ticket
         sighted_at = time.monotonic()
-        ticket = self.submit(sighting_record(html, digest), timeout=timeout)
+        ticket = self.submit(sighting_record(html, digest), timeout=timeout,
+                             tenant=tenant)
         with self._state_lock:
             entry = self._sightings.get(digest)
             if entry is not None:
                 # Lost a submission race with another shard; the two
                 # scans already coalesced inside submit().
-                self.metrics.counter("shard_dedup_hits").inc()
+                self._count_dedup_hit(tenant)
                 return entry.ticket
             entry = _Sighting(ticket, sighted_at)
             self._sightings[digest] = entry
@@ -395,7 +413,8 @@ class ScanService:
             return ticket
 
     def adopt_sighting(self, record: AdRecord,
-                       timeout: Optional[float] = None) -> ScanTicket:
+                       timeout: Optional[float] = None,
+                       tenant: Optional[str] = None) -> ScanTicket:
         """Attach ``record`` (with its corpus ad id) to its sighting.
 
         The deterministic merge calls this as it assigns global ad ids:
@@ -409,8 +428,14 @@ class ScanService:
             entry = self._sightings.get(record.content_hash)
             primary = entry.ticket if entry is not None else None
         if primary is None:
-            primary = self.sight(record.html, timeout=timeout)
+            primary = self.sight(record.html, timeout=timeout, tenant=tenant)
         return AttachedTicket(record.ad_id, primary)
+
+    def _count_dedup_hit(self, tenant: Optional[str]) -> None:
+        """One cross-shard dedup hit, attributed when a tenant is known."""
+        self.metrics.counter("shard_dedup_hits").inc()
+        if tenant is not None:
+            self.metrics.counter(f"tenant.{tenant}.shard_dedup_hits").inc()
 
     def crawl_started(self) -> None:
         """Mark a crawl as feeding this service (overlap accounting)."""
@@ -458,6 +483,8 @@ class ScanService:
             if verdict is not None:
                 self.cache.put(task.record.content_hash, verdict)
                 self.metrics.counter("scanned").inc()
+                if task.tenant is not None:
+                    self.metrics.counter(f"tenant.{task.tenant}.scanned").inc()
                 self.metrics.histogram("scan_latency").observe(latency)
                 if self.metrics.gauge("active_crawls").value > 0:
                     # A verdict landed while a crawl is still running —
@@ -468,7 +495,8 @@ class ScanService:
                 assert error is not None
                 self.dead_letters.record(task.record.ad_id,
                                          task.record.content_hash,
-                                         task.attempts, error)
+                                         task.attempts, error,
+                                         tenant=task.tenant)
                 self.metrics.counter("dead_lettered").inc()
             sighting = self._sightings.get(task.record.content_hash)
             if sighting is not None:

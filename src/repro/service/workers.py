@@ -66,6 +66,8 @@ class ScanTask:
     submitted_at: float
     #: How many scan attempts this task has consumed (across workers).
     attempts: int = 0
+    #: Gateway tenant this scan is attributed to (None = direct caller).
+    tenant: Optional[str] = None
 
 
 #: Test/chaos hook: called with (worker_index, task) before each scan
