@@ -17,6 +17,12 @@ The floor is hardware-independent — the comparison is single-threaded on
 both sides — so unlike the crawl-throughput floor it is not core-gated.
 
 Emits a ``SCAN_THROUGHPUT_JSON`` line for the perf dashboard.
+
+A second benchmark compares the AdScript engines (DESIGN §13) on
+script-heavy creatives: the same render workload under
+``REPRO_ADSCRIPT_VM=tree`` vs ``bytecode``, warm caches and
+single-threaded on both sides, so the ≥1.5× VM-over-tree floor is
+hardware-independent.  Emits ``ADSCRIPT_VM_JSON``.
 """
 
 from __future__ import annotations
@@ -36,12 +42,20 @@ SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 # Required warm-over-cold render speedup once the caches claim hits.
 WARM_SPEEDUP_FLOOR = 2.0
 
+# Required bytecode-VM-over-tree-walker render speedup on script-heavy
+# creatives (both engines warm-cached and single-threaded).
+VM_SPEEDUP_FLOOR = 1.5
+
 if SMOKE:
     N_CREATIVES = 8
     LIB_FUNCTIONS = 60
+    N_HEAVY_CREATIVES = 3
+    HEAVY_ITERATIONS = 150
 else:
     N_CREATIVES = 30
     LIB_FUNCTIONS = 150
+    N_HEAVY_CREATIVES = 8
+    HEAVY_ITERATIONS = 900
 
 
 def emit(name: str, payload: dict) -> None:
@@ -116,11 +130,19 @@ class TestScanThroughput:
 
         clear_all_caches()
         cold_time, cold_reports = _render_pass(wepawet, creatives)
-        programs_after_cold = cache_stats()["adscript_programs"]["hits"]
+        # Warm renders land on whichever compile cache the engine consults
+        # first: adscript_bytecode under the VM (the AST cache is skipped
+        # entirely), adscript_programs under the tree walker.
+        compile_caches = ("adscript_programs", "adscript_bytecode")
+        hits_after_cold = sum(
+            cache_stats().get(name, {}).get("hits", 0)
+            for name in compile_caches)
 
         warm_time, warm_reports = _render_pass(wepawet, creatives)
         stats = cache_stats()
-        warm_hits = stats["adscript_programs"]["hits"] - programs_after_cold
+        warm_hits = sum(
+            stats.get(name, {}).get("hits", 0)
+            for name in compile_caches) - hits_after_cold
 
         # The caches must be invisible in the reports.
         assert [_report_key(r) for r in cold_reports] == \
@@ -156,3 +178,95 @@ class TestScanThroughput:
             assert speedup >= WARM_SPEEDUP_FLOOR, (
                 f"warm renders only {speedup:.2f}x cold "
                 f"(floor {WARM_SPEEDUP_FLOOR}x)")
+
+
+def _heavy_creative(index: int) -> str:
+    """A creative whose cost is execution, not compilation.
+
+    Busy arithmetic/string loops well under the honeyclient step budget —
+    the profile where a flat dispatch loop beats tree re-walking, since
+    every iteration re-visits the same nodes.
+    """
+    return (
+        "<html><head><title>heavy</title></head><body>"
+        f"<div id='slot{index}' class='ad-unit'>heavy {index}</div>"
+        "<script>"
+        f"var acc = {index};\n"
+        "var tag = '';\n"
+        f"for (var i = 0; i < {HEAVY_ITERATIONS}; i++) {{\n"
+        f"  acc = (acc + i * {index % 5 + 2}) % 9973;\n"
+        "  if (acc % 3 === 0) { acc += i & 7; } else { acc -= 1; }\n"
+        "  if (i % 64 === 0) { tag = tag + '.'; }\n"
+        "}\n"
+        "function mix(seed) {\n"
+        "  var h = seed;\n"
+        "  for (var k = 0; k < 40; k++) { h = (h * 31 + k) % 65521; }\n"
+        "  return h;\n"
+        "}\n"
+        f"var digest = mix(acc) + mix({index});\n"
+        "document.write('<span>' + digest + tag.length + '</span>');"
+        "</script></body></html>"
+    )
+
+
+def _engine_pass(engine: str, creatives: list[str]):
+    """One warm single-threaded render pass with ``engine`` selected.
+
+    A fresh Wepawet per pass keeps the comparison symmetric; the compile
+    caches are pre-warmed with an untimed render of each creative so the
+    timed pass measures pure execution, not parse/compile.
+    """
+    previous = os.environ.get("REPRO_ADSCRIPT_VM")
+    os.environ["REPRO_ADSCRIPT_VM"] = engine
+    try:
+        world = build_world(seed=BENCH_SEED, params=WorldParams(
+            n_top_sites=4, n_bottom_sites=4, n_other_sites=4, n_feed_sites=2))
+        wepawet = Wepawet(world.client, world.resolver)
+        _render_pass(wepawet, creatives)  # warm the caches, untimed
+        return _render_pass(wepawet, creatives)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_ADSCRIPT_VM", None)
+        else:
+            os.environ["REPRO_ADSCRIPT_VM"] = previous
+
+
+class TestAdscriptVmThroughput:
+    def test_bytecode_vm_beats_tree_walker(self):
+        creatives = [_heavy_creative(i) for i in range(N_HEAVY_CREATIVES)]
+
+        clear_all_caches()
+        tree_time, tree_reports = _engine_pass("tree", creatives)
+        clear_all_caches()
+        vm_time, vm_reports = _engine_pass("bytecode", creatives)
+        vm_compile_hits = cache_stats()["adscript_bytecode"]["hits"]
+
+        # The engines must be indistinguishable in the reports.
+        assert [_report_key(r) for r in tree_reports] == \
+            [_report_key(r) for r in vm_reports]
+
+        speedup = tree_time / vm_time if vm_time > 0 else float("inf")
+        floor_applies = not SMOKE
+        emit("ADSCRIPT_VM_JSON", {
+            "workload": {"creatives": N_HEAVY_CREATIVES,
+                         "loop_iterations": HEAVY_ITERATIONS,
+                         "smoke": SMOKE},
+            "tree": {"seconds": round(tree_time, 3),
+                     "renders_per_sec": round(N_HEAVY_CREATIVES / tree_time, 1)
+                     if tree_time > 0 else None},
+            "bytecode": {"seconds": round(vm_time, 3),
+                         "renders_per_sec": round(N_HEAVY_CREATIVES / vm_time, 1)
+                         if vm_time > 0 else None},
+            "speedup": round(speedup, 2),
+            "bytecode_cache_hits": vm_compile_hits,
+            "floor": {"vm_speedup": VM_SPEEDUP_FLOOR,
+                      "enforced": floor_applies,
+                      "measured": round(speedup, 2)},
+        })
+
+        # The timed VM pass must run from cached CodeObjects.
+        assert vm_compile_hits >= N_HEAVY_CREATIVES
+        if floor_applies:
+            assert speedup >= VM_SPEEDUP_FLOOR, (
+                f"bytecode VM only {speedup:.2f}x tree walker "
+                f"(floor {VM_SPEEDUP_FLOOR}x)")

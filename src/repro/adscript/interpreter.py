@@ -11,6 +11,7 @@ back to the embedder.
 from __future__ import annotations
 
 import math
+import os
 from typing import Any, Optional
 
 from repro.adscript import ast_nodes as ast
@@ -42,11 +43,15 @@ DEFAULT_STEP_BUDGET = 500_000
 class Environment:
     """A lexical scope."""
 
-    __slots__ = ("bindings", "parent")
+    __slots__ = ("bindings", "parent", "root")
 
     def __init__(self, parent: Optional["Environment"] = None) -> None:
         self.bindings: dict[str, Any] = {}
         self.parent = parent
+        # Resolve the root scope once at construction: the sloppy-global
+        # assignment path below is hot (ad scripts write undeclared names in
+        # loops) and must not re-walk the chain per write.
+        self.root: Environment = self if parent is None else parent.root
 
     def lookup(self, name: str) -> Any:
         env: Optional[Environment] = self
@@ -75,10 +80,7 @@ class Environment:
                 return
             env = env.parent
         # Undeclared assignment creates a global, as in sloppy-mode JS.
-        root: Environment = self
-        while root.parent is not None:
-            root = root.parent
-        root.bindings[name] = value
+        self.root.bindings[name] = value
 
 
 class _Break(Exception):
@@ -105,7 +107,18 @@ class Interpreter:
         with :class:`BudgetExceededError`.
     """
 
-    def __init__(self, step_budget: int = DEFAULT_STEP_BUDGET) -> None:
+    def __init__(
+        self,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        engine: Optional[str] = None,
+    ) -> None:
+        if engine is None:
+            engine = os.environ.get("REPRO_ADSCRIPT_VM", "bytecode")
+        if engine not in ("tree", "bytecode"):
+            raise ValueError(
+                f"unknown AdScript engine {engine!r} (expected 'tree' or 'bytecode')"
+            )
+        self.engine = engine
         self.globals = Environment()
         self.step_budget = step_budget
         self.steps = 0
@@ -121,11 +134,22 @@ class Interpreter:
 
         Parsing goes through the process-wide compile cache: every browser
         context that executes the same script source shares one frozen AST.
+        On the bytecode engine the compiled ``CodeObject`` is likewise cached
+        (``adscript_bytecode``, keyed off the same sha256), so warm renders
+        skip both parse and compile.
         """
+        if self.engine == "bytecode":
+            from repro.adscript.bytecode import compile_source
+
+            return self._run_code(compile_source(source))
         program = compile_program(source)
         return self.run_program(program)
 
     def run_program(self, program: ast.Program) -> Any:
+        if self.engine == "bytecode":
+            from repro.adscript.bytecode import compile_ast
+
+            return self._run_code(compile_ast(program))
         self._hoist(program.body, self.globals)
         result: Any = UNDEFINED
         try:
@@ -143,8 +167,45 @@ class Interpreter:
             raise ScriptRuntimeError("return outside function") from exc
         return result
 
+    def _run_code(self, code: Any) -> Any:
+        from repro.adscript.vm import run_code
+
+        try:
+            return run_code(self, code, self.globals)
+        except (_Break, _Continue) as exc:
+            raise ScriptRuntimeError(
+                f"illegal {type(exc).__name__.lstrip('_').lower()} statement"
+            ) from exc
+        except _Return as exc:
+            raise ScriptRuntimeError("return outside function") from exc
+
+    def eval_source(self, source: str) -> Any:
+        """Execute ``source`` in the global scope on behalf of script ``eval``.
+
+        Unlike :meth:`run`, loop-control leaks (``eval('break')`` inside a
+        loop) propagate to the surrounding script exactly as the tree-walker
+        lets them, instead of being converted to script errors here.
+        """
+        if self.engine == "bytecode":
+            from repro.adscript.bytecode import compile_source
+            from repro.adscript.vm import run_code
+
+            return run_code(self, compile_source(source), self.globals)
+        program = compile_program(source)
+        self._hoist(program.body, self.globals)
+        result: Any = UNDEFINED
+        for statement in program.body:
+            value = self.execute(statement, self.globals)
+            if isinstance(statement, ast.ExpressionStatement):
+                result = value
+        return result
+
     def call_function(self, fn: Any, args: list[Any], this: Any = UNDEFINED) -> Any:
         """Invoke a script or native function from host code."""
+        if self.engine == "bytecode":
+            from repro.adscript.vm import call_value
+
+            return call_value(self, fn, args, this)
         return self._call(fn, args, this)
 
     def define_global(self, name: str, value: Any) -> None:
@@ -490,50 +551,10 @@ class Interpreter:
         raise ScriptRuntimeError("invalid assignment target")
 
     def _get_member(self, obj: Any, prop: str) -> Any:
-        from repro.adscript.stdlib import array_member, string_member
-
-        if isinstance(obj, str):
-            return string_member(self, obj, prop)
-        if isinstance(obj, JSArray):
-            return array_member(self, obj, prop)
-        if isinstance(obj, HostObject):
-            return obj.get_member(prop)
-        if isinstance(obj, JSObject):
-            return obj.get(prop)
-        if obj is UNDEFINED or obj is None:
-            raise ScriptRuntimeError(
-                f"cannot read property {prop!r} of {to_js_string(obj)}"
-            )
-        if isinstance(obj, float) and prop == "toString":
-            return NativeFunction("toString", lambda *a: format_number(obj))
-        return UNDEFINED
+        return get_member(self, obj, prop)
 
     def _set_member(self, obj: Any, prop: str, value: Any) -> None:
-        if isinstance(obj, HostObject):
-            obj.set_member(prop, value)
-            return
-        if isinstance(obj, JSArray):
-            if prop == "length":
-                length = int(to_js_number(value))
-                del obj.elements[length:]
-                return
-            try:
-                index = int(prop)
-            except ValueError:
-                obj.set(prop, value)
-                return
-            while len(obj.elements) <= index:
-                obj.elements.append(UNDEFINED)
-            obj.elements[index] = value
-            return
-        if isinstance(obj, JSObject):
-            obj.set(prop, value)
-            return
-        if obj is UNDEFINED or obj is None:
-            raise ScriptRuntimeError(
-                f"cannot set property {prop!r} of {to_js_string(obj)}"
-            )
-        # Writes to primitives are silently dropped, as in JS.
+        set_member(obj, prop, value)
 
     def _call(self, fn: Any, args: list[Any], this: Any = UNDEFINED) -> Any:
         self._tick()
@@ -561,83 +582,10 @@ class Interpreter:
         return UNDEFINED
 
     def _to_int32(self, value: Any) -> int:
-        number = to_js_number(value)
-        if math.isnan(number) or math.isinf(number):
-            return 0
-        n = int(number) & 0xFFFFFFFF
-        return n - 0x100000000 if n >= 0x80000000 else n
+        return to_int32(value)
 
     def _binary(self, op: str, left: Any, right: Any) -> Any:
-        if op == "+":
-            if isinstance(left, str) or isinstance(right, str) or \
-               isinstance(left, (JSObject, HostObject)) or isinstance(right, (JSObject, HostObject)):
-                return to_js_string(left) + to_js_string(right)
-            return to_js_number(left) + to_js_number(right)
-        if op == "-":
-            return to_js_number(left) - to_js_number(right)
-        if op == "*":
-            return to_js_number(left) * to_js_number(right)
-        if op == "/":
-            denominator = to_js_number(right)
-            numerator = to_js_number(left)
-            if denominator == 0:
-                if math.isnan(numerator) or numerator == 0:
-                    return math.nan
-                return math.inf if (numerator > 0) == (denominator >= 0) else -math.inf
-            return numerator / denominator
-        if op == "%":
-            denominator = to_js_number(right)
-            numerator = to_js_number(left)
-            if denominator == 0 or math.isnan(numerator) or math.isinf(numerator):
-                return math.nan
-            return math.fmod(numerator, denominator)
-        if op == "==":
-            return js_equals(left, right)
-        if op == "!=":
-            return not js_equals(left, right)
-        if op == "===":
-            return js_strict_equals(left, right)
-        if op == "!==":
-            return not js_strict_equals(left, right)
-        if op in ("<", ">", "<=", ">="):
-            if isinstance(left, str) and isinstance(right, str):
-                a, b = left, right
-            else:
-                a, b = to_js_number(left), to_js_number(right)
-                if isinstance(a, float) and isinstance(b, float) and (math.isnan(a) or math.isnan(b)):
-                    return False
-            if op == "<":
-                return a < b
-            if op == ">":
-                return a > b
-            if op == "<=":
-                return a <= b
-            return a >= b
-        if op == "&":
-            return float(self._to_int32(left) & self._to_int32(right))
-        if op == "|":
-            return float(self._to_int32(left) | self._to_int32(right))
-        if op == "^":
-            return float(self._to_int32(left) ^ self._to_int32(right))
-        if op == "<<":
-            return float(self._to_int32(self._to_int32(left) << (self._to_int32(right) & 31)))
-        if op == ">>":
-            return float(self._to_int32(left) >> (self._to_int32(right) & 31))
-        if op == ">>>":
-            return float((self._to_int32(left) & 0xFFFFFFFF) >> (self._to_int32(right) & 31))
-        if op == "in":
-            name = to_js_string(left)
-            if isinstance(right, JSArray):
-                try:
-                    return 0 <= int(name) < len(right.elements)
-                except ValueError:
-                    return name in right.properties
-            if isinstance(right, JSObject):
-                return name in right.properties
-            if isinstance(right, HostObject):
-                return name in right.member_names()
-            return False
-        raise ScriptRuntimeError(f"unknown operator {op}")
+        return binary_op(op, left, right)
 
     # -- builtins ------------------------------------------------------------------
 
@@ -645,3 +593,147 @@ class Interpreter:
         from repro.adscript.stdlib import install_globals
 
         install_globals(self)
+
+
+# -- engine-shared runtime helpers ---------------------------------------------
+#
+# These implement the observable value semantics (operators, member traffic)
+# once, so the tree-walker and the bytecode VM cannot drift apart.
+
+
+def to_int32(value: Any) -> int:
+    number = to_js_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    n = int(number) & 0xFFFFFFFF
+    return n - 0x100000000 if n >= 0x80000000 else n
+
+
+def binary_op(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        if isinstance(left, str) or isinstance(right, str) or \
+           isinstance(left, (JSObject, HostObject)) or isinstance(right, (JSObject, HostObject)):
+            return to_js_string(left) + to_js_string(right)
+        return to_js_number(left) + to_js_number(right)
+    if op == "-":
+        return to_js_number(left) - to_js_number(right)
+    if op == "*":
+        return to_js_number(left) * to_js_number(right)
+    if op == "/":
+        denominator = to_js_number(right)
+        numerator = to_js_number(left)
+        if denominator == 0:
+            if math.isnan(numerator) or numerator == 0:
+                return math.nan
+            return math.inf if (numerator > 0) == (denominator >= 0) else -math.inf
+        return numerator / denominator
+    if op == "%":
+        denominator = to_js_number(right)
+        numerator = to_js_number(left)
+        if denominator == 0 or math.isnan(numerator) or math.isinf(numerator):
+            return math.nan
+        return math.fmod(numerator, denominator)
+    if op == "==":
+        return js_equals(left, right)
+    if op == "!=":
+        return not js_equals(left, right)
+    if op == "===":
+        return js_strict_equals(left, right)
+    if op == "!==":
+        return not js_strict_equals(left, right)
+    if op in ("<", ">", "<=", ">="):
+        if isinstance(left, str) and isinstance(right, str):
+            a, b = left, right
+        else:
+            a, b = to_js_number(left), to_js_number(right)
+            if isinstance(a, float) and isinstance(b, float) and (math.isnan(a) or math.isnan(b)):
+                return False
+        if op == "<":
+            return a < b
+        if op == ">":
+            return a > b
+        if op == "<=":
+            return a <= b
+        return a >= b
+    if op == "&":
+        return float(to_int32(left) & to_int32(right))
+    if op == "|":
+        return float(to_int32(left) | to_int32(right))
+    if op == "^":
+        return float(to_int32(left) ^ to_int32(right))
+    if op == "<<":
+        return float(to_int32(to_int32(left) << (to_int32(right) & 31)))
+    if op == ">>":
+        return float(to_int32(left) >> (to_int32(right) & 31))
+    if op == ">>>":
+        return float((to_int32(left) & 0xFFFFFFFF) >> (to_int32(right) & 31))
+    if op == "in":
+        name = to_js_string(left)
+        if isinstance(right, JSArray):
+            try:
+                return 0 <= int(name) < len(right.elements)
+            except ValueError:
+                return name in right.properties
+        if isinstance(right, JSObject):
+            return name in right.properties
+        if isinstance(right, HostObject):
+            return name in right.member_names()
+        return False
+    raise ScriptRuntimeError(f"unknown operator {op}")
+
+
+def get_member(interp: "Interpreter", obj: Any, prop: str) -> Any:
+    from repro.adscript.stdlib import array_member, string_member
+
+    if isinstance(obj, str):
+        return string_member(interp, obj, prop)
+    if isinstance(obj, JSArray):
+        return array_member(interp, obj, prop)
+    if isinstance(obj, HostObject):
+        return obj.get_member(prop)
+    if isinstance(obj, JSObject):
+        return obj.get(prop)
+    if obj is UNDEFINED or obj is None:
+        raise ScriptRuntimeError(
+            f"cannot read property {prop!r} of {to_js_string(obj)}"
+        )
+    if isinstance(obj, float) and prop == "toString":
+        return NativeFunction("toString", lambda *a: format_number(obj))
+    return UNDEFINED
+
+
+def set_member(obj: Any, prop: str, value: Any) -> None:
+    if isinstance(obj, HostObject):
+        obj.set_member(prop, value)
+        return
+    if isinstance(obj, JSArray):
+        if prop == "length":
+            length = int(to_js_number(value))
+            del obj.elements[length:]
+            return
+        try:
+            index = int(prop)
+        except ValueError:
+            obj.set(prop, value)
+            return
+        while len(obj.elements) <= index:
+            obj.elements.append(UNDEFINED)
+        obj.elements[index] = value
+        return
+    if isinstance(obj, JSObject):
+        obj.set(prop, value)
+        return
+    if obj is UNDEFINED or obj is None:
+        raise ScriptRuntimeError(
+            f"cannot set property {prop!r} of {to_js_string(obj)}"
+        )
+    # Writes to primitives are silently dropped, as in JS.
+
+
+# Importing the compiler here (after Interpreter and the shared helpers are
+# defined) guarantees the `adscript_bytecode` cache registers with the
+# process-wide LruCache registry whenever the interpreter module is loaded, so
+# service stats and the serve shutdown report see it without extra plumbing.
+# (bytecode in turn imports the VM at its own bottom, once its opcode table
+# exists, which keeps the import cycle well-ordered from any entry point.)
+from repro.adscript import bytecode as _bytecode  # noqa: E402,F401

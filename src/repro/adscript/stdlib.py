@@ -651,18 +651,7 @@ def install_globals(interp: "Interpreter") -> None:
         if not args or not isinstance(args[0], str):
             return args[0] if args else UNDEFINED
         interp.record_eval(args[0])
-        from repro.adscript.parser import compile_program
-
-        program = compile_program(args[0])
-        interp._hoist(program.body, g)
-        result: Any = UNDEFINED
-        for statement in program.body:
-            value = interp.execute(statement, g)
-            import repro.adscript.ast_nodes as ast_mod
-
-            if isinstance(statement, ast_mod.ExpressionStatement):
-                result = value
-        return result
+        return interp.eval_source(args[0])
 
     g.declare("eval", NativeFunction("eval", _eval))
     g.declare("unescape", NativeFunction("unescape", lambda *a: _js_unescape(to_js_string(a[0])) if a else ""))

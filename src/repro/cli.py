@@ -186,6 +186,26 @@ def _cmd_scarecrow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.adscript.bytecode import compile_source, disassemble
+    from repro.adscript.errors import AdScriptError
+
+    try:
+        source = Path(args.script).read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"disasm: cannot read {args.script}: {exc}")
+        return 1
+    try:
+        code = compile_source(source)
+    except AdScriptError as exc:
+        print(f"disasm: {type(exc).__name__}: {exc}")
+        return 1
+    print(disassemble(code))
+    return 0
+
+
 def _load_gateway(args: argparse.Namespace, service) -> tuple:
     """Build the multi-tenant gateway for ``serve --tenants``.
 
@@ -438,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     scarecrow = sub.add_parser("scarecrow", help="SCARECROW defence experiment")
     scarecrow.set_defaults(fn=_cmd_scarecrow)
+
+    disasm = sub.add_parser(
+        "disasm", help="compile an AdScript file and print its bytecode")
+    disasm.add_argument("script", metavar="FILE.js",
+                        help="AdScript source file to disassemble")
+    disasm.set_defaults(fn=_cmd_disasm)
 
     serve = sub.add_parser(
         "serve", help="run a corpus through the online scanning service")

@@ -50,6 +50,28 @@ class TestExecution:
         assert "sliding-window dedup" in out
         assert "CTR anomaly" in out
 
+    def test_disasm_command(self, capsys, tmp_path):
+        script = tmp_path / "creative.js"
+        script.write_text(
+            "var n = 1 + 2;\nfunction f(a){ return a * n; }\nf(3);\n",
+            encoding="utf-8")
+        assert main(["disasm", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "== program <program>" in out
+        assert "== function f" in out
+        assert "CALL_FUNCTION" in out
+        assert "line=2" in out
+
+    def test_disasm_missing_file(self, capsys):
+        assert main(["disasm", "/nonexistent/creative.js"]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_disasm_parse_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.js"
+        bad.write_text("var = ;", encoding="utf-8")
+        assert main(["disasm", str(bad)]) == 1
+        assert "ParseError" in capsys.readouterr().out
+
     def test_study_command_small(self, capsys, tmp_path):
         corpus_path = tmp_path / "corpus.jsonl"
         code = main(["study", "--seed", "5", "--days", "1", "--refreshes", "1",
