@@ -1,0 +1,159 @@
+"""Verdict-store persistence: warm-start scan skips and bloom-front I/O.
+
+One benchmark, emitting ``STORE_PERSISTENCE_JSON`` on stdout, measuring
+the two store claims that matter operationally:
+
+* **warm start** — a store-backed service that crawled once, shut down
+  cleanly and restarted must serve (almost) every repeat creative from
+  disk: the warm run's oracle-scan count must be at most 5% of the cold
+  run's (in practice it is exactly zero — the corpus is deterministic).
+* **bloom front** — probing creatives the store has *never* seen must
+  answer from the in-memory bloom filter alone: zero segment reads, as
+  counted by the store's own I/O counters, at a probe rate far beyond
+  what segment I/O could sustain.
+
+Set ``BENCH_SMOKE=1`` (the CI store-smoke job does) to shrink the
+workload to seconds; every correctness assertion still runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+from repro.core.study import Study, StudyConfig
+from repro.datasets.world import WorldParams
+from repro.service import ScanService, ServiceConfig, stream_crawl
+from repro.store import StoreConfig, VerdictStore
+
+from conftest import BENCH_SEED
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+if SMOKE:
+    PARAMS = WorldParams(n_top_sites=8, n_bottom_sites=8,
+                         n_other_sites=8, n_feed_sites=2,
+                         n_benign_campaigns=10, n_malicious_campaigns=4,
+                         variants_per_benign=2, variants_per_malicious=1)
+    CONFIG = StudyConfig(seed=BENCH_SEED, days=1, refreshes_per_visit=2,
+                         world_params=PARAMS)
+    N_NEVER_SEEN = 2_000
+else:
+    PARAMS = WorldParams(n_top_sites=30, n_bottom_sites=30,
+                         n_other_sites=30, n_feed_sites=8,
+                         n_benign_campaigns=40, n_malicious_campaigns=8,
+                         variants_per_benign=4, variants_per_malicious=2)
+    CONFIG = StudyConfig(seed=BENCH_SEED, days=3, refreshes_per_visit=3,
+                         world_params=PARAMS)
+    N_NEVER_SEEN = 50_000
+
+STORE_CONFIG = StoreConfig(n_shards=4, segment_max_records=64)
+
+#: Warm-start acceptance: the restarted service must skip at least this
+#: fraction of the cold run's oracle scans.
+SKIP_FLOOR = 0.95
+
+
+def emit(name: str, payload: dict) -> None:
+    print(f"\n{name} {json.dumps(payload, sort_keys=True)}")
+
+
+def make_service(store_root) -> ScanService:
+    return ScanService(ServiceConfig(
+        seed=BENCH_SEED, n_workers=2, world_params=PARAMS,
+        batch_max_size=8, batch_max_delay=0.01,
+        store_path=store_root, store_config=StoreConfig(**vars(STORE_CONFIG))))
+
+
+def run_crawl(service: ScanService):
+    study = Study(StudyConfig(**dict(CONFIG.__dict__)))
+    corpus, _, tickets = stream_crawl(
+        study.build_crawler(), study.build_schedule(), service)
+    service.drain()
+    for ticket in tickets.values():
+        ticket.result(timeout=120)
+    return corpus
+
+
+class TestStorePersistence:
+    def test_warm_start_skips_scans_and_bloom_skips_io(self, tmp_path):
+        root = tmp_path / "verdicts"
+
+        # Cold: every unique creative costs one oracle scan.
+        started = time.perf_counter()
+        with make_service(root) as service:
+            corpus = run_crawl(service)
+            cold_scans = service.stats()["counters"]["scanned"]
+        cold_seconds = time.perf_counter() - started
+        unique_ads = corpus.unique_ads
+        assert cold_scans == unique_ads
+
+        # Warm: restart from the store, replay the identical crawl.
+        started = time.perf_counter()
+        with make_service(root) as service:
+            recovery = service.store.recovery.to_dict()
+            run_crawl(service)
+            counters = service.stats()["counters"]
+            warm_scans = counters["scanned"]
+            store_hits = counters["store_hits"]
+        warm_seconds = time.perf_counter() - started
+        skip_ratio = 1.0 - warm_scans / cold_scans
+        assert skip_ratio >= SKIP_FLOOR, (
+            f"warm start still scanned {warm_scans}/{cold_scans} "
+            f"creatives ({skip_ratio:.1%} skipped, need >={SKIP_FLOOR:.0%})")
+        assert store_hits == unique_ads
+        assert recovery["truncated_tails"] == 0  # clean shutdown
+
+        # Bloom front: never-seen probes must not touch a segment.
+        store = VerdictStore(root)
+        try:
+            before = store.stats()
+            started = time.perf_counter()
+            for i in range(N_NEVER_SEEN):
+                digest = hashlib.sha256(b"never-seen-%d" % i).hexdigest()
+                assert store.get(digest) is None
+            probe_seconds = time.perf_counter() - started
+            after = store.stats()
+            segment_reads = after["segment_reads"] - before["segment_reads"]
+            bloom_negatives = (after["bloom"]["negatives"]
+                               - before["bloom"]["negatives"])
+            false_positives = (after["bloom"]["false_positives"]
+                               - before["bloom"]["false_positives"])
+            # Every probe either died in the bloom filter (no I/O at
+            # all) or was a bloom false positive answered by the
+            # in-memory index — still zero segment reads.
+            assert segment_reads == 0
+            assert bloom_negatives + false_positives == N_NEVER_SEEN
+            assert bloom_negatives >= N_NEVER_SEEN * 0.9
+            store_stats = after
+        finally:
+            store.close()
+
+        emit("STORE_PERSISTENCE_JSON", {
+            "workload": {"unique_ads": unique_ads,
+                         "n_shards": STORE_CONFIG.n_shards,
+                         "segment_max_records":
+                             STORE_CONFIG.segment_max_records,
+                         "never_seen_probes": N_NEVER_SEEN,
+                         "smoke": SMOKE},
+            "cold": {"seconds": round(cold_seconds, 3),
+                     "oracle_scans": cold_scans},
+            "warm": {"seconds": round(warm_seconds, 3),
+                     "oracle_scans": warm_scans,
+                     "store_hits": store_hits,
+                     "skip_ratio": round(skip_ratio, 4)},
+            "recovery": recovery,
+            "bloom_front": {
+                "probe_seconds": round(probe_seconds, 3),
+                "probes_per_second": round(
+                    N_NEVER_SEEN / probe_seconds) if probe_seconds else None,
+                "segment_reads": segment_reads,
+                "negatives": bloom_negatives,
+                "false_positives": false_positives,
+                "estimated_fp_rate": round(
+                    store_stats["bloom"]["estimated_fp_rate"], 6)},
+            "store": {"records": store_stats["records"],
+                      "segments": store_stats["segments"]},
+        })

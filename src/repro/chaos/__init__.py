@@ -16,9 +16,12 @@ from repro.chaos.faults import (
     ChaosStats,
     InjectedFault,
 )
+from repro.chaos.fs import ChaosFileSystem, LocalFileSystem
 from repro.chaos.plan import (
+    ALL_FAULT_KINDS,
     BENIGN_KINDS,
     FAULT_KINDS,
+    FS_FAULT_KINDS,
     PROFILES,
     Fault,
     FaultPlan,
@@ -26,14 +29,18 @@ from repro.chaos.plan import (
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "BENIGN_KINDS",
     "ChaosDnsResolver",
+    "ChaosFileSystem",
     "ChaosHttpClient",
     "ChaosStats",
     "FAULT_KINDS",
+    "FS_FAULT_KINDS",
     "Fault",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "LocalFileSystem",
     "PROFILES",
 ]

@@ -28,7 +28,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.chaos.plan import BENIGN_KINDS, Fault, FaultPlan
+from repro.chaos.plan import BENIGN_KINDS, FAULT_KINDS, Fault, FaultPlan
 from repro.web.dns import NxDomainError
 from repro.web.http import (
     ConnectionFailed,
@@ -118,7 +118,9 @@ class ChaosHttpClient:
             self._repeats[key] = repeat + 1
             scope, attempt = self._scope, self._attempt
         fault = self.plan.decide(scope, key, repeat, attempt)
-        if fault is None:
+        if fault is None or fault.kind not in FAULT_KINDS:
+            # Filesystem kinds (a plan shared with a ChaosFileSystem)
+            # mean nothing at the transport layer; pass through clean.
             return self._inner.fetch(url, **kwargs)
         self._record(InjectedFault(scope, key, repeat, attempt, fault.kind),
                      fault)

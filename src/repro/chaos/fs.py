@@ -1,0 +1,267 @@
+"""Seeded filesystem fault injection for the verdict store's disk path.
+
+The transport chaos layer proved the crawl recovers from a hostile
+network; the verdict store needs the disk equivalent.  Real disks tear
+writes at power loss, lie about fsync, fill up, and rot at rest.  This
+module makes each of those a *deterministic, replayable* test input:
+
+* :class:`LocalFileSystem` is the thin real-I/O seam the store writes
+  through (append, fsync, read-at-offset, atomic replace);
+* :class:`ChaosFileSystem` wraps it and consults a
+  :class:`~repro.chaos.plan.FaultPlan` on every operation, drawing from
+  :data:`~repro.chaos.plan.FS_FAULT_KINDS`:
+
+  - ``torn_write``     — only a prefix of the payload reaches the file,
+    then the write raises (what a crash mid-``write(2)`` leaves behind);
+  - ``partial_fsync``  — fsync *returns success* but only half of the
+    unflushed tail is actually made durable; a later
+    :meth:`ChaosFileSystem.simulate_crash` exposes the lie;
+  - ``enospc``         — the write is refused with ``ENOSPC`` and no
+    bytes land;
+  - ``corrupt_read``   — bytes read back are XOR-garbled (at-rest rot).
+
+Every decision is pure in ``(plan seed, "fs:<op>", path tail, counter)``
+— the path's last two components address the fault, so the same seed
+breaks the same operations in the same way on every run, no matter
+which temp directory the store lives in
+— which is what lets the store's recovery tests assert exact
+truncation/quarantine counts.
+
+Crash simulation is the layer's second job: the wrapper tracks each
+file's *durable length* (advanced by honest fsyncs, half-advanced by
+``partial_fsync`` ones) and :meth:`~ChaosFileSystem.simulate_crash`
+truncates every tracked file back to it — producing exactly the torn
+tails a power cut would.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.chaos.faults import ChaosStats, InjectedFault
+from repro.chaos.plan import FS_FAULT_KINDS, FaultPlan
+
+PathLike = Union[str, Path]
+
+
+class LocalFileSystem:
+    """The real-I/O seam the verdict store writes through.
+
+    Deliberately tiny: just the operations the store needs, so a chaos
+    wrapper (or a future remote/object-store backend) can interpose on
+    all of them.  ``append`` returns the file length *before* the write,
+    i.e. the offset the payload landed at.
+    """
+
+    def append(self, path: PathLike, data: bytes) -> int:
+        """Append ``data``; returns the offset it was written at."""
+        with open(path, "ab") as handle:
+            offset = handle.tell()
+            handle.write(data)
+        return offset
+
+    def fsync(self, path: PathLike) -> None:
+        """Flush ``path``'s content to stable storage."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_at(self, path: PathLike, offset: int, length: int) -> bytes:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        return Path(path).read_bytes()
+
+    def write_bytes(self, path: PathLike, data: bytes) -> None:
+        """Whole-file write (compaction tmp files); not crash-atomic."""
+        Path(path).write_bytes(data)
+
+    def size(self, path: PathLike) -> int:
+        return os.path.getsize(path)
+
+    def exists(self, path: PathLike) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: PathLike) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def mkdir(self, path: PathLike) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        """Atomic rename (the write-then-rename commit point)."""
+        os.replace(src, dst)
+
+    def remove(self, path: PathLike) -> None:
+        os.remove(path)
+
+    def truncate(self, path: PathLike, length: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(length)
+
+
+class ChaosFileSystem(LocalFileSystem):
+    """A :class:`LocalFileSystem` that injects planned disk faults.
+
+    Fault decisions reuse the transport layer's addressing scheme:
+    ``scope`` is ``"fs:<operation>"``, ``url`` is the path, ``repeat``
+    is a per-(operation, path) counter.  Only
+    :data:`~repro.chaos.plan.FS_FAULT_KINDS` fire here — a plan shared
+    with the network wrappers injects disjoint fault sets at each layer.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 stats: Optional[ChaosStats] = None) -> None:
+        self.plan = plan
+        self.stats = stats if stats is not None else ChaosStats()
+        self._lock = threading.Lock()
+        self._op_counts: dict[tuple[str, str], int] = {}
+        #: Per-file length known to be on stable storage (advanced by
+        #: fsync; partial_fsync advances it only halfway through the
+        #: unflushed tail).  Files never fsynced are durable at 0 bytes.
+        self._durable: dict[str, int] = {}
+        self.crashes_simulated = 0
+
+    # -- fault addressing ----------------------------------------------------
+
+    def _decide(self, op: str, path: PathLike):
+        # Address faults by the path's last two components (e.g.
+        # ``shard-00/seg-000001.open``) so a plan seed picks the same
+        # victims regardless of which temp directory the store lives in
+        # — the property that makes crash tests replayable run to run.
+        key = "/".join(Path(path).parts[-2:])
+        with self._lock:
+            repeat = self._op_counts.get((op, key), 0)
+            self._op_counts[(op, key)] = repeat + 1
+        fault = self.plan.decide(f"fs:{op}", key, repeat, attempt=0)
+        if fault is None or fault.kind not in FS_FAULT_KINDS:
+            return None
+        with self._lock:
+            self.stats.record(
+                InjectedFault(f"fs:{op}", key, repeat, 0, fault.kind))
+        return fault
+
+    # -- intercepted operations ----------------------------------------------
+
+    def append(self, path: PathLike, data: bytes) -> int:
+        fault = self._decide("append", path)
+        if fault is not None and fault.kind == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: no space left on device",
+                          str(path))
+        if fault is not None and fault.kind == "torn_write":
+            # Half the payload lands, then the writer dies mid-write.
+            offset = super().append(path, data[: len(data) // 2])
+            self._note_preexisting(path, offset)
+            raise OSError(errno.EIO,
+                          "chaos: torn write (prefix persisted)", str(path))
+        offset = super().append(path, data)
+        self._note_preexisting(path, offset)
+        return offset
+
+    def write_bytes(self, path: PathLike, data: bytes) -> None:
+        super().write_bytes(path, data)
+        with self._lock:
+            # A fresh whole-file write is all page cache until fsynced.
+            self._durable[str(path)] = 0
+
+    def _note_preexisting(self, path: PathLike, offset: int) -> None:
+        """First contact with a file: bytes that predate this wrapper
+        (offset at first append) are assumed already durable; bytes we
+        append are not, until an honest fsync says so."""
+        with self._lock:
+            self._durable.setdefault(str(path), offset)
+
+    def fsync(self, path: PathLike) -> None:
+        fault = self._decide("fsync", path)
+        key = str(path)
+        size = self.size(path) if self.exists(path) else 0
+        with self._lock:
+            durable = self._durable.get(key, 0)
+            if fault is not None and fault.kind == "partial_fsync":
+                # The syscall "succeeds" but only half the tail is
+                # actually stable — the lie simulate_crash() exposes.
+                self._durable[key] = durable + (size - durable) // 2
+                return
+            self._durable[key] = size
+        super().fsync(path)
+
+    def read_at(self, path: PathLike, offset: int, length: int) -> bytes:
+        data = super().read_at(path, offset, length)
+        return self._maybe_corrupt("read_at", path, data)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        data = super().read_bytes(path)
+        return self._maybe_corrupt("read_bytes", path, data)
+
+    def _maybe_corrupt(self, op: str, path: PathLike, data: bytes) -> bytes:
+        fault = self._decide(op, path)
+        if fault is None or fault.kind != "corrupt_read" or not data:
+            return data
+        # Garble a deterministic slice in the middle of the payload.
+        start = len(data) // 3
+        end = min(len(data), start + 64)
+        garbled = bytes(b ^ 0x2A for b in data[start:end])
+        return data[:start] + garbled + data[end:]
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        super().replace(src, dst)
+        with self._lock:
+            # The rename carries the source's durability to the target.
+            self._durable[str(dst)] = self._durable.pop(
+                str(src), self.size(dst))
+
+    def remove(self, path: PathLike) -> None:
+        super().remove(path)
+        with self._lock:
+            self._durable.pop(str(path), None)
+
+    # -- the power cut -------------------------------------------------------
+
+    def at_risk(self) -> dict[str, int]:
+        """Bytes each tracked file would lose if the power died *now*.
+
+        Empty while every fsync has been honest; a ``partial_fsync``
+        fault shows up here immediately (page cache holds bytes the disk
+        never got).  Crash tests use this to detect the exact moment a
+        lie happened and kill the writer there.
+        """
+        with self._lock:
+            durable = dict(self._durable)
+        exposed: dict[str, int] = {}
+        for key, stable_length in durable.items():
+            if not os.path.exists(key):
+                continue
+            size = os.path.getsize(key)
+            if size > stable_length:
+                exposed[key] = size - stable_length
+        return exposed
+
+    def simulate_crash(self) -> dict[str, int]:
+        """Truncate every tracked file to its durable length.
+
+        This is the moment a power cut (or ``kill -9`` racing the page
+        cache) becomes visible: bytes appended since the last honest
+        fsync vanish, and a ``partial_fsync`` fault's half-synced tail is
+        cut mid-record — exactly the torn tail recovery must handle.
+        Returns ``{path: bytes_lost}`` for every file that lost data.
+        """
+        lost: dict[str, int] = {}
+        with self._lock:
+            durable = dict(self._durable)
+            self.crashes_simulated += 1
+        for key, stable_length in durable.items():
+            if not os.path.exists(key):
+                continue
+            size = os.path.getsize(key)
+            if size > stable_length:
+                super().truncate(key, stable_length)
+                lost[key] = size - stable_length
+        return lost

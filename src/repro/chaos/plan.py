@@ -31,7 +31,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-#: Everything the injection layer knows how to break.
+#: Everything the transport injection layer knows how to break.
 FAULT_KINDS = (
     "connection",   # transport-level connection failure
     "timeout",      # request never completes
@@ -42,8 +42,21 @@ FAULT_KINDS = (
     "slow",         # response arrives, but late (benign to content)
 )
 
+#: Everything the filesystem injection layer knows how to break
+#: (consumed by :class:`repro.chaos.fs.ChaosFileSystem`; the transport
+#: wrappers ignore these kinds, and vice versa).
+FS_FAULT_KINDS = (
+    "torn_write",     # only a prefix of the payload reaches the file
+    "partial_fsync",  # fsync returns but half the tail is not durable
+    "enospc",         # the disk is full; the write is refused
+    "corrupt_read",   # bytes read back differ from bytes written
+)
+
 #: Kinds that delay but do not corrupt the observed content.
 BENIGN_KINDS = frozenset({"slow"})
+
+#: Every kind any injection layer understands (plan validation set).
+ALL_FAULT_KINDS = FAULT_KINDS + FS_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -102,11 +115,11 @@ class FaultPlan:
             raise ValueError("rate must be in [0, 1]")
         if max_sticky < 1:
             raise ValueError("max_sticky must be at least 1")
-        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        unknown = [k for k in kinds if k not in ALL_FAULT_KINDS]
         if unknown:
             raise ValueError(f"unknown fault kinds: {unknown}")
         for rule in rules:
-            if rule.kind not in FAULT_KINDS:
+            if rule.kind not in ALL_FAULT_KINDS:
                 raise ValueError(f"unknown fault kind in rule: {rule.kind!r}")
             if rule.attempts < 1:
                 raise ValueError("rule attempts must be at least 1")
@@ -185,4 +198,9 @@ PROFILES = {
         seed, rate=0.25, kinds=("slow",), max_sticky=1),
     "aggressive": lambda seed: FaultPlan(
         seed, rate=0.2, kinds=FAULT_KINDS, max_sticky=2),
+    # Filesystem chaos for the verdict store's write/read path.  The
+    # transport wrappers draw nothing from it (they ignore fs kinds), so
+    # it can front a crawl's store without perturbing the crawl itself.
+    "disk": lambda seed: FaultPlan(
+        seed, rate=0.08, kinds=FS_FAULT_KINDS, max_sticky=1),
 }

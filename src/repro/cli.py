@@ -8,7 +8,8 @@ Subcommands:
 * ``repro-study clickfraud``  — the intro's click-fraud workload + detectors;
 * ``repro-study scarecrow``   — the SCARECROW defence experiment;
 * ``repro-study serve``       — replay or stream a corpus through the
-  online scanning service and print a throughput/cache report.
+  online scanning service and print a throughput/cache report;
+* ``repro-study store``       — fsck or compact a durable verdict store.
 
 Every subcommand accepts ``--seed`` and the scale flags; all runs are
 deterministic for a given seed.
@@ -285,6 +286,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_max_delay=args.batch_delay,
         cache_capacity=args.cache_capacity,
         world_params=config.world_params,
+        store_path=args.store,
     )
     cache = None
     if args.load_cache:
@@ -294,6 +296,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     with ScanService(service_config, cache=cache) as service:
+        if service.store is not None:
+            recovery = service.store.recovery
+            print(f"store: {len(service.store)} verdicts recovered from "
+                  f"{args.store} ({recovery.segments_scanned} segments, "
+                  f"{recovery.truncated_tails} torn tails truncated, "
+                  f"{recovery.quarantined_records} records quarantined)")
         gateway = None
         tenant_keys: dict = {}
         if args.tenants:
@@ -403,6 +411,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"sight latency:  "
                   f"p50 {sight_latency.get('p50', 0.0) * 1000:.1f}ms, "
                   f"p95 {sight_latency.get('p95', 0.0) * 1000:.1f}ms")
+        if service.store is not None:
+            store_stats = stats["store"]
+            bloom = store_stats["bloom"]
+            print(f"store:          {store_stats['records']} verdicts in "
+                  f"{store_stats['segments']['sealed']} sealed + "
+                  f"{store_stats['segments']['open']} open segments")
+            print(f"store hits:     {counters.get('store_hits', 0)} "
+                  f"(bloom answered {bloom['negatives']} never-seen probes "
+                  f"with zero I/O, hit ratio {bloom['hit_ratio']:.1%})")
         if gateway is not None:
             _print_gateway_report(gateway)
         if args.save_cache:
@@ -410,6 +427,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"wrote {n} cached verdicts to {args.save_cache}",
                   file=sys.stderr)
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import VerdictStore
+
+    try:
+        store = VerdictStore(args.root)
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"store: cannot open {args.root}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        recovery = store.recovery
+        print(f"opened {args.root}: {len(store)} live verdicts, "
+              f"{recovery.segments_scanned} segments scanned"
+              + (f", {recovery.truncated_tails} torn tails truncated"
+                 if recovery.truncated_tails else "")
+              + (f", {recovery.quarantined_records} records quarantined"
+                 if recovery.quarantined_records else "")
+              + (", manifest rebuilt" if recovery.manifest_rebuilt else ""))
+        if args.action == "fsck":
+            report = store.fsck()
+            print(f"fsck: {report.records} records in "
+                  f"{report.sealed_segments} sealed + "
+                  f"{report.open_segments} open segments, "
+                  f"{report.live_records} live")
+            for problem in report.problems:
+                print(f"  {problem}")
+            if report.clean:
+                print("fsck: clean")
+                return 0
+            print(f"fsck: {report.corrupt_records} corrupt records, "
+                  f"{report.invalid_seals} invalid seals, "
+                  f"{report.torn_tails} torn tails "
+                  f"({report.torn_bytes} bytes)")
+            return 1
+        # compact
+        before = store.fingerprint()
+        report = store.compact()
+        assert store.fingerprint() == before, \
+            "compaction changed the live contents"
+        print(f"compact: folded {report.segments_folded} segments into "
+              f"{report.segments_written} across "
+              f"{report.shards_compacted} shards "
+              f"({report.records_kept} records kept, "
+              f"{report.superseded_dropped} superseded dropped)")
+        return 0
+    finally:
+        store.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -502,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm the verdict cache from a saved file")
     serve.add_argument("--save-cache", metavar="PATH",
                        help="persist the verdict cache on shutdown")
+    serve.add_argument("--store", metavar="DIR",
+                       help="durable verdict store directory: verdicts "
+                            "persist as they are scanned and survive "
+                            "crashes; reopening warm-starts the service")
     serve.add_argument("--tenants", metavar="PATH",
                        help="tenants file (JSON list or JSONL) enabling the "
                             "multi-tenant gateway; replays route through "
@@ -510,6 +579,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refuse keyless submissions (401) instead of "
                             "mapping them to the anonymous tenant")
     serve.set_defaults(fn=_cmd_serve)
+
+    store = sub.add_parser(
+        "store", help="inspect or maintain a durable verdict store")
+    store.add_argument("action", choices=("fsck", "compact"),
+                       help="fsck: verify every segment (exit 1 on damage); "
+                            "compact: fold sealed segments, dropping "
+                            "superseded records")
+    store.add_argument("root", metavar="DIR",
+                       help="verdict store directory")
+    store.set_defaults(fn=_cmd_store)
     return parser
 
 

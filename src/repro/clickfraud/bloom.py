@@ -8,7 +8,10 @@ a standard k-hash Bloom filter with double hashing over SHA-256 halves.
 from __future__ import annotations
 
 import hashlib
+import json
 import math
+import os
+from pathlib import Path
 
 
 class BloomFilter:
@@ -70,3 +73,61 @@ class BloomFilter:
         """Expected FP rate at the current fill level."""
         fill = 1.0 - math.exp(-self.n_hashes * self.n_added / self.n_bits)
         return fill ** self.n_hashes
+
+    # -- serialization ------------------------------------------------------
+    #
+    # A header line of JSON parameters followed by the raw bit array, so a
+    # filter can be checkpointed and restored without re-adding every item.
+
+    def to_bytes(self) -> bytes:
+        """Serialize the filter completely (parameters + bit array)."""
+        header = json.dumps({
+            "version": 1,
+            "kind": "bloom_filter",
+            "n_bits": self.n_bits,
+            "n_hashes": self.n_hashes,
+            "n_added": self.n_added,
+        }, sort_keys=True).encode("utf-8")
+        return header + b"\n" + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        """Rebuild a filter serialized by :meth:`to_bytes`.
+
+        Membership answers are bit-identical to the filter that was
+        saved: same parameters, same bit array, same hash positions.
+        """
+        newline = data.find(b"\n")
+        if newline < 0:
+            raise ValueError("bloom filter data has no header line")
+        try:
+            header = json.loads(data[:newline].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ValueError(f"bloom filter header unparseable: {exc}") \
+                from None
+        if not isinstance(header, dict) or header.get("kind") != "bloom_filter":
+            raise ValueError("not a serialized bloom filter")
+        if header.get("version") != 1:
+            raise ValueError(
+                f"unsupported bloom filter version {header.get('version')!r}")
+        bloom = cls(header["n_bits"], header["n_hashes"])
+        bits = data[newline + 1:]
+        if len(bits) != len(bloom._bits):
+            raise ValueError(
+                f"bloom filter bit array is {len(bits)} bytes, "
+                f"expected {len(bloom._bits)} for n_bits={bloom.n_bits}")
+        bloom._bits = bytearray(bits)
+        bloom.n_added = header["n_added"]
+        return bloom
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the filter atomically (temp file + rename)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(self.to_bytes())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "BloomFilter":
+        """Reload a filter written by :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())

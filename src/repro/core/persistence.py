@@ -10,11 +10,12 @@ summary for downstream consumers.
 from __future__ import annotations
 
 import base64
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Iterator, TextIO, Union
 
 from repro.core.oracle import AdVerdict
 from repro.core.results import StudyResults
@@ -24,6 +25,31 @@ from repro.crawler.crawler import CrawlStats
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+
+@contextlib.contextmanager
+def atomic_writer(path: PathLike, encoding: str = "utf-8") -> Iterator[TextIO]:
+    """Write-then-rename: a file that either fully exists or never did.
+
+    Yields a text handle onto ``<path>.tmp``; on clean exit the temp file
+    is atomically renamed over ``path`` (the ``os.replace`` is the commit
+    point), on an exception it is removed and the previous ``path`` — if
+    any — survives untouched.  Every saver in the pipeline that can be
+    interrupted mid-write goes through this, so a crash never leaves a
+    torn checkpoint, cache, or dead-letter file behind.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    handle = tmp.open("w", encoding=encoding)
+    try:
+        yield handle
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+    handle.close()
+    os.replace(tmp, path)
 
 
 def check_format_version(data: dict, what: str = "record") -> int:
@@ -194,20 +220,18 @@ def save_crawl_checkpoint(path: PathLike, cursor: int, corpus: AdCorpus,
     off.
     """
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
     header = {
         "version": FORMAT_VERSION,
         "kind": "crawl_checkpoint",
         "cursor": cursor,
         "stats": crawl_stats_to_dict(stats),
     }
-    with tmp.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         handle.write(json.dumps(header, sort_keys=True))
         handle.write("\n")
         for record in corpus.records():
             handle.write(json.dumps(record_to_dict(record), sort_keys=True))
             handle.write("\n")
-    os.replace(tmp, path)
     return path
 
 
@@ -306,8 +330,8 @@ def verdicts_to_dicts(results: StudyResults) -> list[dict]:
 def save_verdicts(results: StudyResults, path: PathLike) -> int:
     """Write the verdict summary as a JSON array; returns record count."""
     rows = verdicts_to_dicts(results)
-    Path(path).write_text(json.dumps(rows, indent=1, sort_keys=True),
-                          encoding="utf-8")
+    with atomic_writer(path) as handle:
+        handle.write(json.dumps(rows, indent=1, sort_keys=True))
     return len(rows)
 
 

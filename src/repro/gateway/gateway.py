@@ -440,7 +440,7 @@ class ScanGateway:
         snapshot = self.metrics.snapshot()
         totals = {name: value for name, value in snapshot["counters"].items()
                   if name.startswith("gateway_")}
-        return {
+        stats = {
             "totals": totals,
             "tenants": {tenant.tenant_id: self.tenant_rollup(tenant.tenant_id)
                         for tenant in self.registry.tenants()},
@@ -449,6 +449,11 @@ class ScanGateway:
             "admission_latency": snapshot["histograms"].get(
                 "gateway_admission_latency", {}),
         }
+        if getattr(self.service, "store", None) is not None:
+            # The persistent tier rides along so one /v1/stats poll shows
+            # operators the durable state behind the cache.
+            stats["store"] = self.service.store.stats()
+        return stats
 
     # -- the HTTP shape ------------------------------------------------------
 

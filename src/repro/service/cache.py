@@ -23,6 +23,7 @@ from typing import Callable, Optional, Union
 from repro.core.oracle import AdVerdict
 from repro.core.persistence import (
     FORMAT_VERSION,
+    atomic_writer,
     check_format_version,
     verdict_from_dict,
     verdict_to_dict,
@@ -154,13 +155,15 @@ class VerdictCache:
 
         A service restart should not start cold: the saved file replays
         through :meth:`load` so repeat creatives keep skipping the oracle
-        across process lifetimes.
+        across process lifetimes.  The write is atomic (temp file +
+        rename), so a crash mid-save leaves the previous complete file,
+        never a torn one.
         """
         path = Path(path)
         count = 0
         with self._lock:
             entries = list(self._entries.items())
-        with path.open("w", encoding="utf-8") as handle:
+        with atomic_writer(path) as handle:
             for content_hash, (verdict, _) in entries:
                 row = {
                     "version": FORMAT_VERSION,

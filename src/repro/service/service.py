@@ -19,7 +19,8 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.core.oracle import AdVerdict
 from repro.core.study import StudyConfig
@@ -31,6 +32,7 @@ from repro.service.cache import VerdictCache
 from repro.service.metrics import MetricsRegistry
 from repro.service.queue import IngestQueue, QueueClosedError, QueueFullError
 from repro.service.workers import OracleWorkerPool, ScanFaultHook, ScanTask
+from repro.store import StoreConfig, StoreWriteError, VerdictStore
 from repro.util import lru
 
 
@@ -67,6 +69,11 @@ class ServiceConfig:
     #: Test/chaos hook: (worker_index, task) → None, raise to simulate a
     #: worker's scan stack failing.
     fault_hook: Optional[ScanFaultHook] = None
+    #: Root directory of the persistent verdict store; None runs the
+    #: pre-store (memory-cache-only) configuration, bit-identical.
+    store_path: Optional[Union[str, Path]] = None
+    #: Store knobs (shards, segment size, fsync cadence); None = defaults.
+    store_config: Optional[StoreConfig] = None
 
     def study_config(self) -> StudyConfig:
         """The equivalent batch-pipeline config (for oracle construction)."""
@@ -194,11 +201,19 @@ class ScanService:
     """Online advertisement scanning over the combined oracle."""
 
     def __init__(self, config: Optional[ServiceConfig] = None,
-                 cache: Optional[VerdictCache] = None) -> None:
+                 cache: Optional[VerdictCache] = None,
+                 store: Optional[VerdictStore] = None) -> None:
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
         self.cache = cache or VerdictCache(
             capacity=self.config.cache_capacity, ttl=self.config.cache_ttl)
+        # The persistent tier: an explicit store wins; otherwise one is
+        # opened (with full crash recovery) when the config names a path.
+        self._owns_store = store is None and self.config.store_path is not None
+        if store is None and self.config.store_path is not None:
+            store = VerdictStore(self.config.store_path,
+                                 config=self.config.store_config)
+        self.store = store
         self.queue = IngestQueue(capacity=self.config.queue_capacity,
                                  policy=self.config.queue_policy)
         self.batcher = MicroBatcher(self.queue,
@@ -224,7 +239,8 @@ class ScanService:
                      "scanned", "scan_errors", "rejected", "scan_retries",
                      "dead_lettered", "degraded_rejections",
                      "first_sight_submissions", "shard_dedup_hits",
-                     "overlapped_scans"):
+                     "overlapped_scans", "store_hits", "store_misses",
+                     "store_write_errors"):
             self.metrics.counter(name)
         self.metrics.gauge("queue_depth")
         self.metrics.gauge("active_crawls")
@@ -279,6 +295,9 @@ class ScanService:
         self.queue.close()
         if started:
             self.pool.join(timeout)
+        if self.store is not None and self._owns_store:
+            # Seal the active segments so the next open replays clean.
+            self.store.close()
         # Fail anything still unresolved (non-drain shutdown).
         with self._state_lock:
             orphans = list(self._pending.values())
@@ -339,6 +358,23 @@ class ScanService:
                     self.metrics.counter(f"tenant.{tenant}.coalesced").inc()
                 entry.tickets.append(ticket)
                 return ticket
+            if self.store is not None:
+                # The persistent tier: a verdict that survived a restart
+                # (or a crash) still skips the oracle.  Hits are promoted
+                # into the memory cache so repeats stay one dict lookup.
+                verdict = self.store.get(record.content_hash)
+                if verdict is not None:
+                    self.metrics.counter("store_hits").inc()
+                    if tenant is not None:
+                        self.metrics.counter(
+                            f"tenant.{tenant}.store_hits").inc()
+                    self.cache.put(record.content_hash, verdict)
+                    if verdict.ad_id != record.ad_id:
+                        verdict = replace(verdict, ad_id=record.ad_id)
+                    ticket.from_cache = True
+                    ticket._resolve(verdict)
+                    return ticket
+                self.metrics.counter("store_misses").inc()
             if self.pool.all_breakers_open:
                 # Degraded mode: every worker is refusing work.  Cached
                 # verdicts (above) still resolve; fresh scans are refused
@@ -482,6 +518,14 @@ class ScanService:
             entry = self._pending.pop(task.record.content_hash, None)
             if verdict is not None:
                 self.cache.put(task.record.content_hash, verdict)
+                if self.store is not None:
+                    try:
+                        self.store.put(task.record.content_hash, verdict)
+                    except StoreWriteError:
+                        # The disk refused the append (full, torn); the
+                        # verdict still serves from memory and the store
+                        # stays consistent — degrade, don't fail the scan.
+                        self.metrics.counter("store_write_errors").inc()
                 self.metrics.counter("scanned").inc()
                 if task.tenant is not None:
                     self.metrics.counter(f"tenant.{task.tenant}.scanned").inc()
@@ -529,6 +573,16 @@ class ScanService:
             "degraded": self.pool.all_breakers_open,
         }
         snapshot["dead_letter"] = self.dead_letters.stats()
+        if self.store is not None:
+            store_stats = self.store.stats()
+            snapshot["store"] = store_stats
+            # Mirror the load-bearing store numbers into gauges so they
+            # ride along with every metrics snapshot/export.
+            self.metrics.gauge("store_records").set(store_stats["records"])
+            self.metrics.gauge("store_segments_sealed").set(
+                store_stats["segments"]["sealed"])
+            self.metrics.gauge("store_bloom_hit_ratio").set(
+                store_stats["bloom"]["hit_ratio"])
         return snapshot
 
     def _sync_compile_cache_metrics(self) -> dict:

@@ -1,0 +1,56 @@
+"""Crash-safe persistent verdict storage.
+
+The durable tier under the scan service's in-memory verdict cache: a
+content-hash-sharded, append-only segment store
+(:class:`~repro.store.store.VerdictStore`) with checksummed records,
+sealed-segment footers, deterministic crash recovery, background
+compaction, and a bloom-filter front that answers never-seen probes with
+zero I/O.  See :mod:`repro.store.segment` for the on-disk format and
+:mod:`repro.store.store` for the recovery and compaction protocols.
+"""
+
+from repro.store.segment import (
+    OPEN_SUFFIX,
+    SEALED_SUFFIX,
+    TMP_SUFFIX,
+    RecordRef,
+    SegmentError,
+    SegmentScan,
+    decode_record,
+    encode_record,
+    encode_seal,
+    record_checksum,
+    scan_segment,
+    seal_checksum,
+)
+from repro.store.store import (
+    CompactionReport,
+    FsckReport,
+    RecoveryReport,
+    StoreConfig,
+    StoreError,
+    StoreWriteError,
+    VerdictStore,
+)
+
+__all__ = [
+    "CompactionReport",
+    "FsckReport",
+    "OPEN_SUFFIX",
+    "RecordRef",
+    "RecoveryReport",
+    "SEALED_SUFFIX",
+    "SegmentError",
+    "SegmentScan",
+    "StoreConfig",
+    "StoreError",
+    "StoreWriteError",
+    "TMP_SUFFIX",
+    "VerdictStore",
+    "decode_record",
+    "encode_record",
+    "encode_seal",
+    "record_checksum",
+    "scan_segment",
+    "seal_checksum",
+]

@@ -1,0 +1,242 @@
+"""Append-only verdict segments: checksummed JSONL with a sealed footer.
+
+One segment is one file of verdict records, written strictly by append.
+Every record line carries its own checksum, so a reader can tell a good
+record from a torn or rotted one without trusting anything else in the
+file; a *sealed* segment additionally ends with a footer line whose
+checksum covers every record checksum in order, so a sealed file's
+integrity is verifiable as a whole.
+
+The lifecycle mirrors the atomic write-then-rename discipline of
+``core/persistence.py`` checkpoints, adapted to append-only files:
+
+* the active segment is ``seg-NNNNNN.open`` — records are appended and
+  fsynced as they arrive; a crash can tear at most the un-fsynced tail;
+* sealing appends the footer, fsyncs, then atomically renames the file
+  to ``seg-NNNNNN.jsonl`` — the rename is the commit point, exactly like
+  a checkpoint's ``os.replace``;
+* recovery therefore has two cases: a ``.jsonl`` file is complete and
+  verifiable (corrupt records inside it are *quarantined*, not fatal),
+  while a ``.open`` file may end in a torn tail, which is *truncated* at
+  the first invalid byte.
+
+Record line::
+
+    {"version": 1, "kind": "verdict", "seq": 7, "content_hash": "...",
+     "verdict": {...}, "checksum": "<sha256[:16] of payload>"}
+
+Footer line::
+
+    {"version": 1, "kind": "seal", "n_records": 42,
+     "checksum": "<sha256[:16] over the record checksums in order>"}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.persistence import FORMAT_VERSION, check_format_version
+
+SEALED_SUFFIX = ".jsonl"
+OPEN_SUFFIX = ".open"
+TMP_SUFFIX = ".tmp"
+
+
+class SegmentError(ValueError):
+    """A segment (or record) that cannot be trusted."""
+
+
+def record_checksum(content_hash: str, seq: int, verdict: dict) -> str:
+    """The per-record checksum: sha256[:16] over the canonical payload."""
+    canonical = json.dumps(
+        {"content_hash": content_hash, "seq": seq, "verdict": verdict},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+_payload_checksum = record_checksum
+
+
+def seal_checksum(record_checksums: list[str]) -> str:
+    """The footer checksum: a hash over every record checksum in order."""
+    joined = "\n".join(record_checksums)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_record(content_hash: str, seq: int, verdict: dict,
+                  checksum: Optional[str] = None) -> bytes:
+    """One newline-terminated record line, checksum included.
+
+    Pass ``checksum`` when the caller already computed it (the store
+    does, for its index) to avoid hashing the payload twice.
+    """
+    row = {
+        "version": FORMAT_VERSION,
+        "kind": "verdict",
+        "seq": seq,
+        "content_hash": content_hash,
+        "verdict": verdict,
+        "checksum": checksum if checksum is not None
+        else record_checksum(content_hash, seq, verdict),
+    }
+    return (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+
+
+def encode_seal(record_checksums: list[str]) -> bytes:
+    """The footer line sealing a segment of the given records."""
+    row = {
+        "version": FORMAT_VERSION,
+        "kind": "seal",
+        "n_records": len(record_checksums),
+        "checksum": seal_checksum(record_checksums),
+    }
+    return (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_record(line: bytes) -> dict:
+    """Parse and *verify* one record line; raises :class:`SegmentError`.
+
+    Returns the decoded row (``kind`` is ``"verdict"`` or ``"seal"``).
+    A record row's checksum is recomputed over its payload — a single
+    flipped bit anywhere in the line fails here.
+    """
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SegmentError(f"unparseable segment line: {exc}") from None
+    if not isinstance(data, dict):
+        raise SegmentError("segment line is not an object")
+    check_format_version(data, what="verdict store record")
+    kind = data.get("kind")
+    if kind == "seal":
+        if not isinstance(data.get("n_records"), int) or \
+                not isinstance(data.get("checksum"), str):
+            raise SegmentError("malformed seal footer")
+        return data
+    if kind != "verdict":
+        raise SegmentError(f"unknown segment record kind {kind!r}")
+    try:
+        expected = _payload_checksum(data["content_hash"], data["seq"],
+                                     data["verdict"])
+    except (KeyError, TypeError) as exc:
+        raise SegmentError(f"record missing field: {exc}") from None
+    if data.get("checksum") != expected:
+        raise SegmentError(
+            f"record checksum mismatch (stored {data.get('checksum')!r}, "
+            f"computed {expected!r})")
+    return data
+
+
+@dataclass
+class RecordRef:
+    """Where one verified record lives on disk (the index's value type)."""
+
+    path: str
+    offset: int
+    length: int
+    seq: int
+    checksum: str
+
+
+@dataclass
+class SegmentScan:
+    """Everything recovery learns from reading one segment file."""
+
+    path: str
+    sealed: bool
+    #: Verified records, in file order: (content_hash, RecordRef).
+    records: list[tuple[str, RecordRef]] = field(default_factory=list)
+    #: Corrupt record lines inside a *sealed* segment (offset, raw line).
+    corrupt: list[tuple[int, bytes]] = field(default_factory=list)
+    #: For unsealed segments: byte offset where the valid prefix ends
+    #: (None when the whole file parsed).  Everything past it is torn.
+    torn_at: Optional[int] = None
+    #: Sealed segments: did the footer verify against the records?
+    seal_valid: Optional[bool] = None
+    #: The footer's claimed record count (sealed segments only).
+    sealed_n_records: Optional[int] = None
+    #: Byte offset of the footer line, when one was found.
+    footer_at: Optional[int] = None
+
+    @property
+    def bytes_torn(self) -> int:
+        return 0 if self.torn_at is None else max(0, self.size - self.torn_at)
+
+    size: int = 0
+
+
+def scan_segment(data: bytes, path: str, sealed: bool) -> SegmentScan:
+    """Walk one segment's bytes, verifying every line.
+
+    For **sealed** segments every line is expected to verify; a corrupt
+    record is collected (quarantine candidate) and the scan continues —
+    one rotted line must not cost the rest of the segment.  The footer,
+    if present and well formed, is checked against the *verified* record
+    checksums.
+
+    For **unsealed** (active-at-crash) segments the only legitimate
+    damage is a torn tail: the scan stops at the first invalid line and
+    reports its byte offset so recovery can truncate there.  A complete
+    final newline is required for the last record to count — a record
+    without its newline is, by definition, still in flight.
+    """
+    scan = SegmentScan(path=path, sealed=sealed, size=len(data))
+    offset = 0
+    checksums: list[str] = []
+    footer: Optional[dict] = None
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # No terminating newline: an in-flight (torn) record.
+            if sealed:
+                scan.corrupt.append((offset, data[offset:]))
+            else:
+                scan.torn_at = offset
+            break
+        line = data[offset:newline]
+        length = newline + 1 - offset
+        if footer is not None:
+            # Data after a footer can only mean the file was mangled.
+            if sealed:
+                scan.corrupt.append((offset, line))
+                offset += length
+                continue
+            scan.torn_at = offset
+            break
+        try:
+            row = decode_record(line)
+        except SegmentError:
+            if sealed:
+                scan.corrupt.append((offset, line))
+                offset += length
+                continue
+            scan.torn_at = offset
+            break
+        if row["kind"] == "seal":
+            footer = row
+            scan.footer_at = offset
+            offset += length
+            continue
+        ref = RecordRef(path=path, offset=offset, length=length,
+                        seq=row["seq"], checksum=row["checksum"])
+        scan.records.append((row["content_hash"], ref))
+        checksums.append(row["checksum"])
+        offset += length
+    if sealed:
+        scan.seal_valid = (
+            footer is not None
+            and footer["n_records"] == len(checksums)
+            and footer["checksum"] == seal_checksum(checksums))
+        if footer is not None:
+            scan.sealed_n_records = footer["n_records"]
+    elif footer is not None:
+        # An .open file carrying a footer was sealed but never renamed —
+        # a crash between the footer fsync and the rename.  The records
+        # verified, so they are all kept; only the name lagged.
+        scan.seal_valid = (footer["n_records"] == len(checksums)
+                           and footer["checksum"] == seal_checksum(checksums))
+        scan.sealed_n_records = footer["n_records"]
+    return scan

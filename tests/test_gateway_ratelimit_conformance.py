@@ -1,0 +1,225 @@
+"""Conformance suite for :class:`~repro.gateway.ratelimit.RateLimitBackend`.
+
+The in-memory sliding window is the *reference semantics*; any backend
+that wants to hold the window state elsewhere (a redis sorted set, a
+shared-memory segment) must behave identically from the gateway's point
+of view.  This suite is written against the abstract protocol and
+parametrized over every registered implementation, so a new backend
+joins by adding one factory to ``BACKENDS`` — if the suite passes, the
+gateway's admission decisions (and the ``retry_after`` appointments it
+hands out) are unchanged by the swap.
+
+``SortedSetSlidingWindow`` below is the redis-shaped double: it stores
+each tenant's window as a score-ordered member list and prunes by score
+range, exactly the ZADD/ZREMRANGEBYSCORE/ZCARD shape a real redis
+backend would use — proving the protocol is implementable one round
+trip per decision.
+"""
+
+import threading
+
+import pytest
+
+from repro.gateway.ratelimit import (
+    MemorySlidingWindow,
+    RateDecision,
+    RateLimitBackend,
+)
+
+
+class SortedSetSlidingWindow(RateLimitBackend):
+    """A redis-ZSET-shaped backend: score-ordered timestamps per tenant.
+
+    Semantics must match :class:`MemorySlidingWindow` exactly; storage
+    deliberately mimics what a redis implementation would do per check —
+    prune the score range ``(-inf, now - window]``, count, and either
+    add the new timestamp or quote the oldest member's expiry.
+    """
+
+    def __init__(self) -> None:
+        self._zsets: dict[str, list[float]] = {}
+        self._lock = threading.Lock()
+        self.allowed_total = 0
+        self.throttled_total = 0
+
+    def check(self, tenant_id: str, limit: int, window: float,
+              now: float) -> RateDecision:
+        with self._lock:
+            zset = self._zsets.setdefault(tenant_id, [])
+            cutoff = now - window
+            # ZREMRANGEBYSCORE -inf (now - window]
+            keep = 0
+            while keep < len(zset) and zset[keep] <= cutoff:
+                keep += 1
+            del zset[:keep]
+            if len(zset) < limit:  # ZCARD < limit -> ZADD
+                zset.append(now)
+                self.allowed_total += 1
+                return RateDecision(allowed=True, in_window=len(zset),
+                                    limit=limit)
+            self.throttled_total += 1
+            return RateDecision(allowed=False, in_window=len(zset),
+                                limit=limit,
+                                retry_after=max(0.0, zset[0] + window - now))
+
+    def reset(self, tenant_id: str) -> None:
+        with self._lock:
+            self._zsets.pop(tenant_id, None)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "backend": "sorted_set",
+                "tenants_tracked": len(self._zsets),
+                "allowed_total": self.allowed_total,
+                "throttled_total": self.throttled_total,
+            }
+
+
+BACKENDS = [MemorySlidingWindow, SortedSetSlidingWindow]
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda cls: cls.__name__)
+def backend(request) -> RateLimitBackend:
+    return request.param()
+
+
+class TestAdmission:
+    def test_admits_below_the_limit(self, backend):
+        for i in range(5):
+            decision = backend.check("t", limit=5, window=10.0, now=float(i))
+            assert decision.allowed
+            assert decision.in_window == i + 1
+            assert decision.limit == 5
+            assert decision.retry_after == 0.0
+
+    def test_refuses_at_the_limit(self, backend):
+        for i in range(3):
+            assert backend.check("t", 3, 10.0, now=float(i)).allowed
+        decision = backend.check("t", 3, 10.0, now=3.0)
+        assert not decision.allowed
+        assert decision.in_window == 3
+
+    def test_retry_after_quotes_the_oldest_expiry(self, backend):
+        # Requests at t=0,1,2 with a 10s window: the oldest expires at
+        # t=10, so a refusal at t=3 must quote exactly 7 seconds.
+        for i in range(3):
+            backend.check("t", 3, 10.0, now=float(i))
+        decision = backend.check("t", 3, 10.0, now=3.0)
+        assert decision.retry_after == pytest.approx(7.0)
+
+    def test_refusal_leaves_state_untouched(self, backend):
+        for i in range(2):
+            backend.check("t", 2, 10.0, now=float(i))
+        first = backend.check("t", 2, 10.0, now=2.0)
+        second = backend.check("t", 2, 10.0, now=2.0)
+        assert first == second  # a refused request must not consume budget
+
+    def test_retry_appointment_is_honoured(self, backend):
+        for i in range(2):
+            backend.check("t", 2, 10.0, now=float(i))
+        refused = backend.check("t", 2, 10.0, now=5.0)
+        assert not refused.allowed
+        # Retrying exactly at the quoted instant succeeds: the oldest
+        # entry is then `window` old and boundary eviction drops it.
+        assert backend.check("t", 2, 10.0,
+                             now=5.0 + refused.retry_after).allowed
+
+
+class TestWindowEviction:
+    def test_entries_expire_after_the_window(self, backend):
+        for i in range(3):
+            backend.check("t", 3, 10.0, now=float(i))
+        assert not backend.check("t", 3, 10.0, now=3.0).allowed
+        # At t=10.5 the t=0 entry has left the window.
+        decision = backend.check("t", 3, 10.0, now=10.5)
+        assert decision.allowed
+        assert decision.in_window == 3  # t=1, t=2, t=10.5
+
+    def test_boundary_eviction_is_inclusive(self, backend):
+        # An entry exactly `window` old sits ON the cutoff and must be
+        # evicted (log[0] <= cutoff): full window = free slot again.
+        backend.check("t", 1, 10.0, now=0.0)
+        assert not backend.check("t", 1, 10.0, now=9.999).allowed
+        assert backend.check("t", 1, 10.0, now=10.0).allowed
+
+    def test_burst_then_silence_fully_resets(self, backend):
+        for i in range(4):
+            backend.check("t", 4, 5.0, now=0.1 * i)
+        assert not backend.check("t", 4, 5.0, now=1.0).allowed
+        decision = backend.check("t", 4, 5.0, now=100.0)
+        assert decision.allowed and decision.in_window == 1
+
+
+class TestIsolationAndAdmin:
+    def test_tenants_do_not_share_windows(self, backend):
+        for i in range(3):
+            assert backend.check("alpha", 3, 10.0, now=float(i)).allowed
+        assert not backend.check("alpha", 3, 10.0, now=3.0).allowed
+        assert backend.check("beta", 3, 10.0, now=3.0).allowed
+
+    def test_reset_forgets_one_tenant_only(self, backend):
+        for i in range(2):
+            backend.check("alpha", 2, 10.0, now=float(i))
+            backend.check("beta", 2, 10.0, now=float(i))
+        backend.reset("alpha")
+        assert backend.check("alpha", 2, 10.0, now=2.0).allowed
+        assert not backend.check("beta", 2, 10.0, now=2.0).allowed
+
+    def test_reset_of_unknown_tenant_is_a_no_op(self, backend):
+        backend.reset("never-seen")  # must not raise
+
+    def test_stats_shape(self, backend):
+        backend.check("t", 1, 10.0, now=0.0)
+        backend.check("t", 1, 10.0, now=1.0)
+        stats = backend.stats()
+        assert stats["tenants_tracked"] == 1
+        assert stats["allowed_total"] == 1
+        assert stats["throttled_total"] == 1
+        assert isinstance(stats["backend"], str)
+
+
+class TestDeterminismAndEquivalence:
+    # One fixed request script: (tenant, limit, window, now), times
+    # strictly non-decreasing as a real clock would deliver them.
+    SCRIPT = [
+        ("a", 3, 10.0, 0.0), ("a", 3, 10.0, 0.5), ("b", 2, 5.0, 0.6),
+        ("a", 3, 10.0, 1.0), ("a", 3, 10.0, 1.5), ("b", 2, 5.0, 2.0),
+        ("b", 2, 5.0, 2.5), ("a", 3, 10.0, 9.5), ("a", 3, 10.0, 10.1),
+        ("b", 2, 5.0, 5.7), ("a", 3, 10.0, 11.2), ("a", 3, 10.0, 11.3),
+    ]
+
+    def test_replay_is_deterministic(self, backend):
+        first = [backend.check(*req) for req in self.SCRIPT]
+        backend.reset("a")
+        backend.reset("b")
+        second = [backend.check(*req) for req in self.SCRIPT]
+        assert first == second
+
+    def test_all_backends_agree_decision_for_decision(self):
+        runs = []
+        for factory in BACKENDS:
+            backend = factory()
+            runs.append([backend.check(*req) for req in self.SCRIPT])
+        reference = runs[0]
+        for run in runs[1:]:
+            assert run == reference
+
+    def test_concurrent_checks_admit_exactly_the_limit(self, backend):
+        # 16 threads race 200 checks inside one window; admissions must
+        # total exactly `limit` — atomicity of the read-modify-write.
+        limit, admitted = 25, []
+        barrier = threading.Barrier(16)
+
+        def hammer():
+            barrier.wait()
+            for i in range(200 // 16 + 1):
+                if backend.check("t", limit, 60.0, now=1.0).allowed:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == limit
