@@ -266,7 +266,60 @@ def _print_gateway_report(gateway) -> None:
               f"verdicts {counters.get('malicious', 0)} malicious / "
               f"{counters.get('benign', 0)} benign, "
               f"adm p50 {latency.get('p50', 0.0) * 1000:.1f}ms "
-              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms")
+              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms "
+              f"p99 {latency.get('p99', 0.0) * 1000:.1f}ms")
+
+
+def _run_load_profile(args: argparse.Namespace, service, gateway,
+                      tenant_keys: dict) -> None:
+    """Drive seeded open-loop traffic at the service (or its gateway)."""
+    from repro.loadgen import (
+        LoadDriver,
+        build_population,
+        generate_schedule,
+        load_profile,
+    )
+
+    profile = load_profile(args.load_profile)
+    population = build_population(args.seed, service.config.world_params)
+    tenant_ids = sorted(tenant_keys) if tenant_keys else None
+    schedule = generate_schedule(profile, args.seed,
+                                 n_ranks=len(population), tenants=tenant_ids)
+    print(f"load profile:   {profile.name}, {len(schedule)} arrivals over "
+          f"{profile.duration:g}s model time "
+          f"(~{schedule.offered_rate():.0f}/s offered, schedule fingerprint "
+          f"{schedule.fingerprint()[:12]})")
+    driver = LoadDriver(schedule, population, time_scale=args.time_scale)
+    tickets: list = []
+    if gateway is not None:
+        report = driver.run_gateway(gateway, tenant_keys, tickets_out=tickets)
+        gateway.drain()
+    else:
+        report = driver.run(service, tickets_out=tickets)
+        service.drain()
+    rate = (report.submitted / report.wall_seconds
+            if report.wall_seconds > 0 else float("inf"))
+    print(f"load replay:    {report.offered} offered, "
+          f"{report.submitted} submitted, {report.shed} shed in "
+          f"{report.wall_seconds:.2f}s wall ({rate:.0f} submitted/s, "
+          f"time scale x{report.time_scale:g})")
+    if report.refusals:
+        refusals = ", ".join(f"{count} x HTTP {status}"
+                             for status, count in sorted(report.refusals.items()))
+        print(f"refused:        {refusals}")
+    malicious = sum(1 for t in tickets if t.result().is_malicious)
+    print(f"verdicts:       {malicious} malicious of {len(tickets)}")
+
+
+def _parse_autoscale(spec: str) -> tuple[int, int]:
+    lo_text, sep, hi_text = spec.partition(":")
+    try:
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise SystemExit(f"--autoscale expects MIN:MAX, got {spec!r}")
+    if not sep or lo < 1 or hi < lo:
+        raise SystemExit(f"--autoscale expects 1 <= MIN <= MAX, got {spec!r}")
+    return lo, hi
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -277,6 +330,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ScanService, ServiceConfig, VerdictCache
 
     config = _config_from(args)
+    autoscale_min = autoscale_max = None
+    if args.autoscale:
+        autoscale_min, autoscale_max = _parse_autoscale(args.autoscale)
     service_config = ServiceConfig(
         seed=args.seed,
         n_workers=args.workers,
@@ -287,6 +343,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         world_params=config.world_params,
         store_path=args.store,
+        autoscale_min=autoscale_min,
+        autoscale_max=autoscale_max,
     )
     cache = None
     if args.load_cache:
@@ -312,7 +370,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         elif args.require_auth:
             print("--require-auth needs --tenants <file>", file=sys.stderr)
             return 2
-        if args.corpus:
+        if args.load_profile:
+            _run_load_profile(args, service, gateway, tenant_keys)
+            corpus = None
+        elif args.corpus:
             corpus = load_corpus(args.corpus)
             print(f"loaded {corpus.unique_ads} unique ads "
                   f"({corpus.total_impressions} impressions) from {args.corpus}")
@@ -342,7 +403,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"crawled {corpus.unique_ads} unique ads "
                       f"({corpus.total_impressions} impressions)")
 
-        for replay in range(1, args.replays + 1):
+        for replay in (range(1, args.replays + 1) if corpus is not None
+                       else ()):
             started = time.perf_counter()
             if gateway is not None:
                 # Round-robin the corpus across the driveable tenants, as
@@ -382,7 +444,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         latency = stats["histograms"].get("scan_latency", {})
         batch = stats["histograms"].get("batch_size", {})
         print("\n-- service report --")
-        print(f"workers:        {stats['pool']['workers']}")
+        pool = stats["pool"]
+        if service.autoscaler is not None:
+            print(f"workers:        {pool['size']} "
+                  f"(peak {pool['peak_size']}, min {pool['min_size']}, "
+                  f"bounds {service.autoscaler.config.min_workers}-"
+                  f"{service.autoscaler.config.max_workers})")
+        else:
+            print(f"workers:        {pool['workers']}")
         print(f"submitted:      {counters.get('submitted', 0)}")
         print(f"oracle scans:   {counters.get('scanned', 0)}")
         print(f"cache hits:     {counters.get('cache_hits', 0)} "
@@ -400,7 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"batch size:     mean {batch.get('mean', 0.0):.1f} "
               f"(max {batch.get('max', 0.0):.0f})")
         print(f"scan latency:   p50 {latency.get('p50', 0.0) * 1000:.1f}ms, "
-              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms")
+              f"p95 {latency.get('p95', 0.0) * 1000:.1f}ms, "
+              f"p99 {latency.get('p99', 0.0) * 1000:.1f}ms")
         if counters.get("first_sight_submissions", 0):
             sight_latency = stats["histograms"].get("first_sight_latency", {})
             print(f"first sights:   {counters['first_sight_submissions']} "
@@ -410,7 +480,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"scans finished mid-crawl")
             print(f"sight latency:  "
                   f"p50 {sight_latency.get('p50', 0.0) * 1000:.1f}ms, "
-                  f"p95 {sight_latency.get('p95', 0.0) * 1000:.1f}ms")
+                  f"p95 {sight_latency.get('p95', 0.0) * 1000:.1f}ms, "
+                  f"p99 {sight_latency.get('p99', 0.0) * 1000:.1f}ms")
         if service.store is not None:
             store_stats = stats["store"]
             bloom = store_stats["bloom"]
@@ -420,6 +491,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"store hits:     {counters.get('store_hits', 0)} "
                   f"(bloom answered {bloom['negatives']} never-seen probes "
                   f"with zero I/O, hit ratio {bloom['hit_ratio']:.1%})")
+        if service.autoscaler is not None:
+            scaler = stats["autoscaler"]
+            print(f"autoscaler:     {scaler['scale_ups']} scale-ups, "
+                  f"{scaler['scale_downs']} scale-downs over "
+                  f"{scaler['evaluations']} evaluations")
+            timeline = scaler["timeline"]
+            shown = timeline[-12:]
+            if len(timeline) > len(shown) or scaler["timeline_dropped"]:
+                hidden = (len(timeline) - len(shown)
+                          + scaler["timeline_dropped"])
+                print(f"  ... {hidden} earlier events elided")
+            for event in shown:
+                print(f"  t+{event['at']:8.3f}s {event['direction']:>4} "
+                      f"{event['from']}->{event['to']} "
+                      f"({event['reason']}, queue depth "
+                      f"{event['queue_depth']}, "
+                      f"wait p99 {event['wait_p99'] * 1000:.1f}ms)")
         if gateway is not None:
             _print_gateway_report(gateway)
         if args.save_cache:
@@ -559,6 +647,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=8)
     serve.add_argument("--batch-delay", type=float, default=0.05,
                        help="micro-batch deadline in seconds")
+    serve.add_argument("--autoscale", metavar="MIN:MAX",
+                       help="run an elastic worker pool between MIN and MAX "
+                            "workers (verdicts stay bit-identical to any "
+                            "fixed pool)")
+    serve.add_argument("--load-profile", metavar="NAME[:FACTOR]",
+                       help="drive seeded open-loop traffic instead of a "
+                            "corpus replay (steady, burst, diurnal; FACTOR "
+                            "scales the rates)")
+    serve.add_argument("--time-scale", type=float, default=1.0, metavar="X",
+                       help="compress load-profile time onto the wall clock "
+                            "by X (default 1.0)")
     serve.add_argument("--queue-capacity", type=int, default=256)
     serve.add_argument("--queue-policy", choices=("block", "reject"),
                        default="block")

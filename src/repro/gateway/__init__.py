@@ -48,6 +48,7 @@ from repro.gateway.ratelimit import (
     MemorySlidingWindow,
     RateDecision,
     RateLimitBackend,
+    TokenBucket,
 )
 
 __all__ = [
@@ -72,6 +73,7 @@ __all__ = [
     "RateLimitedError",
     "ScanGateway",
     "Tenant",
+    "TokenBucket",
     "TenantDisabledError",
     "TenantRegistry",
     "TenantUsage",

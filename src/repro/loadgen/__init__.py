@@ -1,0 +1,44 @@
+"""Deterministic open-loop traffic generation for the scanning service.
+
+``repro.loadgen`` turns a named load shape (steady / burst / diurnal), a
+seed, and the simulated ad world into a replayable request schedule and
+drives it against :class:`~repro.service.ScanService` — directly or
+through the multi-tenant gateway.  Everything stochastic is drawn from
+hash-addressed PRNG streams, so the same seed always offers the same
+traffic: the benchmarks in ``benchmarks/test_loadgen_slo.py`` rely on
+that to compare autoscaled and fixed-pool runs bit for bit.
+"""
+
+from repro.loadgen.arrivals import (
+    Arrival,
+    ArrivalSchedule,
+    generate_schedule,
+)
+from repro.loadgen.driver import LoadDriver, LoadReport
+from repro.loadgen.population import CreativePopulation, build_population
+from repro.loadgen.profile import (
+    PROFILES,
+    LoadProfile,
+    Phase,
+    burst_profile,
+    diurnal_profile,
+    load_profile,
+    steady_profile,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "CreativePopulation",
+    "LoadDriver",
+    "LoadProfile",
+    "LoadReport",
+    "PROFILES",
+    "Phase",
+    "build_population",
+    "burst_profile",
+    "diurnal_profile",
+    "generate_schedule",
+    "load_profile",
+    "steady_profile",
+]

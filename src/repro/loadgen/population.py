@@ -1,0 +1,66 @@
+"""The creative population: what the load generator actually submits.
+
+Traffic is meaningless unless it carries the same payloads the scanning
+pipeline sees in production, so the population is rendered straight from
+the simulated ad world: every campaign × variant creative, converted to
+the canonical content-pure scan payload (:func:`sighting_record`), the
+same record shape the gateway's submit path builds.  Verdicts for these
+records therefore go through the full hermetic-judging contract — which
+is what lets the benchmarks compare autoscaled-run fingerprints against
+fixed-pool runs bit for bit.
+
+Rank order is shuffled under a forked seed so "hot" creatives (low Zipf
+ranks) are a stable pseudo-random mix of benign and malicious campaigns
+rather than whatever order the world builder happened to append them in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adnet.creatives import render_creative
+from repro.crawler.corpus import AdRecord
+from repro.datasets.world import World, WorldParams, build_world
+from repro.service.service import sighting_record
+from repro.util.rand import fork
+
+
+class CreativePopulation:
+    """Rank-addressable pool of scan-ready creative records."""
+
+    def __init__(self, world: World, seed: int,
+                 max_creatives: Optional[int] = None) -> None:
+        records: list[AdRecord] = []
+        seen: set[str] = set()
+        for campaign in world.campaigns:
+            for variant in range(max(1, campaign.n_variants)):
+                record = sighting_record(render_creative(campaign, variant))
+                if record.content_hash in seen:
+                    continue
+                seen.add(record.content_hash)
+                records.append(record)
+        fork(seed, "loadgen:ranks").shuffle(records)
+        if max_creatives is not None:
+            records = records[:max_creatives]
+        if not records:
+            raise ValueError("world produced no creatives")
+        self.seed = seed
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record_for_rank(self, rank: int) -> AdRecord:
+        return self.records[rank]
+
+    def to_dict(self) -> dict:
+        return {"creatives": len(self.records), "seed": self.seed}
+
+
+def build_population(seed: int, params: Optional[WorldParams] = None,
+                     world: Optional[World] = None,
+                     max_creatives: Optional[int] = None) -> CreativePopulation:
+    """Build (or wrap) a world and render its creative population."""
+    if world is None:
+        world = build_world(seed, params)
+    return CreativePopulation(world, seed, max_creatives=max_creatives)

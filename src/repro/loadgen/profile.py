@@ -1,0 +1,176 @@
+"""Load profiles: piecewise arrival-rate curves for the traffic generator.
+
+A profile is a sequence of :class:`Phase` segments, each holding the
+arrival rate flat or ramping it linearly across the segment.  Three
+shapes cover the serving regimes the paper's measurement setting implies
+(§1 of DESIGN.md): a *steady* trickle, a *burst* (flash crowd against a
+warm baseline, then silence — the shape that exercises autoscaling
+hysteresis in both directions), and a *diurnal* ramp (traffic follows
+the day: quiet night, morning climb, midday plateau, evening decline —
+the shape ad impressions actually arrive in).
+
+Profiles are pure descriptions: they carry no randomness and no clock.
+The stochastic part (when exactly each request lands) lives in
+:mod:`repro.loadgen.arrivals`, driven by a hash-addressed PRNG so the
+same seed always replays the same traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of a load profile.
+
+    ``rate`` is the arrivals/sec at the start of the segment; ``rate_end``
+    (when set) is the rate at the end, interpolated linearly in between —
+    that is how ramps are expressed.  A rate of zero means silence for
+    the segment's whole duration.
+    """
+
+    name: str
+    duration: float
+    rate: float
+    rate_end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.rate < 0 or (self.rate_end is not None and self.rate_end < 0):
+            raise ValueError("phase rates must be non-negative")
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate ``t`` seconds into this phase."""
+        if self.rate_end is None:
+            return self.rate
+        frac = min(max(t / self.duration, 0.0), 1.0)
+        return self.rate + (self.rate_end - self.rate) * frac
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "rate": self.rate,
+            "rate_end": self.rate_end,
+        }
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A named sequence of phases."""
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a profile needs at least one phase")
+
+    @property
+    def duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    def phase_at(self, t: float) -> tuple[Phase, float]:
+        """The phase active at profile time ``t`` and the offset into it."""
+        offset = t
+        for phase in self.phases:
+            if offset < phase.duration:
+                return phase, offset
+            offset -= phase.duration
+        last = self.phases[-1]
+        return last, last.duration
+
+    def rate_at(self, t: float) -> float:
+        phase, offset = self.phase_at(t)
+        return phase.rate_at(offset)
+
+    def scaled(self, factor: float) -> "LoadProfile":
+        """The same shape with every rate multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        phases = tuple(
+            Phase(name=p.name, duration=p.duration, rate=p.rate * factor,
+                  rate_end=None if p.rate_end is None else p.rate_end * factor)
+            for p in self.phases)
+        return LoadProfile(name=self.name, phases=phases)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "phases": [phase.to_dict() for phase in self.phases],
+        }
+
+
+# -- the built-in shapes -----------------------------------------------------------
+
+
+def steady_profile(rate: float = 40.0, duration: float = 4.0) -> LoadProfile:
+    """A flat trickle: the baseline serving regime."""
+    return LoadProfile("steady", (Phase("steady", duration, rate),))
+
+
+def burst_profile(base_rate: float = 20.0, burst_rate: float = 200.0,
+                  warm: float = 1.0, burst: float = 1.5,
+                  cooldown: float = 1.0, idle: float = 1.5) -> LoadProfile:
+    """Warm baseline → flash crowd → baseline tail → silence.
+
+    The canonical autoscaling exercise: the burst must force scale-ups,
+    and the idle tail must let the pool drain back to ``min_workers``.
+    """
+    return LoadProfile("burst", (
+        Phase("warm", warm, base_rate),
+        Phase("burst", burst, burst_rate),
+        Phase("cooldown", cooldown, base_rate),
+        Phase("idle", idle, 0.0),
+    ))
+
+
+def diurnal_profile(peak_rate: float = 120.0, trough_rate: float = 10.0,
+                    day: float = 6.0) -> LoadProfile:
+    """A compressed day: night trough, morning ramp, midday peak, evening ramp.
+
+    Segment lengths follow rough sixths of the day so the ramps dominate —
+    the regime where the autoscaler has to track a moving target rather
+    than react to a step.
+    """
+    sixth = day / 6.0
+    return LoadProfile("diurnal", (
+        Phase("night", sixth, trough_rate),
+        Phase("morning", 2 * sixth, trough_rate, rate_end=peak_rate),
+        Phase("midday", sixth, peak_rate),
+        Phase("evening", 2 * sixth, peak_rate, rate_end=trough_rate),
+    ))
+
+
+PROFILES = {
+    "steady": steady_profile,
+    "burst": burst_profile,
+    "diurnal": diurnal_profile,
+}
+
+
+def load_profile(spec: str) -> LoadProfile:
+    """Resolve a CLI profile spec: ``name`` or ``name:factor``.
+
+    The optional factor scales every rate in the shape (``burst:0.5``
+    halves the traffic without changing its timing), which is how the
+    smoke configurations shrink the built-in profiles.
+    """
+    name, _, factor_text = spec.partition(":")
+    builder = PROFILES.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown load profile {name!r} (expected one of "
+            f"{sorted(PROFILES)})")
+    profile = builder()
+    if factor_text:
+        try:
+            factor = float(factor_text)
+        except ValueError:
+            raise ValueError(f"bad profile scale factor {factor_text!r}")
+        profile = profile.scaled(factor)
+    return profile

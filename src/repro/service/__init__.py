@@ -6,6 +6,7 @@ cache (LRU + TTL), micro-batching, a deterministic thread worker pool,
 and a metrics registry — composed by :class:`ScanService`.
 """
 
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
 from repro.service.batcher import MicroBatcher
 from repro.service.breaker import (
     BreakerOpenError,
@@ -33,11 +34,16 @@ from repro.service.workers import (
     OracleWorkerPool,
     ScanTask,
     ScanWorker,
+    WorkerCrashed,
     hermetic_judge,
 )
 
 __all__ = [
     "AttachedTicket",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleEvent",
+    "WorkerCrashed",
     "BreakerOpenError",
     "CircuitBreaker",
     "Counter",

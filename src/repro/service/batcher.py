@@ -46,16 +46,24 @@ class MicroBatcher:
         self.size_flushes = 0
         self.deadline_flushes = 0
 
-    def next_batch(self) -> Optional[list]:
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[list]:
         """Block until one batch is ready; ``None`` once the queue is done.
 
         The first item opens the batch and starts the deadline clock; the
         batch closes on whichever comes first of ``max_size`` items or the
         deadline.  Queue closure flushes whatever was collected.
+
+        With ``timeout`` the wait for the *first* item is bounded: an
+        empty list comes back when nothing arrived in time and the queue
+        is still open.  Elastic pools feed workers through this timed
+        form so an idle worker periodically surfaces to check for
+        retirement instead of blocking forever in the queue.
         """
         with self._assembly_lock:
-            first = self.queue.get()
+            first = self.queue.get(timeout=timeout)
             if first is None:
+                if timeout is not None and not self.queue.closed:
+                    return []
                 return None
             batch: list[Any] = [first]
             deadline = self._clock() + self.max_delay

@@ -115,6 +115,19 @@ class Histogram:
     def mean(self) -> float:
         return self._total / self._count if self._count else 0.0
 
+    @property
+    def p50(self) -> float:
+        """Median of the retained window (autoscaler / report shorthand)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of the retained window."""
         if not 0.0 <= q <= 100.0:

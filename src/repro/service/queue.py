@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 POLICY_BLOCK = "block"
 POLICY_REJECT = "reject"
@@ -37,7 +37,8 @@ class QueueClosedError(RuntimeError):
 class IngestQueue:
     """A bounded FIFO with selectable backpressure behaviour."""
 
-    def __init__(self, capacity: int = 256, policy: str = POLICY_BLOCK) -> None:
+    def __init__(self, capacity: int = 256, policy: str = POLICY_BLOCK,
+                 wait_observer: Optional[Callable[[float], None]] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if policy not in POLICIES:
@@ -58,6 +59,18 @@ class IngestQueue:
         #: crawl this is the backpressure record: how far submissions ran
         #: ahead of the oracle workers at the worst moment.
         self.high_water = 0
+        #: Enqueue-latency accounting: how long accepted ``put`` calls had
+        #: to wait for space.  This is the saturation signal an autoscaler
+        #: reads — depth says how far behind the pool is, the wait says
+        #: how much producers are actually being stalled.
+        self.enqueue_waits = 0
+        self.enqueue_wait_total = 0.0
+        self.enqueue_wait_max = 0.0
+        #: Called with the seconds each accepted put spent waiting (0.0
+        #: for an immediate accept) — the service feeds its
+        #: ``enqueue_wait`` histogram through this without the queue
+        #: knowing about metrics.
+        self._wait_observer = wait_observer
 
     # -- producer side -------------------------------------------------------
 
@@ -68,6 +81,7 @@ class IngestQueue:
         full, or ``block`` policy and the wait timed out) and
         :class:`QueueClosedError` after :meth:`close`.
         """
+        waited = 0.0
         with self._not_full:
             if self._closed:
                 raise QueueClosedError("queue is closed")
@@ -76,7 +90,8 @@ class IngestQueue:
                     self.rejected += 1
                     raise QueueFullError(
                         f"queue full ({self.capacity} items, policy=reject)")
-                deadline = None if timeout is None else time.monotonic() + timeout
+                wait_started = time.monotonic()
+                deadline = None if timeout is None else wait_started + timeout
                 while len(self._items) >= self.capacity and not self._closed:
                     remaining = None
                     if deadline is not None:
@@ -88,11 +103,18 @@ class IngestQueue:
                     self._not_full.wait(remaining)
                 if self._closed:
                     raise QueueClosedError("queue closed while waiting for space")
+                waited = time.monotonic() - wait_started
+                self.enqueue_waits += 1
+                self.enqueue_wait_total += waited
+                if waited > self.enqueue_wait_max:
+                    self.enqueue_wait_max = waited
             self._items.append(item)
             self.accepted += 1
             if len(self._items) > self.high_water:
                 self.high_water = len(self._items)
             self._not_empty.notify()
+        if self._wait_observer is not None:
+            self._wait_observer(waited)
 
     def requeue(self, item: Any) -> bool:
         """Put ``item`` back at the *front* of the queue.
@@ -171,5 +193,8 @@ class IngestQueue:
             "drained": self.drained,
             "requeued": self.requeued,
             "high_water": self.high_water,
+            "enqueue_waits": self.enqueue_waits,
+            "enqueue_wait_total": round(self.enqueue_wait_total, 6),
+            "enqueue_wait_max": round(self.enqueue_wait_max, 6),
             "closed": self._closed,
         }

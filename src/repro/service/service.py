@@ -26,6 +26,7 @@ from repro.core.oracle import AdVerdict
 from repro.core.study import StudyConfig
 from repro.crawler.corpus import AdCorpus, AdRecord, content_hash
 from repro.datasets.world import WorldParams
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
 from repro.service.batcher import MicroBatcher
 from repro.service.breaker import DeadLetterLog
 from repro.service.cache import VerdictCache
@@ -74,6 +75,29 @@ class ServiceConfig:
     store_path: Optional[Union[str, Path]] = None
     #: Store knobs (shards, segment size, fsync cadence); None = defaults.
     store_config: Optional[StoreConfig] = None
+    #: Elastic pool sizing: a full :class:`AutoscalerConfig`, or the
+    #: ``autoscale_min``/``autoscale_max`` shorthand below.  None keeps
+    #: the fixed ``n_workers`` pool, bit-identical to the seed.
+    autoscaler: Optional[AutoscalerConfig] = None
+    autoscale_min: Optional[int] = None
+    autoscale_max: Optional[int] = None
+    #: How often an idle elastic worker surfaces from the batcher to
+    #: check for retirement (seconds).  Only used when autoscaling.
+    worker_poll: float = 0.02
+    #: Crashed pool workers respawned (in total) before the pool stops
+    #: replacing them; 0 = no respawn (the seed behaviour).
+    worker_max_restarts: int = 0
+
+    def autoscaler_config(self) -> Optional[AutoscalerConfig]:
+        """Resolve the elastic-pool knobs (shorthand or full config)."""
+        if self.autoscaler is not None:
+            return self.autoscaler
+        if self.autoscale_min is None and self.autoscale_max is None:
+            return None
+        lo = self.autoscale_min if self.autoscale_min is not None else 1
+        hi = (self.autoscale_max if self.autoscale_max is not None
+              else max(lo, self.n_workers))
+        return AutoscalerConfig(min_workers=lo, max_workers=hi)
 
     def study_config(self) -> StudyConfig:
         """The equivalent batch-pipeline config (for oracle construction)."""
@@ -214,16 +238,31 @@ class ScanService:
             store = VerdictStore(self.config.store_path,
                                  config=self.config.store_config)
         self.store = store
-        self.queue = IngestQueue(capacity=self.config.queue_capacity,
-                                 policy=self.config.queue_policy)
+        self.queue = IngestQueue(
+            capacity=self.config.queue_capacity,
+            policy=self.config.queue_policy,
+            wait_observer=self.metrics.histogram("enqueue_wait").observe)
         self.batcher = MicroBatcher(self.queue,
                                     max_size=self.config.batch_max_size,
                                     max_delay=self.config.batch_max_delay)
         self.dead_letters = DeadLetterLog(
             capacity=self.config.dead_letter_capacity)
+        scaling = self.config.autoscaler_config()
+        if scaling is not None:
+            # Elastic pool: start at the floor and let the autoscaler
+            # climb; workers poll the batcher with a timeout so idle ones
+            # notice retirement instead of blocking in the queue forever.
+            initial_workers = scaling.min_workers
+            poll = self.config.worker_poll
+            next_batch = lambda: self.batcher.next_batch(timeout=poll)  # noqa: E731
+            max_workers = scaling.max_workers
+        else:
+            initial_workers = self.config.n_workers
+            next_batch = self.batcher.next_batch
+            max_workers = None
         self.pool = OracleWorkerPool(
-            self.config.n_workers, self.config.study_config(),
-            next_batch=self.batcher.next_batch,
+            initial_workers, self.config.study_config(),
+            next_batch=next_batch,
             on_result=self._on_result,
             on_batch=self._on_batch,
             breaker_threshold=self.config.breaker_threshold,
@@ -232,7 +271,13 @@ class ScanService:
             max_attempts=self.config.scan_max_attempts,
             fault_hook=self.config.fault_hook,
             on_retry=self._on_retry,
+            max_workers=max_workers,
+            max_restarts=self.config.worker_max_restarts,
         )
+        self.autoscaler: Optional[Autoscaler] = None
+        if scaling is not None:
+            self.autoscaler = Autoscaler(self.pool, self.queue,
+                                         metrics=self.metrics, config=scaling)
         # Pre-register the standard metrics so stats() has stable keys
         # even before the first submission/scan touches them.
         for name in ("submitted", "cache_hits", "cache_misses", "coalesced",
@@ -274,6 +319,8 @@ class ScanService:
             if not self._started:
                 self._started = True
                 self.pool.start()
+                if self.autoscaler is not None:
+                    self.autoscaler.start()
         return self
 
     def shutdown(self, drain: bool = True,
@@ -292,6 +339,9 @@ class ScanService:
             started = self._started
         if drain and started:
             self.drain(timeout=timeout)
+        if self.autoscaler is not None:
+            self.autoscaler.stop(timeout)
+        self.pool.shutdown()
         self.queue.close()
         if started:
             self.pool.join(timeout)
@@ -571,7 +621,10 @@ class ScanService:
             "scanned": self.pool.total_scanned,
             "breakers": self.pool.breaker_stats(),
             "degraded": self.pool.all_breakers_open,
+            **self.pool.stats(),
         }
+        if self.autoscaler is not None:
+            snapshot["autoscaler"] = self.autoscaler.stats()
         snapshot["dead_letter"] = self.dead_letters.stats()
         if self.store is not None:
             store_stats = self.store.stats()

@@ -1,4 +1,4 @@
-"""The oracle worker pool: threaded, isolated, deterministic.
+"""The oracle worker pool: threaded, isolated, deterministic, elastic.
 
 Every worker owns a **complete private copy** of the scanning stack — its
 own simulated world built from the service seed plus its own
@@ -14,6 +14,21 @@ to values derived from the creative's content hash before every scan, so
 the verdict for a creative is a pure function of ``(seed, world params,
 creative)`` — identical across scan orders, worker counts, and to a
 batch :class:`CombinedOracle` pass driven through the same discipline.
+
+Elasticity is the third.  The pool's roster is no longer fixed at
+construction: :meth:`OracleWorkerPool.scale_to` grows it by spawning
+fresh workers (each building its private stack inside its own thread)
+and shrinks it by handing out *retire tokens* that workers claim at
+batch boundaries — a retiring worker finishes the batch in its hands,
+never abandons a task, and exits cleanly.  Because hermetic judging
+makes every verdict independent of worker count, scaling events cannot
+perturb a single verdict bit; they only change how fast the queue
+drains.  A worker whose thread dies outright (stack construction
+failure, a callback raising, :class:`WorkerCrashed` from a chaos hook)
+is respawned by the pool while the ``max_restarts`` budget lasts; a
+crash that lands while retirement tokens are outstanding satisfies a
+token instead of consuming budget, so resize and supervision accounting
+compose.
 """
 
 from __future__ import annotations
@@ -70,9 +85,20 @@ class ScanTask:
     tenant: Optional[str] = None
 
 
+class WorkerCrashed(RuntimeError):
+    """A worker's whole stack died (not just one scan).
+
+    Raised by chaos/fault hooks to simulate the thread itself being lost
+    (a segfaulting analysis VM, an OOM-killed sandbox host).  The worker
+    hands its in-flight task back to the queue and lets the exception
+    kill the thread; the pool's supervision decides whether to respawn.
+    """
+
+
 #: Test/chaos hook: called with (worker_index, task) before each scan
-#: attempt; raising simulates that worker's oracle stack failing.
-ScanFaultHook = Callable[[int, ScanTask], None]
+#: attempt; raising simulates that worker's oracle stack failing (raise
+#: :class:`WorkerCrashed` to kill the whole worker thread instead).
+ScanFaultHook = Callable[[int, "ScanTask"], None]
 
 
 class ScanWorker(threading.Thread):
@@ -83,6 +109,11 @@ class ScanWorker(threading.Thread):
     ``requeue`` (preserving queue position) so healthier workers pick them
     up; a failed scan is likewise requeued until the task's attempt budget
     (``max_attempts``) is spent, after which the error is surfaced.
+
+    ``should_exit`` (when given) is polled between batches — never inside
+    one — so an elastic pool can drain this worker at a task boundary.
+    ``on_exit`` fires exactly once as the thread leaves ``run``, with the
+    exception that killed it (or ``None`` for a clean exit).
     """
 
     #: Pause after a breaker-open refusal, so an all-open pool does not
@@ -101,6 +132,8 @@ class ScanWorker(threading.Thread):
         max_attempts: int = 1,
         fault_hook: Optional[ScanFaultHook] = None,
         on_retry: Optional[Callable[[ScanTask], None]] = None,
+        should_exit: Optional[Callable[["ScanWorker"], bool]] = None,
+        on_exit: Optional[Callable[["ScanWorker", Optional[BaseException]], None]] = None,
     ) -> None:
         super().__init__(name=f"scan-worker-{index}", daemon=True)
         if max_attempts < 1:
@@ -115,9 +148,13 @@ class ScanWorker(threading.Thread):
         self._max_attempts = max_attempts
         self._fault_hook = fault_hook
         self._on_retry = on_retry
+        self._should_exit = should_exit
+        self._on_exit = on_exit
         self.world: Optional[World] = None
         self.oracle: Optional[CombinedOracle] = None
         self.scanned = 0
+        #: Why the thread left run(): "closed", "retired", or "crashed".
+        self.exit_reason: Optional[str] = None
 
     def _build_stack(self) -> None:
         # Built inside the thread so pool start-up is parallel and the
@@ -126,19 +163,35 @@ class ScanWorker(threading.Thread):
         self.oracle = Study(self._config, world=self.world).build_oracle()
 
     def run(self) -> None:
-        self._build_stack()
-        assert self.world is not None and self.oracle is not None
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            if self._on_batch is not None:
-                self._on_batch(len(batch))
-            refused = False
-            for task in batch:
-                refused |= self._process(task)
-            if refused:
-                time.sleep(self.REQUEUE_PAUSE)
+        crash: Optional[BaseException] = None
+        try:
+            self._build_stack()
+            assert self.world is not None and self.oracle is not None
+            while True:
+                if self._should_exit is not None and self._should_exit(self):
+                    self.exit_reason = "retired"
+                    return
+                batch = self._next_batch()
+                if batch is None:
+                    self.exit_reason = "closed"
+                    return
+                if not batch:
+                    # Idle poll tick (elastic pools feed workers through a
+                    # timed batcher so retirement is noticed while idle).
+                    continue
+                if self._on_batch is not None:
+                    self._on_batch(len(batch))
+                refused = False
+                for task in batch:
+                    refused |= self._process(task)
+                if refused:
+                    time.sleep(self.REQUEUE_PAUSE)
+        except BaseException as exc:
+            self.exit_reason = "crashed"
+            crash = exc
+        finally:
+            if self._on_exit is not None:
+                self._on_exit(self, crash)
 
     def _process(self, task: ScanTask) -> bool:
         """Scan one task; returns True if it was refused (breaker open)."""
@@ -155,6 +208,14 @@ class ScanWorker(threading.Thread):
                 self._fault_hook(self.index, task)
             verdict = hermetic_judge(self.oracle, self.world,
                                      task.record, self._config.seed)
+        except WorkerCrashed as exc:
+            # The whole worker is gone, not just this scan: hand the task
+            # back (it keeps its queue position and did not burn a retry
+            # beyond this attempt) and let the crash kill the thread.
+            task.attempts -= 1
+            if self._requeue is None or not self._requeue(task):
+                self._on_result(task, None, exc)
+            raise
         except BaseException as exc:  # surface, never kill the pool
             if self.breaker is not None:
                 self.breaker.record_failure()
@@ -173,12 +234,24 @@ class ScanWorker(threading.Thread):
 
 
 class OracleWorkerPool:
-    """A fixed-size pool of :class:`ScanWorker` threads.
+    """An elastic pool of :class:`ScanWorker` threads.
 
-    The pool only manages lifecycle (start, drain, join); work flows
-    through the callables handed to each worker, which keeps the pool
-    reusable and the service facade in charge of queue/cache/metrics
+    The pool manages lifecycle (start, scale, respawn, drain, join); work
+    flows through the callables handed to each worker, which keeps the
+    pool reusable and the service facade in charge of queue/cache/metrics
     wiring.
+
+    Scaling contract:
+
+    * :meth:`scale_to` never interrupts a batch — growth spawns fresh
+      workers immediately; shrinkage hands out retire tokens that idle
+      workers claim between batches (so scale-down drains, never drops);
+    * a crashed worker is respawned while ``restarts_used <
+      max_restarts``; a crash with retire tokens outstanding consumes a
+      token instead of a restart (the pool wanted to shrink anyway);
+    * :attr:`size` is the *logical* size (roster minus unclaimed retire
+      tokens) — what the pool is converging to; :attr:`alive` counts OS
+      threads still running, including ones mid-exit.
     """
 
     def __init__(
@@ -194,46 +267,204 @@ class OracleWorkerPool:
         max_attempts: int = 1,
         fault_hook: Optional[ScanFaultHook] = None,
         on_retry: Optional[Callable[[ScanTask], None]] = None,
+        max_workers: Optional[int] = None,
+        max_restarts: int = 0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
-        self.breakers: list[CircuitBreaker] = []
-        if breaker_threshold is not None:
-            self.breakers = [
-                CircuitBreaker(threshold=breaker_threshold,
-                               cooldown=breaker_cooldown)
-                for _ in range(n_workers)
-            ]
-        self.workers = [
-            ScanWorker(
-                index, config, next_batch, on_result, on_batch,
-                breaker=self.breakers[index] if self.breakers else None,
-                requeue=requeue, max_attempts=max_attempts,
-                fault_hook=fault_hook, on_retry=on_retry,
-            )
-            for index in range(n_workers)
-        ]
+        if max_workers is not None and max_workers < n_workers:
+            raise ValueError("max_workers must be >= n_workers")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self._config = config
+        self._next_batch = next_batch
+        self._on_result = on_result
+        self._on_batch = on_batch
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._requeue = requeue
+        self._max_attempts = max_attempts
+        self._fault_hook = fault_hook
+        self._on_retry = on_retry
+        self.max_workers = max_workers
+        self.max_restarts = max_restarts
+
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._roster: list[ScanWorker] = []
+        self._all: list[ScanWorker] = []
+        self._retire_tokens = 0
+        self._next_index = 0
+        self.restarts_used = 0
+        self.spawned_total = 0
+        self.retired_total = 0
+        self.crashed_total = 0
+        self.peak_size = n_workers
+        self.min_size = n_workers
+        for _ in range(n_workers):
+            self._spawn_locked()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _spawn_locked(self) -> ScanWorker:
+        """Create one worker (caller holds the lock or is __init__)."""
+        index = self._next_index
+        self._next_index += 1
+        breaker = None
+        if self._breaker_threshold is not None:
+            breaker = CircuitBreaker(threshold=self._breaker_threshold,
+                                     cooldown=self._breaker_cooldown)
+        worker = ScanWorker(
+            index, self._config, self._next_batch, self._on_result,
+            self._on_batch, breaker=breaker, requeue=self._requeue,
+            max_attempts=self._max_attempts, fault_hook=self._fault_hook,
+            on_retry=self._on_retry, should_exit=self._claim_retirement,
+            on_exit=self._on_worker_exit,
+        )
+        self._roster.append(worker)
+        self._all.append(worker)
+        self.spawned_total += 1
+        if self._started:
+            worker.start()
+        return worker
+
+    # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        for worker in self.workers:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            workers = list(self._roster)
+        for worker in workers:
             worker.start()
 
+    def shutdown(self) -> None:
+        """Stop supervising: no more respawns or scaling (idempotent).
+
+        Call before closing the ingest queue so a worker exiting on queue
+        closure is not mistaken for a crash worth respawning.
+        """
+        with self._lock:
+            self._closed = True
+            self._retire_tokens = 0
+
     def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for every worker to exit (they exit when the queue closes)."""
+        """Wait for every worker ever spawned to exit."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        for worker in self.workers:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            worker.join(remaining)
+        while True:
+            with self._lock:
+                workers = list(self._all)
+            for worker in workers:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                worker.join(remaining)
+            # A respawn may have raced the join; loop until the set is
+            # stable and everything in it is dead (or the deadline hits).
+            with self._lock:
+                done = all(not w.is_alive() for w in self._all)
+            if done or (deadline is not None and time.monotonic() >= deadline):
+                return
+
+    # -- elasticity ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Logical pool size: roster minus unclaimed retire tokens."""
+        with self._lock:
+            return len(self._roster) - self._retire_tokens
+
+    def scale_to(self, n_workers: int) -> int:
+        """Converge the pool toward ``n_workers``; returns the new target.
+
+        Growth cancels pending retirements first, then spawns.  Shrinkage
+        hands out retire tokens; the pool never drops below one worker.
+        """
+        if n_workers < 1:
+            raise ValueError("cannot scale below one worker")
+        if self.max_workers is not None:
+            n_workers = min(n_workers, self.max_workers)
+        with self._lock:
+            if self._closed:
+                return len(self._roster) - self._retire_tokens
+            current = len(self._roster) - self._retire_tokens
+            if n_workers > current:
+                grow = n_workers - current
+                cancelled = min(grow, self._retire_tokens)
+                self._retire_tokens -= cancelled
+                for _ in range(grow - cancelled):
+                    self._spawn_locked()
+            elif n_workers < current:
+                self._retire_tokens += current - n_workers
+            return self._note_size_locked()
+
+    def _note_size_locked(self) -> int:
+        size = len(self._roster) - self._retire_tokens
+        if size > self.peak_size:
+            self.peak_size = size
+        if size < self.min_size:
+            self.min_size = size
+        return size
+
+    def _claim_retirement(self, worker: ScanWorker) -> bool:
+        """Worker-side poll: claim one retire token at a batch boundary."""
+        with self._lock:
+            if self._retire_tokens <= 0 or worker not in self._roster:
+                return False
+            self._retire_tokens -= 1
+            self._roster.remove(worker)
+            self.retired_total += 1
+            return True
+
+    def _on_worker_exit(self, worker: ScanWorker,
+                        crash: Optional[BaseException]) -> None:
+        """Thread-exit supervision: bookkeeping plus crash respawn."""
+        with self._lock:
+            in_roster = worker in self._roster
+            if in_roster:
+                self._roster.remove(worker)
+            if crash is None:
+                return
+            self.crashed_total += 1
+            if not in_roster or self._closed:
+                return
+            if self._retire_tokens > 0:
+                # The pool wanted to shrink anyway: the crash satisfies a
+                # pending retirement and costs no restart budget.
+                self._retire_tokens -= 1
+                self.retired_total += 1
+                return
+            if self.restarts_used < self.max_restarts:
+                self.restarts_used += 1
+                self._spawn_locked()
+            self._note_size_locked()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def workers(self) -> list[ScanWorker]:
+        """The current roster (live, non-retired workers)."""
+        with self._lock:
+            return list(self._roster)
+
+    @property
+    def breakers(self) -> list[CircuitBreaker]:
+        with self._lock:
+            return [w.breaker for w in self._roster if w.breaker is not None]
 
     @property
     def alive(self) -> int:
-        return sum(1 for worker in self.workers if worker.is_alive())
+        """OS threads still running, across every worker ever spawned."""
+        with self._lock:
+            return sum(1 for worker in self._all if worker.is_alive())
 
     @property
     def total_scanned(self) -> int:
-        return sum(worker.scanned for worker in self.workers)
+        """Scans completed, including by retired and crashed workers."""
+        with self._lock:
+            return sum(worker.scanned for worker in self._all)
 
     @property
     def all_breakers_open(self) -> bool:
@@ -243,9 +474,26 @@ class OracleWorkerPool:
         strict "no worker can possibly serve a scan" condition the service
         uses to enter degraded mode.
         """
-        if not self.breakers:
+        breakers = self.breakers
+        if not breakers:
             return False
-        return all(breaker.state == "open" for breaker in self.breakers)
+        return all(breaker.state == "open" for breaker in breakers)
 
     def breaker_stats(self) -> list[dict]:
         return [breaker.stats() for breaker in self.breakers]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._roster) - self._retire_tokens,
+                "roster": len(self._roster),
+                "peak_size": self.peak_size,
+                "min_size": self.min_size,
+                "max_workers": self.max_workers,
+                "spawned_total": self.spawned_total,
+                "retired_total": self.retired_total,
+                "crashed_total": self.crashed_total,
+                "restarts_used": self.restarts_used,
+                "max_restarts": self.max_restarts,
+                "pending_retirements": self._retire_tokens,
+            }
