@@ -1,7 +1,8 @@
 """Verdict-store persistence: warm-start scan skips and bloom-front I/O.
 
-One benchmark, emitting ``STORE_PERSISTENCE_JSON`` on stdout, measuring
-the two store claims that matter operationally:
+Two benchmarks, emitting ``STORE_PERSISTENCE_JSON`` and
+``STORE_FAST_OPEN_JSON`` on stdout, measuring the store claims that
+matter operationally:
 
 * **warm start** — a store-backed service that crawled once, shut down
   cleanly and restarted must serve (almost) every repeat creative from
@@ -11,6 +12,10 @@ the two store claims that matter operationally:
   answer from the in-memory bloom filter alone: zero segment reads, as
   counted by the store's own I/O counters, at a probe rate far beyond
   what segment I/O could sustain.
+* **fast open** — a cleanly shut-down store with persisted bloom/index
+  sidecars must reopen without replaying a single segment, at least
+  ``FAST_OPEN_SPEEDUP_FLOOR`` times faster than a full replay of the
+  same directory, with a bit-identical fingerprint either way.
 
 Set ``BENCH_SMOKE=1`` (the CI store-smoke job does) to shrink the
 workload to seconds; every correctness assertion still runs.
@@ -23,8 +28,11 @@ import json
 import os
 import time
 
+from repro.core.oracle import AdVerdict
 from repro.core.study import Study, StudyConfig
 from repro.datasets.world import WorldParams
+from repro.oracles.features import BehaviourFeatures
+from repro.oracles.wepawet import WepawetReport
 from repro.service import ScanService, ServiceConfig, stream_crawl
 from repro.store import StoreConfig, VerdictStore
 
@@ -54,6 +62,15 @@ STORE_CONFIG = StoreConfig(n_shards=4, segment_max_records=64)
 #: Warm-start acceptance: the restarted service must skip at least this
 #: fraction of the cold run's oracle scans.
 SKIP_FLOOR = 0.95
+
+#: Fast-open acceptance: sidecar open must beat full segment replay by
+#: at least this factor on a clean many-segment store.
+FAST_OPEN_SPEEDUP_FLOOR = 5.0
+
+#: Fast-open workload: enough records to seal well over 50 segments.
+FAST_OPEN_RECORDS = 500 if SMOKE else 4_000
+FAST_OPEN_CONFIG = StoreConfig(n_shards=4, segment_max_records=16)
+FAST_OPEN_REPEATS = 3
 
 
 def emit(name: str, payload: dict) -> None:
@@ -156,4 +173,104 @@ class TestStorePersistence:
                     store_stats["bloom"]["estimated_fp_rate"], 6)},
             "store": {"records": store_stats["records"],
                       "segments": store_stats["segments"]},
+        })
+
+
+def _fast_open_verdict(i: int) -> AdVerdict:
+    features = BehaviourFeatures(**{
+        name: i + j for j, name in enumerate(BehaviourFeatures.names())})
+    report = WepawetReport(
+        sample_id=f"bench-{i:06d}",
+        features=features,
+        suspicious_redirection=bool(i % 2),
+        redirection_reasons=(f"reason-{i}",),
+        driveby_heuristic=bool(i % 3 == 0),
+        heuristic_reasons=(),
+        model_detection=False,
+        model_score=(i % 100) / 100.0,
+    )
+    return AdVerdict(ad_id=f"bench-{i:06d}", wepawet=report)
+
+
+def _fast_open_key(i: int) -> str:
+    return hashlib.sha256(b"fast-open-%d" % i).hexdigest()
+
+
+def _timed_open(root, fast_open: bool):
+    """Best-of-``FAST_OPEN_REPEATS`` clean open, returning stats too."""
+    best = None
+    fingerprint = recovery = segments = None
+    config = StoreConfig(
+        n_shards=FAST_OPEN_CONFIG.n_shards,
+        segment_max_records=FAST_OPEN_CONFIG.segment_max_records,
+        fast_open=fast_open)
+    for _ in range(FAST_OPEN_REPEATS):
+        started = time.perf_counter()
+        store = VerdictStore(root, config)
+        elapsed = time.perf_counter() - started
+        try:
+            if best is None or elapsed < best:
+                best = elapsed
+            fingerprint = store.fingerprint()
+            recovery = store.recovery.to_dict()
+            segments = store.stats()["segments"]
+        finally:
+            store.close()
+    return best, fingerprint, recovery, segments
+
+
+class TestStoreFastOpen:
+    def test_sidecar_open_beats_full_replay(self, tmp_path):
+        root = tmp_path / "fast-open"
+
+        # Build a clean many-segment store, sidecars written at seal.
+        store = VerdictStore(root, StoreConfig(**vars(FAST_OPEN_CONFIG)))
+        try:
+            for i in range(FAST_OPEN_RECORDS):
+                store.put(_fast_open_key(i), _fast_open_verdict(i))
+            sidecar_writes = store.stats()["sidecar_writes"]
+        finally:
+            store.close()
+
+        fast_seconds, fast_fp, fast_recovery, segments = _timed_open(
+            root, fast_open=True)
+        replay_seconds, replay_fp, replay_recovery, _ = _timed_open(
+            root, fast_open=False)
+
+        # Fast open must really have skipped the replay, and both open
+        # paths must materialise the identical store.
+        assert fast_recovery["fast_open"] == 1
+        assert fast_recovery["segments_scanned"] == 0
+        assert fast_recovery["sidecars_used"] > 0
+        assert replay_recovery["fast_open"] == 0
+        assert replay_recovery["segments_scanned"] > 0
+        assert fast_fp == replay_fp
+
+        sealed = fast_recovery["sidecars_used"]
+        if not SMOKE:
+            assert sealed >= 50, (
+                f"workload only sealed {sealed} segments; the fast-open "
+                f"floor is meaningless below 50")
+            speedup = replay_seconds / fast_seconds
+            assert speedup >= FAST_OPEN_SPEEDUP_FLOOR, (
+                f"fast open only {speedup:.2f}x full replay "
+                f"(floor {FAST_OPEN_SPEEDUP_FLOOR:.0f}x)")
+
+        emit("STORE_FAST_OPEN_JSON", {
+            "workload": {"records": FAST_OPEN_RECORDS,
+                         "n_shards": FAST_OPEN_CONFIG.n_shards,
+                         "segment_max_records":
+                             FAST_OPEN_CONFIG.segment_max_records,
+                         "sealed_segments": sealed,
+                         "segments": segments,
+                         "sidecar_writes": sidecar_writes,
+                         "smoke": SMOKE},
+            "fast_open": {"seconds": round(fast_seconds, 4),
+                          "recovery": fast_recovery},
+            "full_replay": {"seconds": round(replay_seconds, 4),
+                            "recovery": replay_recovery},
+            "speedup": round(replay_seconds / fast_seconds, 2),
+            "floor": {"fast_open_speedup": FAST_OPEN_SPEEDUP_FLOOR,
+                      "enforced": not SMOKE},
+            "fingerprints_identical": fast_fp == replay_fp,
         })

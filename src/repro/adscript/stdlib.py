@@ -336,6 +336,9 @@ class _MathObject(HostObject):
             "PI": math.pi,
             "E": math.e,
         }
+        # Members are prebuilt and never mutated: identity-stable reads, so
+        # the VM may inline-cache lookups on this host.
+        self.publish_member_shape()
 
     def _random(self, *args: Any) -> float:
         return self._interp.host_random()
@@ -355,6 +358,7 @@ class _StringConstructor(HostObject):
             "fromCharCode",
             lambda *a: "".join(chr(int(to_js_number(c)) & 0xFFFF) for c in a),
         )
+        self.publish_member_shape()  # single prebuilt member, never mutated
 
     def get_member(self, name: str) -> Any:
         if name == "fromCharCode":
@@ -465,6 +469,10 @@ class RegExpObject(HostObject):
             self.regex = compile_pattern(pattern, flags)
         except RegexSyntaxError as exc:
             raise _Err(f"invalid RegExp: {exc}") from exc
+        # The compiled regex is immutable, so members memoize on first read
+        # (identity-stable bound methods) and the host can publish a shape.
+        self._members: dict = {}
+        self.publish_member_shape()
 
     def _exec(self, *args: Any) -> Any:
         text = to_js_string(args[0]) if args else "undefined"
@@ -489,18 +497,24 @@ class RegExpObject(HostObject):
             raise _Err(str(exc)) from exc
 
     def get_member(self, name: str) -> Any:
+        value = self._members.get(name)
+        if value is not None:
+            return value
         if name == "test":
-            return NativeFunction("test", lambda *a: self._search_guarded(
+            value = NativeFunction("test", lambda *a: self._search_guarded(
                 to_js_string(a[0]) if a else "undefined") is not None)
-        if name == "exec":
-            return NativeFunction("exec", self._exec)
-        if name == "source":
-            return self.regex.pattern
-        if name == "global":
-            return self.regex.global_
-        if name == "ignoreCase":
-            return self.regex.ignore_case
-        return UNDEFINED
+        elif name == "exec":
+            value = NativeFunction("exec", self._exec)
+        elif name == "source":
+            value = self.regex.pattern
+        elif name == "global":
+            value = self.regex.global_
+        elif name == "ignoreCase":
+            value = self.regex.ignore_case
+        else:
+            return UNDEFINED
+        self._members[name] = value
+        return value
 
     def member_names(self) -> list[str]:
         return ["test", "exec", "source", "global", "ignoreCase"]
@@ -525,23 +539,34 @@ class _DateObject(HostObject):
 
     def __init__(self, timestamp_ms: float) -> None:
         self.timestamp_ms = float(timestamp_ms)
+        # The timestamp is fixed at construction, so accessors memoize on
+        # first read (lazily: most Dates are cache-busters that touch one or
+        # two members) and the host publishes a shape for the VM's ICs.
+        self._members: dict = {}
+        self.publish_member_shape()
 
     def get_member(self, name: str) -> Any:
+        value = self._members.get(name)
+        if value is not None:
+            return value
         if name == "getTime" or name == "valueOf":
-            return NativeFunction(name, lambda *a: self.timestamp_ms)
-        if name == "getFullYear":
-            return NativeFunction(name, lambda *a: 2014.0)
-        if name == "getMonth":
-            return NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 2_592_000_000) % 12))
-        if name == "getDate":
-            return NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 86_400_000) % 28 + 1))
-        if name == "getHours":
-            return NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 3_600_000) % 24))
-        if name == "getDay":
-            return NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 86_400_000) % 7))
-        if name == "toString":
-            return NativeFunction(name, lambda *a: f"[Date {format_number(self.timestamp_ms)}]")
-        return UNDEFINED
+            value = NativeFunction(name, lambda *a: self.timestamp_ms)
+        elif name == "getFullYear":
+            value = NativeFunction(name, lambda *a: 2014.0)
+        elif name == "getMonth":
+            value = NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 2_592_000_000) % 12))
+        elif name == "getDate":
+            value = NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 86_400_000) % 28 + 1))
+        elif name == "getHours":
+            value = NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 3_600_000) % 24))
+        elif name == "getDay":
+            value = NativeFunction(name, lambda *a: float(int(self.timestamp_ms / 86_400_000) % 7))
+        elif name == "toString":
+            value = NativeFunction(name, lambda *a: f"[Date {format_number(self.timestamp_ms)}]")
+        else:
+            return UNDEFINED
+        self._members[name] = value
+        return value
 
     def member_names(self) -> list[str]:
         return ["getTime", "getFullYear", "getMonth", "getDate", "getHours"]
@@ -562,6 +587,8 @@ class _DateConstructor(HostObject):
 
     def __init__(self, interp: "Interpreter") -> None:
         self._interp = interp
+        self._now = NativeFunction("now", lambda *a: float(interp.host_time()))
+        self.publish_member_shape()  # single prebuilt static member
 
     def __call__(self, *args: Any) -> Any:
         if args:
@@ -570,7 +597,7 @@ class _DateConstructor(HostObject):
 
     def get_member(self, name: str) -> Any:
         if name == "now":
-            return NativeFunction("now", lambda *a: float(self._interp.host_time()))
+            return self._now
         return UNDEFINED
 
     def member_names(self) -> list[str]:
@@ -626,14 +653,19 @@ def _json_parse(text: str) -> Any:
 class _JsonObject(HostObject):
     host_name = "JSON"
 
+    def __init__(self) -> None:
+        self._members = {
+            "stringify": NativeFunction(
+                "stringify", lambda *a: _json_stringify(a[0]) if a else "undefined"
+            ),
+            "parse": NativeFunction(
+                "parse", lambda *a: _json_parse(to_js_string(a[0])) if a else UNDEFINED
+            ),
+        }
+        self.publish_member_shape()  # prebuilt members, never mutated
+
     def get_member(self, name: str) -> Any:
-        if name == "stringify":
-            return NativeFunction("stringify",
-                                  lambda *a: _json_stringify(a[0]) if a else "undefined")
-        if name == "parse":
-            return NativeFunction("parse",
-                                  lambda *a: _json_parse(to_js_string(a[0])) if a else UNDEFINED)
-        return UNDEFINED
+        return self._members.get(name, UNDEFINED)
 
     def member_names(self) -> list[str]:
         return ["stringify", "parse"]

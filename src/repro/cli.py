@@ -199,7 +199,7 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
         print(f"disasm: cannot read {args.script}: {exc}")
         return 1
     try:
-        code = compile_source(source)
+        code = compile_source(source, fuse=not args.raw)
     except AdScriptError as exc:
         print(f"disasm: {type(exc).__name__}: {exc}")
         return 1
@@ -464,6 +464,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"compile cache:  {cache_name} {cc['hits']}/{lookups} hits "
                   f"(hit rate {cc['hit_rate']:.1%}, "
                   f"size {cc['size']}/{cc['capacity']})")
+        hotpath = stats.get("vm_hotpath", {})
+        if any(hotpath.values()):
+            ic_lookups = hotpath.get("ic_hits", 0) + hotpath.get(
+                "ic_misses", 0)
+            ic_rate = (hotpath.get("ic_hits", 0) / ic_lookups
+                       if ic_lookups else 0.0)
+            print(f"vm hot path:    "
+                  f"{hotpath.get('superinstructions_executed', 0)} "
+                  f"superinstructions, {hotpath.get('ic_hits', 0)}/"
+                  f"{ic_lookups} inline-cache hits "
+                  f"(hit rate {ic_rate:.1%})")
         print(f"coalesced:      {counters.get('coalesced', 0)}")
         print(f"rejected:       {counters.get('rejected', 0)}")
         print(f"batch size:     mean {batch.get('mean', 0.0):.1f} "
@@ -491,6 +502,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"store hits:     {counters.get('store_hits', 0)} "
                   f"(bloom answered {bloom['negatives']} never-seen probes "
                   f"with zero I/O, hit ratio {bloom['hit_ratio']:.1%})")
+            recovery = store_stats["recovery"]
+            if recovery.get("fast_open"):
+                print(f"store open:     fast "
+                      f"({recovery.get('sidecars_used', 0)} sidecars, "
+                      f"0 segments replayed)")
         if service.autoscaler is not None:
             scaler = stats["autoscaler"]
             print(f"autoscaler:     {scaler['scale_ups']} scale-ups, "
@@ -533,13 +549,19 @@ def _cmd_store(args: argparse.Namespace) -> int:
                  if recovery.truncated_tails else "")
               + (f", {recovery.quarantined_records} records quarantined"
                  if recovery.quarantined_records else "")
-              + (", manifest rebuilt" if recovery.manifest_rebuilt else ""))
+              + (", manifest rebuilt" if recovery.manifest_rebuilt else "")
+              + (f" (fast open: {recovery.sidecars_used} sidecars)"
+                 if recovery.fast_open else ""))
         if args.action == "fsck":
             report = store.fsck()
             print(f"fsck: {report.records} records in "
                   f"{report.sealed_segments} sealed + "
                   f"{report.open_segments} open segments, "
                   f"{report.live_records} live")
+            print(f"fsck: sidecars {report.sidecars_ok} ok, "
+                  f"{report.sidecars_missing} missing, "
+                  f"{report.sidecars_stale} stale, "
+                  f"{report.sidecars_corrupt} corrupt")
             for problem in report.problems:
                 print(f"  {problem}")
             if report.clean:
@@ -552,6 +574,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 1
         # compact
         before = store.fingerprint()
+        sidecars_before = store.sidecar_writes
         report = store.compact()
         assert store.fingerprint() == before, \
             "compaction changed the live contents"
@@ -560,6 +583,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
               f"{report.shards_compacted} shards "
               f"({report.records_kept} records kept, "
               f"{report.superseded_dropped} superseded dropped)")
+        print(f"compact: {store.sidecar_writes - sidecars_before} sidecars "
+              f"regenerated for fast reopen"
+              + (f" ({store.sidecar_write_failures} write failures)"
+                 if store.sidecar_write_failures else ""))
         return 0
     finally:
         store.close()
@@ -616,6 +643,9 @@ def build_parser() -> argparse.ArgumentParser:
         "disasm", help="compile an AdScript file and print its bytecode")
     disasm.add_argument("script", metavar="FILE.js",
                         help="AdScript source file to disassemble")
+    disasm.add_argument("--raw", action="store_true",
+                        help="show the pre-fusion stream (no "
+                             "superinstructions)")
     disasm.set_defaults(fn=_cmd_disasm)
 
     serve = sub.add_parser(

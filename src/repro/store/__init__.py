@@ -12,16 +12,20 @@ zero I/O.  See :mod:`repro.store.segment` for the on-disk format and
 from repro.store.segment import (
     OPEN_SUFFIX,
     SEALED_SUFFIX,
+    SIDECAR_SUFFIX,
     TMP_SUFFIX,
     RecordRef,
     SegmentError,
     SegmentScan,
     decode_record,
+    decode_sidecar,
     encode_record,
     encode_seal,
+    encode_sidecar,
     record_checksum,
     scan_segment,
     seal_checksum,
+    sidecar_path,
 )
 from repro.store.store import (
     CompactionReport,
@@ -40,6 +44,7 @@ __all__ = [
     "RecordRef",
     "RecoveryReport",
     "SEALED_SUFFIX",
+    "SIDECAR_SUFFIX",
     "SegmentError",
     "SegmentScan",
     "StoreConfig",
@@ -48,9 +53,12 @@ __all__ = [
     "TMP_SUFFIX",
     "VerdictStore",
     "decode_record",
+    "decode_sidecar",
     "encode_record",
     "encode_seal",
+    "encode_sidecar",
     "record_checksum",
     "scan_segment",
     "seal_checksum",
+    "sidecar_path",
 ]

@@ -43,6 +43,11 @@ from repro.core.persistence import FORMAT_VERSION, check_format_version
 SEALED_SUFFIX = ".jsonl"
 OPEN_SUFFIX = ".open"
 TMP_SUFFIX = ".tmp"
+#: Per-segment bloom/index sidecar, written beside a sealed segment at
+#: seal/compaction time (``seg-NNNNNN.idx``).  Purely an accelerator: a
+#: clean warm open loads sidecars instead of replaying segment bytes, and
+#: ANY missing/stale/corrupt sidecar falls the store back to full replay.
+SIDECAR_SUFFIX = ".idx"
 
 
 class SegmentError(ValueError):
@@ -128,6 +133,99 @@ def decode_record(line: bytes) -> dict:
             f"record checksum mismatch (stored {data.get('checksum')!r}, "
             f"computed {expected!r})")
     return data
+
+
+def sidecar_path(segment_path: str) -> str:
+    """The sidecar path for a sealed segment path."""
+    if not segment_path.endswith(SEALED_SUFFIX):
+        raise ValueError(f"not a sealed segment path: {segment_path!r}")
+    return segment_path[: -len(SEALED_SUFFIX)] + SIDECAR_SUFFIX
+
+
+def encode_sidecar(segment_name: str, segment_bytes: int, seal: str,
+                   records: list, bloom_positions: list[int],
+                   n_bits: int, n_hashes: int) -> bytes:
+    """Serialize one segment's bloom/index sidecar.
+
+    ``records`` rows are ``[content_hash, offset, length, seq, checksum]``
+    in file order; ``bloom_positions`` are the sorted, deduplicated global-
+    bloom bit positions of every record hash under the ``n_bits``/
+    ``n_hashes`` geometry (sparse form, so a warm open ORs them into the
+    store bloom without re-hashing a single key).
+
+    Layout is a checksummed header line followed by one canonical body
+    line.  The header records the sealed segment's identity (name, byte
+    size, seal checksum) so a reader can detect a sidecar that no longer
+    describes the file sitting next to it.
+    """
+    body = json.dumps(
+        {"records": records, "bloom": bloom_positions},
+        sort_keys=True, separators=(",", ":")).encode("utf-8")
+    header = {
+        "version": FORMAT_VERSION,
+        "kind": "sidecar",
+        "segment": segment_name,
+        "segment_bytes": segment_bytes,
+        "seal": seal,
+        "n_records": len(records),
+        "bloom_bits": n_bits,
+        "bloom_hashes": n_hashes,
+        "checksum": hashlib.sha256(body).hexdigest()[:16],
+    }
+    return (json.dumps(header, sort_keys=True) + "\n").encode("utf-8") + \
+        body + b"\n"
+
+
+def decode_sidecar(data: bytes) -> dict:
+    """Parse and *verify* a sidecar; raises :class:`SegmentError`.
+
+    Returns the header dict with the verified ``records`` and ``bloom``
+    lists merged in.  Verification covers the body checksum and the shape
+    of every row — a sidecar that fails here must be ignored (and the
+    store opened by full replay), never trusted partially.
+    """
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise SegmentError("sidecar has no header line")
+    try:
+        header = json.loads(data[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SegmentError(f"unparseable sidecar header: {exc}") from None
+    if not isinstance(header, dict):
+        raise SegmentError("sidecar header is not an object")
+    check_format_version(header, what="verdict store sidecar")
+    if header.get("kind") != "sidecar":
+        raise SegmentError(f"unknown sidecar kind {header.get('kind')!r}")
+    body = data[newline + 1:]
+    if body.endswith(b"\n"):
+        body = body[:-1]
+    if hashlib.sha256(body).hexdigest()[:16] != header.get("checksum"):
+        raise SegmentError("sidecar body checksum mismatch")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SegmentError(f"unparseable sidecar body: {exc}") from None
+    records = payload.get("records")
+    bloom = payload.get("bloom")
+    if not isinstance(records, list) or not isinstance(bloom, list):
+        raise SegmentError("sidecar body missing records/bloom")
+    if header.get("n_records") != len(records):
+        raise SegmentError("sidecar record count mismatch")
+    for row in records:
+        if (not isinstance(row, list) or len(row) != 5
+                or not isinstance(row[0], str)
+                or not isinstance(row[1], int)
+                or not isinstance(row[2], int)
+                or not isinstance(row[3], int)
+                or not isinstance(row[4], str)):
+            raise SegmentError("malformed sidecar record row")
+    for position in bloom:
+        if not isinstance(position, int) or position < 0:
+            raise SegmentError("malformed sidecar bloom position")
+    result = dict(header)
+    result["records"] = records
+    result["bloom"] = bloom
+    return result
 
 
 @dataclass

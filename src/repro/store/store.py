@@ -71,11 +71,16 @@ from repro.store.segment import (
     SEALED_SUFFIX,
     TMP_SUFFIX,
     SegmentError,
+    SegmentScan,
     decode_record,
+    decode_sidecar,
     encode_record,
     encode_seal,
+    encode_sidecar,
     record_checksum,
     scan_segment,
+    seal_checksum,
+    sidecar_path,
 )
 
 PathLike = Union[str, Path]
@@ -111,6 +116,12 @@ class StoreConfig:
     #: Bloom front sizing.
     bloom_capacity: int = 1_000_000
     bloom_fp_rate: float = 0.01
+    #: Reopen from per-segment bloom/index sidecars when the last
+    #: shutdown was clean and every sealed segment has a fresh sidecar
+    #: (O(1) I/O per record instead of a full segment replay).  Any
+    #: anomaly — a missing, stale, or corrupt sidecar, an ``.open`` or
+    #: ``.tmp`` file, a rebuilt manifest — falls back to full replay.
+    fast_open: bool = True
 
 
 @dataclass
@@ -137,6 +148,13 @@ class RecoveryReport:
     duplicates_skipped: int = 0
     #: Manifests rebuilt from the shard directories after a torn write.
     manifest_rebuilt: int = 0
+    #: 1 when this open was served entirely from sidecars (no segment
+    #: was read; ``segments_scanned`` stays 0 on this path).
+    fast_open: int = 0
+    #: Sidecars loaded by a fast open.
+    sidecars_used: int = 0
+    #: Missing/stale sidecars rewritten during a full replay.
+    sidecars_healed: int = 0
 
     def to_dict(self) -> dict:
         return dict(vars(self))
@@ -170,6 +188,13 @@ class FsckReport:
     invalid_seals: int = 0
     torn_tails: int = 0
     torn_bytes: int = 0
+    #: Sidecar health (accelerator files; they never hold data a segment
+    #: does not, so they do not affect :attr:`clean` — a bad one only
+    #: costs the next open a full replay).
+    sidecars_ok: int = 0
+    sidecars_missing: int = 0
+    sidecars_stale: int = 0
+    sidecars_corrupt: int = 0
     problems: list = field(default_factory=list)
 
     @property
@@ -208,8 +233,8 @@ class _Shard:
 
     __slots__ = ("index", "directory", "next_seq", "next_segment",
                  "active", "active_file", "active_records",
-                 "active_checksums", "active_length", "unsynced",
-                 "sealed_files")
+                 "active_checksums", "active_entries", "active_length",
+                 "unsynced", "sealed_files")
 
     def __init__(self, index: int, directory: str) -> None:
         self.index = index
@@ -220,6 +245,9 @@ class _Shard:
         self.active_file: Optional[_SegmentFile] = None
         self.active_records = 0
         self.active_checksums: list[str] = []
+        #: ``[content_hash, offset, length, seq, checksum]`` per record in
+        #: the active segment — the sidecar rows written when it seals.
+        self.active_entries: list[list] = []
         self.active_length = 0
         self.unsynced = 0
         self.sealed_files: list[_SegmentFile] = []
@@ -256,6 +284,8 @@ class VerdictStore:
         self.segment_reads = 0
         self.read_errors = 0
         self.compactions = 0
+        self.sidecar_writes = 0
+        self.sidecar_write_failures = 0
         self._load_manifest()
         self._shards = [
             _Shard(i, str(self.root / f"shard-{i:02d}"))
@@ -332,6 +362,8 @@ class VerdictStore:
     # -- recovery ------------------------------------------------------------
 
     def _recover(self) -> None:
+        if self._try_fast_open():
+            return
         for shard in self._shards:
             self._fs.mkdir(shard.directory)
             replay: list[tuple[str, _IndexEntry]] = []
@@ -361,6 +393,90 @@ class VerdictStore:
                                        resume=True))
             self._replay(shard, replay)
 
+    def _try_fast_open(self) -> bool:
+        """Warm open from sidecars alone; ``False`` means full replay.
+
+        Eligibility is strict: the manifest must not have been rebuilt,
+        no shard may hold an ``.open`` or ``.tmp`` file (i.e. the last
+        shutdown was clean), and every sealed segment needs a sidecar
+        that decodes, matches the segment's byte size, and was built
+        under this store's bloom geometry.  Validation is two-phase —
+        nothing is committed until every shard has passed — so a
+        ``False`` return leaves the store untouched for the replay path.
+
+        The trust model matches sealed segments: the sidecar's own
+        checksum is verified here, while record bytes are re-verified
+        against their checksums at :meth:`get` time (rot is served as a
+        miss, never as data).  :meth:`fsck` and full replay remain the
+        thorough paths.
+        """
+        if not self.config.fast_open or self.recovery.manifest_rebuilt:
+            return False
+        n_bits = self._bloom.n_bits
+        validated: list[tuple[_Shard, list[tuple[int, str, dict]]]] = []
+        for shard in self._shards:
+            self._fs.mkdir(shard.directory)
+            segments: list[tuple[int, str, dict]] = []
+            for name in self._fs.listdir(shard.directory):
+                if name.endswith(TMP_SUFFIX) or name.endswith(OPEN_SUFFIX):
+                    return False  # repair work exists; replay handles it
+                seg_no = _segment_number(name)
+                if seg_no is None:
+                    continue  # sidecars themselves, foreign files
+                path = str(Path(shard.directory) / name)
+                try:
+                    side = decode_sidecar(
+                        self._fs.read_bytes(sidecar_path(path)))
+                    size = self._fs.size(path)
+                except (OSError, SegmentError):
+                    return False
+                if (side["segment"] != name
+                        or side["segment_bytes"] != size
+                        or side["bloom_bits"] != n_bits
+                        or side["bloom_hashes"] != self._bloom.n_hashes
+                        or (side["bloom"] and max(side["bloom"]) >= n_bits)):
+                    return False
+                segments.append((seg_no, path, side))
+            validated.append((shard, segments))
+        # Commit: every sidecar verified.  Build the index with the same
+        # seq-ordered, duplicate-skipping, latest-wins discipline as
+        # :meth:`_replay` — without reading a single segment file — and
+        # OR the sidecars' sparse bit positions straight into the bloom
+        # instead of re-hashing every key.
+        bits = self._bloom._bits
+        for shard, segments in validated:
+            replay: list[tuple[str, _IndexEntry]] = []
+            for seg_no, path, side in segments:
+                shard.next_segment = max(shard.next_segment, seg_no + 1)
+                segment = _SegmentFile(path)
+                shard.sealed_files.append(segment)
+                for h, offset, length, seq, checksum in side["records"]:
+                    replay.append((h, _IndexEntry(segment, offset, length,
+                                                  seq, checksum)))
+                for position in side["bloom"]:
+                    bits[position >> 3] |= 1 << (position & 7)
+                self.recovery.sidecars_used += 1
+            replay.sort(key=lambda item: (item[1].seq, item[0]))
+            seen_seqs: set[int] = set()
+            for content_hash, entry in replay:
+                if entry.seq in seen_seqs:
+                    self.recovery.duplicates_skipped += 1
+                    continue
+                seen_seqs.add(entry.seq)
+                if content_hash in self._index:
+                    self.superseded += 1
+                self._index[content_hash] = entry
+                self.recovery.records_replayed += 1
+                shard.next_seq = max(shard.next_seq, entry.seq + 1)
+        # Sidecar positions cover every record ever sealed (superseded
+        # keys included) — a superset of replay's live-only adds, which
+        # costs a few extra set bits and nothing else.  n_added only
+        # feeds the fp-rate estimate, so the live count is the honest
+        # figure.
+        self._bloom.n_added = len(self._index)
+        self.recovery.fast_open = 1
+        return True
+
     def _recover_sealed(self, shard: _Shard,
                         path: str) -> list[tuple[str, _IndexEntry]]:
         scan = scan_segment(self._fs.read_bytes(path), path, sealed=True)
@@ -372,9 +488,50 @@ class VerdictStore:
             self.recovery.invalid_seals += 1
         segment = _SegmentFile(path)
         shard.sealed_files.append(segment)
+        if scan.seal_valid and not scan.corrupt:
+            # Full replay self-heals: a segment that verified end-to-end
+            # earns a fresh sidecar, so the *next* open can be fast.
+            if self._heal_sidecar(path, scan) != "fresh":
+                self.recovery.sidecars_healed += 1
+        else:
+            # A damaged segment must never be fast-opened from a sidecar
+            # that no longer tells the truth about it.
+            try:
+                self._fs.remove(sidecar_path(path))
+            except OSError:
+                pass
         return [(h, _IndexEntry(segment, r.offset, r.length, r.seq,
                                 r.checksum))
                 for h, r in scan.records]
+
+    def _heal_sidecar(self, path: str, scan: SegmentScan) -> str:
+        """Ensure a verified sealed segment's sidecar is fresh.
+
+        Returns ``"fresh"``, ``"stale"`` or ``"missing"``; a non-fresh
+        sidecar is rewritten from the scan (best-effort).
+        """
+        checksums = [r.checksum for _, r in scan.records]
+        seal = seal_checksum(checksums)
+        state = "missing"
+        try:
+            side = decode_sidecar(self._fs.read_bytes(sidecar_path(path)))
+        except OSError:
+            side = None
+        except SegmentError:
+            side = None
+            state = "stale"
+        if side is not None:
+            if (side.get("seal") == seal
+                    and side.get("segment_bytes") == scan.size
+                    and side.get("bloom_bits") == self._bloom.n_bits
+                    and side.get("bloom_hashes") == self._bloom.n_hashes):
+                return "fresh"
+            state = "stale"
+        self._write_sidecar(
+            path, checksums,
+            [[h, r.offset, r.length, r.seq, r.checksum]
+             for h, r in scan.records])
+        return state
 
     def _recover_open(self, shard: _Shard, path: str,
                       resume: bool) -> list[tuple[str, _IndexEntry]]:
@@ -386,6 +543,8 @@ class VerdictStore:
             self.recovery.bytes_discarded += scan.bytes_torn
         segment = _SegmentFile(path)
         checksums = [r.checksum for _, r in scan.records]
+        entries = [[h, r.offset, r.length, r.seq, r.checksum]
+                   for h, r in scan.records]
         if scan.footer_at is not None and scan.seal_valid:
             # Sealed but never renamed: finish the commit now.
             sealed_path = path[: -len(OPEN_SUFFIX)] + SEALED_SUFFIX
@@ -393,8 +552,9 @@ class VerdictStore:
             segment.path = sealed_path
             shard.sealed_files.append(segment)
             self.recovery.late_seals += 1
+            self._write_sidecar(sealed_path, checksums, entries)
         elif not resume:
-            self._seal(shard, segment, checksums)
+            self._seal(shard, segment, checksums, entries)
         else:
             if scan.footer_at is not None:
                 # A footer that does not verify is damage; drop it and
@@ -403,6 +563,7 @@ class VerdictStore:
             shard.active_file = segment
             shard.active_records = len(scan.records)
             shard.active_checksums = checksums
+            shard.active_entries = entries
             shard.active_length = (scan.footer_at
                                    if scan.footer_at is not None else
                                    (scan.torn_at if scan.torn_at is not None
@@ -515,6 +676,8 @@ class VerdictStore:
             shard.next_seq = seq + 1
             shard.active_records += 1
             shard.active_checksums.append(checksum)
+            shard.active_entries.append(
+                [content_hash, offset, len(line), seq, checksum])
             shard.active_length += len(line)
             shard.unsynced += 1
             if shard.unsynced >= self.config.fsync_every:
@@ -549,6 +712,7 @@ class VerdictStore:
         shard.active_file = _SegmentFile(str(Path(shard.directory) / name))
         shard.active_records = 0
         shard.active_checksums = []
+        shard.active_entries = []
         shard.active_length = 0
         shard.unsynced = 0
 
@@ -571,7 +735,8 @@ class VerdictStore:
         if segment is None or shard.active_records == 0:
             return
         try:
-            self._seal(shard, segment, shard.active_checksums)
+            self._seal(shard, segment, shard.active_checksums,
+                       shard.active_entries)
         except OSError:
             self.seal_failures += 1
             if not best_effort:
@@ -581,11 +746,13 @@ class VerdictStore:
         shard.active_file = None
         shard.active_records = 0
         shard.active_checksums = []
+        shard.active_entries = []
         shard.active_length = 0
         shard.unsynced = 0
 
     def _seal(self, shard: _Shard, segment: _SegmentFile,
-              checksums: list[str]) -> None:
+              checksums: list[str],
+              entries: Optional[list[list]] = None) -> None:
         """Footer → fsync → rename: the append-only commit point."""
         footer = encode_seal(checksums)
         self._fs.append(segment.path, footer)
@@ -595,6 +762,39 @@ class VerdictStore:
         segment.path = sealed_path
         shard.sealed_files.append(segment)
         self.seals += 1
+        if entries is not None:
+            self._write_sidecar(sealed_path, checksums, entries)
+
+    def _write_sidecar(self, sealed_path: str, checksums: list[str],
+                       entries: list[list]) -> None:
+        """Persist a sealed segment's bloom/index sidecar (best-effort).
+
+        Failures are swallowed on purpose: the sidecar is a pure
+        accelerator, a missing one merely costs the next open a full
+        replay, and raising here would fail a seal whose commit point
+        (the rename) has already passed.
+        """
+        try:
+            positions: set[int] = set()
+            for row in entries:
+                positions.update(self._bloom._positions(row[0]))
+            data = encode_sidecar(
+                Path(sealed_path).name,
+                self._fs.size(sealed_path),
+                seal_checksum(checksums),
+                entries,
+                sorted(positions),
+                self._bloom.n_bits,
+                self._bloom.n_hashes,
+            )
+            target = sidecar_path(sealed_path)
+            tmp = target + TMP_SUFFIX
+            self._fs.write_bytes(tmp, data)
+            self._fs.fsync(tmp)
+            self._fs.replace(tmp, target)
+            self.sidecar_writes += 1
+        except OSError:
+            self.sidecar_write_failures += 1
 
     # -- compaction ----------------------------------------------------------
 
@@ -627,13 +827,19 @@ class VerdictStore:
             if e.segment in folded]
         live.sort(key=lambda item: item[1].seq)
         total_records = 0
+        scans: list[SegmentScan] = []
         for segment in folded:
             scan = scan_segment(self._fs.read_bytes(segment.path),
                                 segment.path, sealed=True)
+            scans.append(scan)
             total_records += len(scan.records)
         dead = total_records - len(live)
         if len(folded) == 1 and dead == 0:
-            return  # already one fully-live sealed segment
+            # Already one fully-live sealed segment — but compaction
+            # still guarantees a fresh sidecar so the next open is fast.
+            if scans[0].seal_valid and not scans[0].corrupt:
+                self._heal_sidecar(folded[0].path, scans[0])
+            return
         # Re-materialise the surviving records byte-for-byte.
         chunks: list[bytes] = []
         checksums: list[str] = []
@@ -660,11 +866,19 @@ class VerdictStore:
         for content_hash, new_offset, length, entry in new_entries:
             self._index[content_hash] = _IndexEntry(
                 new_segment, new_offset, length, entry.seq, entry.checksum)
+        self._write_sidecar(
+            final, checksums,
+            [[h, off, length, e.seq, e.checksum]
+             for h, off, length, e in new_entries])
         for segment in folded:
             try:
                 self._fs.remove(segment.path)
             except OSError:
                 report.remove_failures += 1
+            try:
+                self._fs.remove(sidecar_path(segment.path))
+            except OSError:
+                pass  # usually just missing; orphan sidecars are inert
         shard.sealed_files = [new_segment]
         report.shards_compacted += 1
         report.segments_folded += len(folded)
@@ -701,6 +915,7 @@ class VerdictStore:
                         for offset, _ in scan.corrupt:
                             report.problems.append(
                                 f"{path}: corrupt record at byte {offset}")
+                        self._fsck_sidecar(path, scan, report)
                     else:
                         report.open_segments += 1
                         if scan.torn_at is not None:
@@ -710,6 +925,36 @@ class VerdictStore:
                                 f"{path}: torn tail at byte {scan.torn_at} "
                                 f"({scan.bytes_torn} bytes)")
         return report
+
+    def _fsck_sidecar(self, path: str, scan: SegmentScan,
+                      report: FsckReport) -> None:
+        """Verify one sealed segment's sidecar against the segment just
+        scanned (sidecar problems are reported but never unclean — see
+        :class:`FsckReport`)."""
+        try:
+            raw = self._fs.read_bytes(sidecar_path(path))
+        except OSError:
+            report.sidecars_missing += 1
+            report.problems.append(
+                f"{path}: no sidecar (next open replays this segment)")
+            return
+        try:
+            side = decode_sidecar(raw)
+        except SegmentError as exc:
+            report.sidecars_corrupt += 1
+            report.problems.append(f"{path}: corrupt sidecar: {exc}")
+            return
+        seal = seal_checksum([r.checksum for _, r in scan.records])
+        if (side.get("seal") != seal
+                or side.get("segment_bytes") != scan.size
+                or side.get("bloom_bits") != self._bloom.n_bits
+                or side.get("bloom_hashes") != self._bloom.n_hashes):
+            report.sidecars_stale += 1
+            report.problems.append(
+                f"{path}: stale sidecar (segment changed since it was "
+                f"written)")
+        else:
+            report.sidecars_ok += 1
 
     def fingerprint(self) -> str:
         """A stable hash over the live index (hash, seq, checksum).
@@ -781,6 +1026,8 @@ class VerdictStore:
                 "segment_reads": self.segment_reads,
                 "read_errors": self.read_errors,
                 "compactions": self.compactions,
+                "sidecar_writes": self.sidecar_writes,
+                "sidecar_write_failures": self.sidecar_write_failures,
                 "bloom": {
                     "negatives": self.bloom_negatives,
                     "false_positives": self.bloom_false_positives,

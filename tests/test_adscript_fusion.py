@@ -1,0 +1,231 @@
+"""Differentials for the VM warm-path pass: superinstructions + inline caches.
+
+Fusion's contract mirrors the VM-vs-tree contract one level down: with
+``REPRO_ADSCRIPT_FUSION=off`` the compiler emits the plain stream, and
+the fused stream must be observably indistinguishable from it —
+identical outcomes, side-effect traces, and step counters across the
+parity corpus at every budget, and bit-identical corpus+verdict
+fingerprints over the full streamed pipeline, serial and at 4 crawl
+workers in both modes.
+
+Inline caches carry the analogous contract for member reads: a host
+that publishes a shape token serves repeat reads from the per-site
+cache, a shape rotation (member write) invalidates it, and hosts that
+publish nothing — plus any run under ``caches_disabled()`` — see every
+single ``get_member`` call exactly as before.
+"""
+
+import os
+
+import pytest
+
+from repro.adscript.bytecode import compile_source, disassemble
+from repro.adscript.interpreter import Interpreter
+from repro.adscript.values import UNDEFINED, HostObject
+from repro.adscript.vm import hotpath_stats
+from repro.crawler.parallel import fork_available
+from repro.util.lru import caches_disabled, clear_all_caches
+
+from tests.test_adscript_vm import (
+    PARITY_SCRIPTS,
+    _run_pipeline_engine,
+    run_engine,
+    sweep_budgets,
+)
+
+MODES = ["thread"] + (["process"] if fork_available() else [])
+
+FUSION_ENV = "REPRO_ADSCRIPT_FUSION"
+
+
+class _fusion:
+    """Context manager flipping the fusion env var (and the compile cache)."""
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+
+    def __enter__(self):
+        self.previous = os.environ.get(FUSION_ENV)
+        os.environ[FUSION_ENV] = "on" if self.enabled else "off"
+        clear_all_caches()
+
+    def __exit__(self, *exc):
+        if self.previous is None:
+            os.environ.pop(FUSION_ENV, None)
+        else:
+            os.environ[FUSION_ENV] = self.previous
+        clear_all_caches()
+
+
+def run_fused(source, enabled, budget=500_000):
+    with _fusion(enabled):
+        return run_engine("bytecode", source, budget=budget)
+
+
+# -- corpus differential ------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(PARITY_SCRIPTS))
+def test_fusion_parity(name):
+    """Fused and unfused streams are observably identical at every budget."""
+    source = PARITY_SCRIPTS[name]
+    fused = run_fused(source, True)
+    plain = run_fused(source, False)
+    assert fused[0] == plain[0], f"outcome diverged on:\n{source}"
+    assert fused[1] == plain[1], f"trace diverged on:\n{source}"
+    assert fused[2] == plain[2], f"step count diverged on:\n{source}"
+    for budget in sweep_budgets(plain[2]):
+        f_out, f_trace, _ = run_fused(source, True, budget=budget)
+        p_out, p_trace, _ = run_fused(source, False, budget=budget)
+        assert f_out == p_out, (
+            f"outcome diverged at budget {budget} on:\n{source}")
+        assert f_trace == p_trace, (
+            f"trace diverged at budget {budget} on:\n{source}")
+
+
+# -- full-pipeline differential -----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fused_serial_baseline():
+    with _fusion(True):
+        before = hotpath_stats()["superinstructions_executed"]
+        fingerprint, verdicts, _ = _run_pipeline_engine("bytecode", 1, None)
+        executed = hotpath_stats()["superinstructions_executed"] - before
+    assert verdicts
+    # The differential is meaningless if the fused run never actually
+    # dispatched a superinstruction.
+    assert executed > 0
+    return fingerprint, verdicts
+
+
+class TestPipelineFusionDifferential:
+    def test_unfused_serial_matches(self, fused_serial_baseline):
+        with _fusion(False):
+            before = hotpath_stats()["superinstructions_executed"]
+            fingerprint, verdicts, _ = _run_pipeline_engine(
+                "bytecode", 1, None)
+            executed = hotpath_stats()["superinstructions_executed"] - before
+        assert executed == 0  # fusion off really compiled the plain stream
+        assert (fingerprint, verdicts) == fused_serial_baseline
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_unfused_four_workers_matches(self, fused_serial_baseline, mode):
+        with _fusion(False):
+            fingerprint, verdicts, _ = _run_pipeline_engine(
+                "bytecode", 4, mode)
+        assert (fingerprint, verdicts) == fused_serial_baseline
+
+
+# -- inline caches ------------------------------------------------------------
+
+
+class CountingHost(HostObject):
+    """Host with observable member traffic and an optional shape token."""
+
+    host_name = "CountingHost"
+
+    def __init__(self, publish=True, **members):
+        self.members = dict(members)
+        self.reads = 0
+        if publish:
+            self.publish_member_shape()
+
+    def get_member(self, name):
+        self.reads += 1
+        return self.members.get(name, UNDEFINED)
+
+    def set_member(self, name, value):
+        self.members[name] = value
+        if self._member_shape is not None:
+            self.publish_member_shape()
+
+
+IC_SCRIPT = """
+var a = 0;
+for (var i = 0; i < 50; i++) { a = a + h.x; }
+h.x = 5;
+var b = 0;
+for (var i = 0; i < 50; i++) { b = b + h.x; }
+a + ":" + b;
+"""
+
+
+def run_with_host(host, source=IC_SCRIPT, engine="bytecode"):
+    interp = Interpreter(step_budget=500_000, engine=engine)
+    interp.define_global("h", host)
+    return interp.run(source)
+
+
+class TestInlineCaches:
+    def test_publishing_host_is_cached_and_invalidated_on_write(self):
+        host = CountingHost(x=1.0)
+        before = hotpath_stats()
+        assert run_with_host(host) == "50:250"
+        after = hotpath_stats()
+        # One miss per shape token (the write rotates it), hits for the
+        # other 98 reads; the stale cached value never survives the write.
+        assert host.reads == 2
+        assert after["ic_misses"] - before["ic_misses"] == 2
+        assert after["ic_hits"] - before["ic_hits"] == 98
+
+    def test_non_publishing_host_sees_every_read(self):
+        host = CountingHost(x=1.0, publish=False)
+        assert run_with_host(host) == "50:250"
+        assert host.reads == 100
+
+    def test_caches_disabled_bypasses_ics(self):
+        host = CountingHost(x=1.0)
+        with caches_disabled():
+            assert run_with_host(host) == "50:250"
+        assert host.reads == 100
+
+    def test_tree_engine_matches_and_never_caches(self):
+        host = CountingHost(x=1.0)
+        assert run_with_host(host, engine="tree") == "50:250"
+        assert host.reads == 100
+
+    def test_cached_cross_engine_jsfunction_invokes_correctly(self):
+        # A JSFunction minted by the tree engine, cached as a member value
+        # by the VM's IC, must keep invoking correctly from the cache.
+        tree = Interpreter(engine="tree")
+        tree.run("function double(x){ return x * 2; }")
+        host = CountingHost(fn=tree.globals.lookup("double"))
+        result = run_with_host(
+            host,
+            "var s = 0; for (var i = 0; i < 20; i++) { s = s + h.fn(i); } s;")
+        assert result == float(2 * sum(range(20)))
+        assert host.reads == 1  # 1 miss, 19 cache hits
+
+
+# -- disassembly --------------------------------------------------------------
+
+
+FUSABLE = (
+    "function f(n){ var t = 0;"
+    " for (var i = 0; i < n; i++) { t = t + i; } return t; }\n"
+    "f(3);\n"
+)
+
+
+class TestFusedDisassembly:
+    def test_fused_listing_annotates_constituents(self):
+        listing = disassemble(compile_source(FUSABLE, fuse=True))
+        assert "SUPER_PP_BIN" in listing or "SUPER_P_BIN" in listing
+        assert "SUPER_P_CMP_JF" in listing or "SUPER_PP_CMP_JF" in listing
+        assert "SUPER_DUP_STORE_POP" in listing
+        assert "SUPER_STORE_POP" in listing
+        assert "ticks=" in listing
+        assert "{" in listing and ";" in listing  # constituent annotation
+
+    def test_raw_listing_has_no_superinstructions(self):
+        listing = disassemble(compile_source(FUSABLE, fuse=False))
+        assert "SUPER_" not in listing
+        assert "STORE_LOCAL" in listing and "POP" in listing
+
+    def test_fused_and_raw_list_the_same_functions(self):
+        fused = compile_source(FUSABLE, fuse=True)
+        plain = compile_source(FUSABLE, fuse=False)
+        assert fused is not plain  # the compile cache keys on the flag
+        for code in (fused, plain):
+            assert "function f" in disassemble(code)

@@ -202,18 +202,22 @@ class TestCrashDuringResize:
         """
         state = {
             "order": [], "both_parked": threading.Event(),
-            "release": threading.Event(), "crash": set(), "crashed": set(),
+            "gates": {}, "open": threading.Event(),
+            "crash": set(), "crashed": set(),
         }
         lock = threading.Lock()
 
         def hook(index, task):
             with lock:
-                if not state["release"].is_set() \
-                        and index not in state["order"]:
+                if not state["open"].is_set() \
+                        and index not in state["gates"]:
+                    state["gates"][index] = threading.Event()
                     state["order"].append(index)
                     if len(state["order"]) == 2:
                         state["both_parked"].set()
-            state["release"].wait(timeout=30.0)
+                gate = state["gates"].get(index)
+            if gate is not None:
+                gate.wait(timeout=30.0)
             with lock:
                 if index in state["crash"] and index not in state["crashed"]:
                     state["crashed"].add(index)
@@ -229,9 +233,20 @@ class TestCrashDuringResize:
             assert harness.pool.scale_to(1) == 1
             assert harness.pool.stats()["pending_retirements"] == 1
 
+            # Release only the victim, and hold the survivor parked until
+            # the crash has been fully accounted: otherwise the survivor
+            # races the crash for the retirement token, and whichever
+            # claims it decides whether the crash costs restart budget —
+            # the assertions below pin the crash-claims-it interleaving.
             victim = state["order"][0]
-            state["crash"].add(victim)
-            state["release"].set()
+            with lock:
+                state["crash"].add(victim)
+            state["gates"][victim].set()
+            assert wait_until(
+                lambda: harness.pool.stats()["crashed_total"] == 1
+                and harness.pool.stats()["pending_retirements"] == 0)
+            state["open"].set()
+            state["gates"][state["order"][1]].set()
 
             # Both tasks resolve: the survivor finishes its own and the
             # requeued one from the crashed worker.
